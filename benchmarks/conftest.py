@@ -1,0 +1,45 @@
+"""Shared configuration for the exhibit-regeneration benchmarks.
+
+Each module in ``benchmarks/`` regenerates one table or figure of the
+paper's evaluation and prints the same rows/series the paper reports,
+wrapped in ``pytest-benchmark`` so the harness also records runtimes.
+
+Scale knob: set ``REPRO_FULL=1`` for the paper-scale runs (10 seeds, full
+Table 4 grids); the default is a reduced-but-representative slice so
+``pytest benchmarks/ --benchmark-only`` completes in a couple of minutes.
+Generated CSVs land in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false")
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+os.makedirs(RESULTS_DIR, exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL
+
+
+@pytest.fixture(scope="session")
+def seeds() -> int:
+    """Seeds per data point: 10 as in Section 8.2, or 3 reduced."""
+    return 10 if FULL else 3
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    return RESULTS_DIR
+
+
+def emit(title: str, lines) -> None:
+    """Print an exhibit's rows (visible with `pytest -s` and in CI logs)."""
+    print(f"\n=== {title} ===")
+    for line in lines:
+        print(line)

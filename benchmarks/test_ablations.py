@@ -1,0 +1,130 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* A1 -- SDEM-ON's procrastination (sleep until the first latest start)
+  versus eager starts: quantifies the value of *aligning* idle time.
+* A2 -- binary search vs linear scan in the Section 4.1 scheme (same
+  answers; see test_table1_complexity for the runtime side).
+* A3 -- MBKPS with a break-even guard (sleep only in gaps > xi_m):
+  separates SDEM-ON's win into "smarter sleeping" vs "idle alignment".
+* A4 -- block solver: the paper's (i, j)-pair enumeration vs direct 2-D
+  convex descent (identical optima, different cost).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.baselines import mbkps
+from repro.core import SdemOnlinePolicy, solve_block
+from repro.experiments import experiment_platform
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+from repro.sim import simulate
+from repro.workloads import synthetic_tasks
+
+from conftest import emit
+
+
+def test_a1_procrastination_value(benchmark, seeds):
+    """Eager SDEM-ON loses part of the alignment win."""
+    platform = experiment_platform()
+
+    def run():
+        lazy_total = eager_total = naive_total = 0.0
+        for seed in range(seeds):
+            trace = synthetic_tasks(n=40, max_interarrival=300.0, seed=seed)
+            horizon = (
+                min(t.release for t in trace),
+                max(t.deadline for t in trace),
+            )
+            lazy_total += simulate(
+                SdemOnlinePolicy(platform), trace, platform, horizon=horizon
+            ).total_energy
+            eager_total += simulate(
+                SdemOnlinePolicy(platform, procrastinate=False),
+                trace,
+                platform,
+                horizon=horizon,
+            ).total_energy
+            naive_total += simulate(
+                mbkps(platform), trace, platform, horizon=horizon
+            ).total_energy
+        return lazy_total / seeds, eager_total / seeds, naive_total / seeds
+
+    lazy, eager, naive = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "A1: value of procrastination (avg system energy, mJ)",
+        [
+            f"  SDEM-ON (procrastinate) {lazy / 1000.0:10.2f}",
+            f"  SDEM-ON (eager start)   {eager / 1000.0:10.2f}  "
+            f"(+{(eager / lazy - 1) * 100.0:.2f}%)",
+            f"  MBKPS                   {naive / 1000.0:10.2f}",
+        ],
+    )
+    assert lazy <= eager * (1.0 + 1e-9)
+    assert eager < naive  # even eager SDEM-ON beats MBKPS (speed choice)
+
+
+def test_a3_break_even_guard(benchmark, seeds):
+    """How much of MBKPS's loss is naive (sub-break-even) sleeping?"""
+    platform = experiment_platform()
+
+    def run():
+        naive = guarded = 0.0
+        for seed in range(seeds):
+            trace = synthetic_tasks(n=40, max_interarrival=200.0, seed=seed)
+            horizon = (
+                min(t.release for t in trace),
+                max(t.deadline for t in trace),
+            )
+            naive += simulate(
+                mbkps(platform), trace, platform, horizon=horizon
+            ).total_energy
+            guarded += simulate(
+                mbkps(platform, break_even_guard=True),
+                trace,
+                platform,
+                horizon=horizon,
+            ).total_energy
+        return naive / seeds, guarded / seeds
+
+    naive, guarded = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "A3: MBKPS break-even guard (avg system energy, mJ)",
+        [
+            f"  MBKPS naive (sleep every gap)   {naive / 1000.0:10.2f}",
+            f"  MBKPS guarded (gap >= xi_m)     {guarded / 1000.0:10.2f}  "
+            f"({(1 - guarded / naive) * 100.0:.2f}% saved by the guard)",
+        ],
+    )
+    assert guarded <= naive * (1.0 + 1e-9)
+
+
+def test_a4_block_solver_methods(benchmark):
+    """'pairs' (paper) vs 'descent' (library default): same optimum."""
+    platform = Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=2.0, s_up=1000.0),
+        MemoryModel(alpha_m=10.0),
+    )
+    rng = random.Random(33)
+    releases = sorted(rng.uniform(0.0, 80.0) for _ in range(6))
+    tasks, last_d = [], 0.0
+    for r in releases:
+        d = max(r + rng.uniform(10.0, 60.0), last_d + 1.0)
+        tasks.append(Task(r, d, rng.uniform(200.0, 3000.0)))
+        last_d = d
+    ts = TaskSet(tasks)
+
+    start = time.perf_counter()
+    pairs = solve_block(ts, platform, method="pairs")
+    pairs_ms = (time.perf_counter() - start) * 1000.0
+    descent = benchmark(lambda: solve_block(ts, platform, method="descent"))
+    emit(
+        "A4: block solver methods (6 agreeable tasks)",
+        [
+            f"  pairs   energy {pairs.energy:12.4f} uJ ({pairs_ms:.1f} ms)",
+            f"  descent energy {descent.energy:12.4f} uJ",
+            f"  relative difference {abs(pairs.energy - descent.energy) / pairs.energy:.2e}",
+        ],
+    )
+    assert abs(pairs.energy - descent.energy) <= 1e-4 * pairs.energy

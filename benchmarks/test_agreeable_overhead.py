@@ -1,0 +1,66 @@
+"""Section 7 agreeable-DP exhibit: block merging as xi_m grows.
+
+The paper extends the Section 5 DP with a per-block memory transition
+charge `alpha_m * xi_m` but shows no figure for it; this bench generates
+the missing exhibit: the optimal number of blocks (memory sleep cycles)
+collapses monotonically as the break-even time grows, with the total
+energy rising accordingly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import solve_agreeable
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+
+from conftest import emit
+
+
+def _bursty_agreeable(seed: int, bursts: int = 4, per_burst: int = 2) -> TaskSet:
+    rng = random.Random(seed)
+    tasks = []
+    t = 0.0
+    for b in range(bursts):
+        for k in range(per_burst):
+            release = t + k * 4.0
+            tasks.append(
+                Task(release, release + 30.0, rng.uniform(2000.0, 6000.0),
+                     f"b{b}k{k}")
+            )
+        t += rng.uniform(60.0, 110.0)
+    return TaskSet(tasks)
+
+
+def test_block_count_collapses_with_break_even(benchmark, seeds):
+    core = CorePowerModel(beta=2.53e-7, lam=3.0, alpha=310.0, s_up=1900.0)
+
+    def run():
+        rows = []
+        for xi_m in (0.0, 10.0, 40.0, 120.0, 400.0):
+            blocks_sum = energy_sum = 0.0
+            for seed in range(seeds):
+                tasks = _bursty_agreeable(seed)
+                platform = Platform(core, MemoryModel(alpha_m=500.0, xi_m=xi_m))
+                sol = solve_agreeable(
+                    tasks, platform, include_transition_overhead=True
+                )
+                blocks_sum += sol.num_blocks / seeds
+                energy_sum += sol.predicted_energy / seeds
+            rows.append((xi_m, blocks_sum, energy_sum))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Section 7 agreeable DP: blocks vs memory break-even time",
+        (
+            f"  xi_m = {xi_m:6.1f} ms: {blocks:4.1f} blocks, "
+            f"{energy / 1000.0:8.2f} mJ"
+            for xi_m, blocks, energy in rows
+        ),
+    )
+    blocks = [r[1] for r in rows]
+    energies = [r[2] for r in rows]
+    assert all(a >= b - 1e-9 for a, b in zip(blocks, blocks[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(energies, energies[1:]))
+    assert blocks[0] > blocks[-1]  # merging actually happened

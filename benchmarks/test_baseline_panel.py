@@ -1,0 +1,57 @@
+"""Baseline panel: all five online policies on one workload family.
+
+Not a paper exhibit per se, but the summary view that Section 8's story
+rests on: SDEM-ON < {MBKPS, MBKP, AVR, race-to-idle} in system energy on
+the paper's synthetic workload at the Table 4 defaults.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import AvrPolicy, RaceToIdlePolicy, mbkp, mbkps
+from repro.core import SdemOnlinePolicy
+from repro.experiments import experiment_platform
+from repro.sim import simulate
+from repro.workloads import synthetic_tasks
+
+from conftest import emit
+
+
+def test_baseline_panel(benchmark, seeds):
+    platform = experiment_platform()
+
+    def run():
+        totals = {"SDEM-ON": 0.0, "MBKP": 0.0, "MBKPS": 0.0, "AVR": 0.0, "race": 0.0}
+        sleeps = dict.fromkeys(totals, 0.0)
+        for seed in range(seeds):
+            trace = synthetic_tasks(n=40, max_interarrival=400.0, seed=seed)
+            horizon = (
+                min(t.release for t in trace),
+                max(t.deadline for t in trace),
+            )
+            policies = {
+                "SDEM-ON": SdemOnlinePolicy(platform),
+                "MBKP": mbkp(platform),
+                "MBKPS": mbkps(platform),
+                "AVR": AvrPolicy(platform),
+                "race": RaceToIdlePolicy(platform),
+            }
+            for name, policy in policies.items():
+                result = simulate(policy, trace, platform, horizon=horizon)
+                totals[name] += result.breakdown.total / seeds
+                sleeps[name] += result.breakdown.memory_sleep_time / seeds
+        return totals, sleeps
+
+    totals, sleeps = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = totals["SDEM-ON"]
+    emit(
+        "Baseline panel (synthetic, x=400ms, Table 4 stars)",
+        (
+            f"  {name:<8s} {value / 1000.0:10.2f} mJ "
+            f"(x{value / base:4.2f} vs SDEM-ON), memory asleep "
+            f"{sleeps[name]:8.1f} ms"
+            for name, value in sorted(totals.items(), key=lambda kv: kv[1])
+        ),
+    )
+    for name, value in totals.items():
+        if name != "SDEM-ON":
+            assert base <= value * (1.0 + 1e-9), name

@@ -1,0 +1,48 @@
+"""Figure 6a: memory static energy saving vs utilization U (FFT & matmul).
+
+Paper's reading: SDEM-ON keeps the memory asleep longer than MBKPS at
+every U; the gap averages ~10% and widens slightly as utilization drops
+(larger U).  The series below are savings relative to MBKP.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import U_SWEEP, run_fig6, write_csv
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("bench", ["fft", "matmul"])
+def test_fig6a_memory_saving(benchmark, bench, seeds, full_scale, results_dir):
+    u_values = U_SWEEP if full_scale else [2, 4, 6, 9]
+    instances = 64 if full_scale else 32
+
+    series = benchmark.pedantic(
+        lambda: run_fig6(bench, u_values=u_values, seeds=seeds, instances=instances),
+        rounds=1,
+        iterations=1,
+    )
+
+    write_csv(series, os.path.join(results_dir, f"fig6a_{bench}.csv"))
+    emit(
+        f"Fig 6a ({bench}): memory static energy saving vs MBKP (%)",
+        (
+            f"  {p.label:<6s} SDEM-ON {p.sdem_memory_saving:7.2f}%   "
+            f"MBKPS {p.mbkps_memory_saving:7.2f}%   "
+            f"(SDEM-ON - MBKPS = {p.sdem_memory_saving - p.mbkps_memory_saving:6.2f} pts)"
+            for p in series.points
+        ),
+    )
+
+    # Shape assertions from Section 8.2.
+    for p in series.points:
+        assert p.sdem_memory < p.mbkps_memory  # SDEM-ON always sleeps more
+    # Memory saving grows as utilization drops (first vs last U).
+    assert (
+        series.points[-1].sdem_memory_saving
+        > series.points[0].sdem_memory_saving
+    )

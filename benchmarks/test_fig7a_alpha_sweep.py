@@ -1,0 +1,58 @@
+"""Figure 7a: synthetic tasks, (memory static power) x (utilization) grid.
+
+Paper's reading: SDEM-ON improves on MBKPS by ~9.74% on average across
+the grid; MBKPS collapses to MBKP at high utilization (x -> 100 ms) while
+SDEM-ON keeps its edge at every load level.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments import ALPHA_M_SWEEP_MW, X_SWEEP_MS, run_fig7a, write_csv
+
+from conftest import emit
+
+
+def test_fig7a_alpha_sweep(benchmark, seeds, full_scale, results_dir):
+    alpha_values = ALPHA_M_SWEEP_MW if full_scale else [1000.0, 4000.0, 8000.0]
+    x_values = X_SWEEP_MS if full_scale else [100.0, 400.0, 800.0]
+    trace_length = 50 if full_scale else 30
+
+    series = benchmark.pedantic(
+        lambda: run_fig7a(
+            alpha_m_values=alpha_values,
+            x_values=x_values,
+            seeds=seeds,
+            trace_length=trace_length,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    write_csv(series, os.path.join(results_dir, "fig7a.csv"))
+    emit(
+        "Fig 7a: system energy saving vs MBKP (%) over alpha_m x utilization",
+        (
+            f"  {p.label:<34s} SDEM-ON {p.sdem_system_saving:7.2f}%  "
+            f"MBKPS {p.mbkps_system_saving:7.2f}%  "
+            f"improvement {p.sdem_vs_mbkps_improvement:6.2f}%"
+            for p in series.points
+        ),
+    )
+    print(
+        f"  mean SDEM-ON improvement over MBKPS: "
+        f"{series.mean_improvement():.2f}% (paper: 9.74%)"
+    )
+
+    for p in series.points:
+        assert p.sdem_total < p.mbkps_total
+        assert p.sdem_total < p.mbkp_total
+    assert series.mean_improvement() > 0.0
+    # MBKPS ~ MBKP at the densest x within each alpha_m group.
+    n_x = len(x_values)
+    for g in range(len(alpha_values)):
+        group = series.points[g * n_x : (g + 1) * n_x]
+        assert abs(group[0].mbkps_system_saving) < abs(
+            group[-1].mbkps_system_saving
+        ) + 15.0

@@ -1,0 +1,59 @@
+"""Figure 7b: synthetic tasks, (memory break-even time) x (utilization).
+
+Paper's reading: SDEM-ON improves on MBKPS by ~10.52% on average and
+"there is basically no difference with the varying of break-even time"
+-- the improvement is flat in xi_m.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments import X_SWEEP_MS, XI_M_SWEEP_MS, run_fig7b, write_csv
+
+from conftest import emit
+
+
+def test_fig7b_xi_sweep(benchmark, seeds, full_scale, results_dir):
+    xi_values = XI_M_SWEEP_MS if full_scale else [15.0, 40.0, 70.0]
+    x_values = X_SWEEP_MS if full_scale else [100.0, 400.0, 800.0]
+    trace_length = 50 if full_scale else 30
+
+    series = benchmark.pedantic(
+        lambda: run_fig7b(
+            xi_m_values=xi_values,
+            x_values=x_values,
+            seeds=seeds,
+            trace_length=trace_length,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    write_csv(series, os.path.join(results_dir, "fig7b.csv"))
+    emit(
+        "Fig 7b: system energy saving vs MBKP (%) over xi_m x utilization",
+        (
+            f"  {p.label:<34s} SDEM-ON {p.sdem_system_saving:7.2f}%  "
+            f"MBKPS {p.mbkps_system_saving:7.2f}%  "
+            f"improvement {p.sdem_vs_mbkps_improvement:6.2f}%"
+            for p in series.points
+        ),
+    )
+    print(
+        f"  mean SDEM-ON improvement over MBKPS: "
+        f"{series.mean_improvement():.2f}% (paper: 10.52%)"
+    )
+
+    for p in series.points:
+        assert p.sdem_total < p.mbkps_total
+    assert series.mean_improvement() > 0.0
+
+    # Flat in xi_m: group by xi_m and compare each group's mean improvement
+    # against the overall mean; no group should stray wildly.
+    n_x = len(x_values)
+    overall = series.mean_improvement()
+    for g in range(len(xi_values)):
+        group = series.points[g * n_x : (g + 1) * n_x]
+        group_mean = sum(p.sdem_vs_mbkps_improvement for p in group) / n_x
+        assert abs(group_mean - overall) < 25.0

@@ -1,0 +1,59 @@
+"""Voltage-island granularity ablation (the paper's named future work).
+
+Quantifies the energy cost of sharing voltage rails: sweep the island
+size from "one rail for everything" to "a rail per core" on random
+common-release task sets and report the overhead relative to independent
+per-core DVS (= the paper's Section 4.2 optimum).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import solve_common_release
+from repro.core.islands import solve_islands_common_release
+from repro.models import Task, TaskSet, paper_platform
+
+from conftest import emit
+
+
+def test_island_granularity_sweep(benchmark, seeds):
+    platform = paper_platform(xi=0.0, xi_m=0.0).with_num_cores(None)
+    n = 8
+
+    def run():
+        sums = {1: 0.0, 2: 0.0, 4: 0.0, 8: 0.0, "section4": 0.0}
+        for seed in range(seeds):
+            rng = random.Random(1000 + seed)
+            tasks = TaskSet(
+                Task(0.0, rng.uniform(20.0, 120.0), rng.uniform(1000.0, 12000.0), f"t{k}")
+                for k in range(n)
+            )
+            for islands in (1, 2, 4, 8):
+                size = n // islands
+                assignment = [
+                    list(range(g * size, (g + 1) * size)) for g in range(islands)
+                ]
+                sol = solve_islands_common_release(tasks, platform, assignment)
+                sums[islands] += sol.predicted_energy / seeds
+            sums["section4"] += (
+                solve_common_release(tasks, platform).predicted_energy / seeds
+            )
+        return sums
+
+    sums = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = sums[8]
+    emit(
+        "Voltage-island granularity (avg energy, 8 tasks)",
+        [
+            f"  {k} island(s): {v / 1000.0:8.2f} mJ "
+            f"({(v / base - 1.0) * 100.0:+5.1f}% vs per-core rails)"
+            for k, v in sums.items()
+            if k != "section4"
+        ]
+        + [f"  Section 4.2 optimum: {sums['section4'] / 1000.0:8.2f} mJ"],
+    )
+    # Monotone: finer islands never cost more.
+    assert sums[1] >= sums[2] >= sums[4] >= sums[8] * (1.0 - 1e-9)
+    # Per-core rails match the paper's per-task optimum.
+    assert abs(sums[8] / sums["section4"] - 1.0) < 1e-2

@@ -1,0 +1,85 @@
+"""Discrete-voltage gap check (paper Section 3's Ishihara-Yasuura claim).
+
+"With these techniques and with the number of voltage levels increasing
+in recent years, there will be no big gap between the continuous voltage
+and discrete voltage."  Quantify it: quantize the Section 4 optimum onto
+level grids of increasing resolution and report the dynamic-energy
+overhead, plus the end-to-end effect on an online SDEM-ON run.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import QuantizedPolicy
+from repro.core import SdemOnlinePolicy, a57_levels, quantization_overhead, solve_common_release
+from repro.experiments import experiment_platform
+from repro.models import Task, TaskSet
+from repro.sim import simulate
+from repro.workloads import synthetic_tasks
+
+from conftest import emit
+
+
+def test_quantization_gap_shrinks_with_levels(benchmark):
+    platform = experiment_platform().with_num_cores(None).zero_transition_overheads()
+    tasks = TaskSet(
+        [
+            Task(0.0, 40.0, 8000.0, "a"),
+            Task(0.0, 70.0, 15000.0, "b"),
+            Task(0.0, 100.0, 4000.0, "c"),
+            Task(0.0, 55.0, 11000.0, "d"),
+        ]
+    )
+    schedule = solve_common_release(tasks, platform).schedule()
+
+    def run():
+        return [
+            (count, quantization_overhead(schedule, a57_levels(count), platform.core))
+            for count in (3, 5, 9, 13, 25, 49)
+        ]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Quantization overhead vs level-grid size (Section 4 optimum)",
+        (
+            f"  {count:3d} levels: dynamic energy +{r.overhead_ratio * 100.0:6.3f}%"
+            for count, r in reports
+        ),
+    )
+    ratios = [r.overhead_ratio for _, r in reports]
+    assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] < 0.01  # under 1% at 49 levels: "no big gap"
+
+
+def test_online_quantization_end_to_end(benchmark, seeds):
+    platform = experiment_platform()
+    levels = a57_levels(13)
+
+    def run():
+        cont = disc = 0.0
+        for seed in range(seeds):
+            trace = synthetic_tasks(n=30, max_interarrival=300.0, seed=seed)
+            horizon = (
+                min(t.release for t in trace),
+                max(t.deadline for t in trace),
+            )
+            cont += simulate(
+                SdemOnlinePolicy(platform), trace, platform, horizon=horizon
+            ).total_energy / seeds
+            disc += simulate(
+                QuantizedPolicy(SdemOnlinePolicy(platform), levels),
+                trace,
+                platform,
+                horizon=horizon,
+            ).total_energy / seeds
+        return cont, disc
+
+    cont, disc = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "SDEM-ON continuous vs 13-level DVFS (avg system energy)",
+        [
+            f"  continuous {cont / 1000.0:10.2f} mJ",
+            f"  13 levels  {disc / 1000.0:10.2f} mJ  "
+            f"({(disc / cont - 1.0) * 100.0:+.2f}%)",
+        ],
+    )
+    assert abs(disc / cont - 1.0) < 0.05

@@ -1,0 +1,95 @@
+"""Runtime scaling of the optimal schemes (Table 1's complexity column).
+
+Empirical growth checks: the Section 4 schemes must stay near-linear
+after sorting; the Section 5 DPs are polynomial but steep (O(n^4)/O(n^5)),
+so their bench sizes stay small.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core import (
+    solve_agreeable,
+    solve_common_release_alpha_nonzero,
+    solve_common_release_alpha_zero,
+)
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+
+from conftest import emit
+
+
+def _common(n: int, seed: int = 0) -> TaskSet:
+    rng = random.Random(seed)
+    return TaskSet(
+        Task(0.0, rng.uniform(10.0, 5000.0), rng.uniform(100.0, 5000.0))
+        for _ in range(n)
+    )
+
+
+def _agreeable(n: int, seed: int = 0) -> TaskSet:
+    rng = random.Random(seed)
+    releases = sorted(rng.uniform(0.0, 50.0 * n) for _ in range(n))
+    tasks, last_d = [], 0.0
+    for r in releases:
+        d = max(r + rng.uniform(10.0, 80.0), last_d + 0.5)
+        tasks.append(Task(r, d, rng.uniform(200.0, 4000.0)))
+        last_d = d
+    return TaskSet(tasks)
+
+
+def _platform(alpha: float) -> Platform:
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=alpha, s_up=5000.0),
+        MemoryModel(alpha_m=10.0),
+    )
+
+
+def test_common_release_alpha_zero_scaling(benchmark, full_scale):
+    n = 50000 if full_scale else 10000
+    tasks = _common(n, seed=1)
+    platform = _platform(0.0)
+    result = benchmark(
+        lambda: solve_common_release_alpha_zero(tasks, platform, method="binary")
+    )
+    assert result.predicted_energy > 0.0
+
+
+def test_common_release_alpha_nonzero_scaling(benchmark, full_scale):
+    n = 50000 if full_scale else 10000
+    tasks = _common(n, seed=2)
+    platform = _platform(2.0)
+    result = benchmark(
+        lambda: solve_common_release_alpha_nonzero(tasks, platform)
+    )
+    assert result.predicted_energy > 0.0
+
+
+@pytest.mark.parametrize("alpha", [0.0, 2.0])
+def test_agreeable_dp_scaling(benchmark, alpha, full_scale):
+    n = 16 if full_scale else 10
+    tasks = _agreeable(n, seed=3)
+    platform = _platform(alpha)
+    solution = benchmark.pedantic(
+        lambda: solve_agreeable(tasks, platform), rounds=1, iterations=1
+    )
+    assert solution.predicted_energy > 0.0
+
+
+def test_agreeable_dp_growth_profile():
+    """Record the DP's wall-clock growth (polynomial, steep)."""
+    platform = _platform(0.0)
+    rows = []
+    for n in (4, 8, 12):
+        tasks = _agreeable(n, seed=4)
+        start = time.perf_counter()
+        solve_agreeable(tasks, platform)
+        rows.append((n, (time.perf_counter() - start) * 1000.0))
+    emit(
+        "Section 5 DP wall-clock growth (alpha=0)",
+        (f"  n={n:<3d} {ms:9.1f} ms" for n, ms in rows),
+    )
+    assert rows[-1][1] >= rows[0][1] * 0.5  # sanity: it ran

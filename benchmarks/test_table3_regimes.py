@@ -1,0 +1,40 @@
+"""Table 3: optimal memory sleep time under transition-overhead regimes.
+
+Regenerates the four regime rows with constructed instances and checks the
+solver lands where the table says it should.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table3_rows, table4_rows
+
+from conftest import emit
+
+
+def test_table3_regimes(benchmark):
+    rows = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
+    emit(
+        "Table 3: optimal Delta_mi^(xi) by regime",
+        (
+            f"  {row['case']:<22s} (xi={row['xi']}, xi_m={row['xi_m']}): "
+            f"Delta = {row['delta_ms']} ms -> {row['expected']}"
+            for row in rows
+        ),
+    )
+    by_case = {row["case"]: row for row in rows}
+    assert float(by_case["xi <= Delta < xi_m"]["delta_ms"]) == 0.0
+    assert float(by_case["Delta < xi, xi_m"]["delta_ms"]) == 0.0
+    assert float(by_case["Delta >= xi, xi_m"]["delta_ms"]) > 0.0
+
+
+def test_table4_parameter_grid():
+    rows = table4_rows()
+    emit(
+        "Table 4: evaluation parameter grid (stars = defaults)",
+        (
+            f"  point {row['point']}: x={row['x_ms']} ms, "
+            f"alpha_m={row['alpha_m_w']} W, xi_m={row['xi_m_ms']} ms"
+            for row in rows
+        ),
+    )
+    assert len(rows) == 8

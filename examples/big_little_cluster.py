@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""big.LITTLE cluster: the heterogeneous-core extension (end of Sec. 4.2).
+
+Four "big" cores (Cortex-A57-like: fast, leaky) and four "LITTLE" cores
+(Cortex-A53-like: slower, frugal) share one DRAM.  Each task is bound to a
+core; the heterogeneous common-release scheme balances every core's own
+critical speed against the shared memory's sleep window.
+
+Run:  python examples/big_little_cluster.py
+"""
+
+from __future__ import annotations
+
+from repro.core.heterogeneous import solve_common_release_heterogeneous
+from repro.models import CorePowerModel, MemoryModel, Task
+from repro.models.platform import arm_cortex_a57
+
+
+def cortex_a53() -> CorePowerModel:
+    """A LITTLE-core model: ~1/3 the dynamic coefficient and leakage of
+    the A57, topping out at 1.3 GHz."""
+    return CorePowerModel(
+        beta=0.9e-7, lam=3.0, alpha=90.0, s_up=1300.0, s_min=400.0
+    )
+
+
+def main() -> None:
+    big = arm_cortex_a57()
+    little = cortex_a53()
+    memory = MemoryModel(alpha_m=2000.0)  # 2 W DRAM
+
+    tasks = [
+        Task(0.0, 30.0, 16000.0, "render"),  # heavy, tight -> big core
+        Task(0.0, 50.0, 9000.0, "physics"),  # heavy            -> big core
+        Task(0.0, 80.0, 2500.0, "audio"),  # light            -> LITTLE
+        Task(0.0, 120.0, 1500.0, "network"),  # light, lazy      -> LITTLE
+    ]
+    cores = [big, big, little, little]
+
+    print("cores: 2x A57 (s_m %.0f MHz), 2x A53 (s_m %.0f MHz); 2 W DRAM" % (
+        big.s_m, little.s_m))
+    print(f"{'task':>10s} {'core':>6s} {'speed (MHz)':>12s} "
+          f"{'finish (ms)':>12s} {'deadline':>9s}")
+    solution = solve_common_release_heterogeneous(tasks, cores, memory)
+    labels = {id(big): "A57", id(little): "A53"}
+    for task, core in zip(solution.tasks, solution.cores):
+        print(
+            f"{task.name:>10s} {labels[id(core)]:>6s} "
+            f"{solution.speeds[task.name]:12.1f} "
+            f"{solution.finish_times[task.name]:12.2f} {task.deadline:9.0f}"
+        )
+    print(f"\nmemory awake {solution.memory_busy_length:.2f} ms, "
+          f"then sleeps {solution.delta:.2f} ms")
+    print(f"total energy {solution.predicted_energy / 1000.0:.2f} mJ")
+
+    # What if everything ran on big cores instead?
+    all_big = solve_common_release_heterogeneous(tasks, [big] * 4, memory)
+    print(f"all-A57 alternative: {all_big.predicted_energy / 1000.0:.2f} mJ "
+          f"({(all_big.predicted_energy / solution.predicted_energy - 1) * 100.0:+.1f}%)")
+
+    print(
+        "\nEach core family lands on its own critical speed; the memory's"
+        "\nsleep window is set by the slowest finisher, so the scheme speeds"
+        "\nup exactly the cores that would otherwise pin the DRAM awake."
+    )
+
+
+if __name__ == "__main__":
+    main()

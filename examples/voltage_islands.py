@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Voltage islands: what does sharing a rail cost?
+
+The paper leaves voltage-frequency islands (groups of cores sharing one
+supply) as future work; `repro.core.islands` explores them with a
+constant-speed-per-island scheme.  This example takes eight mixed tasks
+and compares island topologies from "one big rail" to "a rail per core".
+
+Run:  python examples/voltage_islands.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.islands import solve_islands_common_release
+from repro.models import Task, TaskSet, paper_platform
+
+
+def main() -> None:
+    rng = random.Random(42)
+    tasks = TaskSet(
+        Task(0.0, rng.uniform(20.0, 120.0), rng.uniform(1000.0, 12000.0), f"t{k}")
+        for k in range(8)
+    )
+    platform = paper_platform(xi=0.0, xi_m=0.0).with_num_cores(None)
+
+    topologies = {
+        "1 island x 8 cores": [list(range(8))],
+        "2 islands x 4": [[0, 1, 2, 3], [4, 5, 6, 7]],
+        "4 islands x 2": [[0, 1], [2, 3], [4, 5], [6, 7]],
+        "8 islands x 1 (per-core DVS)": [[k] for k in range(8)],
+    }
+
+    print("8 mixed tasks, 8x A57 + 4 W DRAM; constant speed per island\n")
+    baseline = None
+    for name, assignment in topologies.items():
+        sol = solve_islands_common_release(tasks, platform, assignment)
+        if baseline is None:
+            baseline = sol.predicted_energy
+        overhead = (sol.predicted_energy / baseline - 1.0) * 100.0
+        speeds = ", ".join(f"{s:.0f}" for s in sol.island_speeds)
+        print(f"{name:<30s} {sol.predicted_energy / 1000.0:9.2f} mJ "
+              f"(vs 1-island {overhead:+6.1f}%)  speeds [{speeds}] MHz")
+
+    print(
+        "\nFiner islands monotonically reduce energy: each rail relaxes to"
+        "\nits own tasks' critical speeds instead of being dragged by the"
+        "\nhungriest sibling.  The per-core extreme recovers the paper's"
+        "\nSection 4.2 optimum exactly."
+    )
+
+
+if __name__ == "__main__":
+    main()

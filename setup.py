@@ -1,0 +1,16 @@
+"""Legacy setup shim for offline editable installs (no `wheel` available)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Race to idle or not: balancing the memory sleep "
+        "time with DVS for energy minimization'"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+)

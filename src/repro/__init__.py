@@ -1,0 +1,109 @@
+"""repro -- reproduction of "Race to idle or not: balancing the memory
+sleep time with DVS for energy minimization" (Fu, Chau, Li, Xue; DATE 2015
+/ Real-Time Systems 2017).
+
+The library solves the SDEM problem -- *Sleep and DVS-aware system-wide
+Energy Minimization* -- for multi-core platforms with a shared,
+sleep-capable main memory:
+
+* optimal offline schemes for common-release-time tasks
+  (:func:`solve_common_release`) and agreeable-deadline tasks
+  (:func:`solve_agreeable`), with and without core static power;
+* transition-overhead-aware variants
+  (:func:`solve_common_release_with_overhead`);
+* the SDEM-ON online heuristic (:class:`SdemOnlinePolicy`) plus the
+  MBKP/MBKPS baselines, an event-driven simulation engine and a shared
+  energy accountant;
+* the paper's workload generators and an experiment harness regenerating
+  every table and figure of its evaluation (see ``benchmarks/`` and
+  EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro import Task, TaskSet, paper_platform, solve_common_release
+
+    platform = paper_platform(xi_m=0.0)
+    tasks = TaskSet([Task(0.0, 50.0, 2000.0), Task(0.0, 80.0, 3500.0)])
+    solution = solve_common_release(tasks, platform)
+    print(solution.delta, solution.predicted_energy)
+
+Units: time in ms, speed in MHz, workload in kilocycles, power in mW,
+energy in uJ (see DESIGN.md Section 7).
+"""
+
+from repro.models import (
+    CorePowerModel,
+    MemoryModel,
+    Platform,
+    Task,
+    TaskSet,
+    arm_cortex_a57,
+    dram_50nm,
+    paper_platform,
+)
+from repro.schedule import (
+    CoreTimeline,
+    ExecutionInterval,
+    FeasibilityError,
+    Schedule,
+    is_feasible,
+    validate_schedule,
+)
+from repro.energy import EnergyBreakdown, SleepPolicy, account
+from repro.core import (
+    AgreeableSolution,
+    BlockSolution,
+    CommonReleaseSolution,
+    SdemOnlinePolicy,
+    solve_agreeable,
+    solve_block,
+    solve_common_release,
+    solve_common_release_alpha_nonzero,
+    solve_common_release_alpha_zero,
+    solve_common_release_with_overhead,
+)
+from repro.baselines import MbkpPolicy, RaceToIdlePolicy, mbkp, mbkps
+from repro.sim import SimulationResult, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # models
+    "CorePowerModel",
+    "MemoryModel",
+    "Platform",
+    "Task",
+    "TaskSet",
+    "arm_cortex_a57",
+    "dram_50nm",
+    "paper_platform",
+    # schedule & energy
+    "CoreTimeline",
+    "ExecutionInterval",
+    "FeasibilityError",
+    "Schedule",
+    "is_feasible",
+    "validate_schedule",
+    "EnergyBreakdown",
+    "SleepPolicy",
+    "account",
+    # core algorithms
+    "AgreeableSolution",
+    "BlockSolution",
+    "CommonReleaseSolution",
+    "SdemOnlinePolicy",
+    "solve_agreeable",
+    "solve_block",
+    "solve_common_release",
+    "solve_common_release_alpha_nonzero",
+    "solve_common_release_alpha_zero",
+    "solve_common_release_with_overhead",
+    # baselines & simulation
+    "MbkpPolicy",
+    "RaceToIdlePolicy",
+    "mbkp",
+    "mbkps",
+    "SimulationResult",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Schedule and experiment analysis helpers.
+
+* :mod:`repro.analysis.gantt` -- ASCII Gantt rendering of schedules
+  (per-core execution bars plus the memory's busy/sleep track);
+* :mod:`repro.analysis.stats` -- per-seed sample statistics for
+  experiment points (mean, standard deviation, confidence half-widths);
+* :mod:`repro.analysis.report` -- textual energy-breakdown and
+  schedule-summary reports used by the examples and the CLI.
+"""
+
+from repro.analysis.gantt import render_gantt
+from repro.analysis.stats import SampleStats, summarize
+from repro.analysis.report import energy_report, schedule_summary
+
+__all__ = [
+    "render_gantt",
+    "SampleStats",
+    "summarize",
+    "energy_report",
+    "schedule_summary",
+]

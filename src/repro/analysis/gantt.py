@@ -1,0 +1,82 @@
+"""ASCII Gantt rendering of SDEM schedules.
+
+One row per core plus a ``MEM`` row showing the memory's busy union --
+the visual version of the paper's Figures 1-4.  Execution cells carry the
+first letter of the task name; the memory row shows ``#`` (busy) and
+``.`` (common idle, i.e. potential sleep).
+
+Example output::
+
+    time    0.0                                          100.0
+    core 0  |AAAAAAAAAA.................................|
+    core 1  |BBBBBBBBBBBBBBBB...........................|
+    MEM     |################...........................|
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.schedule.timeline import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def _paint(
+    row: List[str],
+    spans: List[Tuple[float, float]],
+    label: str,
+    lo: float,
+    scale: float,
+) -> None:
+    width = len(row)
+    for start, end in spans:
+        a = int((start - lo) * scale)
+        b = max(int(round((end - lo) * scale)), a + 1)
+        for k in range(max(a, 0), min(b, width)):
+            row[k] = label
+
+
+def render_gantt(
+    schedule: Schedule,
+    *,
+    horizon: Optional[Tuple[float, float]] = None,
+    width: int = 72,
+    idle_char: str = ".",
+) -> str:
+    """Render ``schedule`` as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    schedule:
+        Any schedule; empty cores are shown as pure idle rows.
+    horizon:
+        Time window to draw; defaults to the schedule's busy span.
+    width:
+        Characters per row (time resolution = horizon / width).
+    idle_char:
+        Fill character for idle time.
+    """
+    if width < 8:
+        raise ValueError("width must be at least 8 characters")
+    busy = schedule.busy_union()
+    if horizon is None:
+        if not busy:
+            raise ValueError("cannot render an empty schedule without a horizon")
+        horizon = (busy[0][0], busy[-1][1])
+    lo, hi = horizon
+    if hi <= lo:
+        raise ValueError(f"empty horizon ({lo}, {hi})")
+    scale = width / (hi - lo)
+
+    lines = [f"time    {lo:<10.1f}{'':{max(width - 20, 1)}}{hi:>10.1f}"]
+    for index, core in enumerate(schedule.cores):
+        row = [idle_char] * width
+        for interval in core:
+            label = (interval.task[:1] or "#").upper()
+            _paint(row, [(interval.start, interval.end)], label, lo, scale)
+        lines.append(f"core {index:<2d} |{''.join(row)}|")
+    mem_row = [idle_char] * width
+    _paint(mem_row, busy, "#", lo, scale)
+    lines.append(f"MEM     |{''.join(mem_row)}|")
+    return "\n".join(lines)

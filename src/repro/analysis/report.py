@@ -1,0 +1,63 @@
+"""Textual reports for schedules and energy breakdowns."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.energy.accounting import EnergyBreakdown
+from repro.schedule.timeline import Schedule
+
+__all__ = ["energy_report", "schedule_summary"]
+
+
+def energy_report(breakdown: EnergyBreakdown, *, label: str = "schedule") -> str:
+    """Itemized energy report in mJ with percentage shares."""
+    total = breakdown.total
+    if total <= 0.0:
+        return f"{label}: zero energy"
+
+    def line(name: str, value: float) -> str:
+        return (
+            f"  {name:<22s} {value / 1000.0:10.3f} mJ  "
+            f"({value / total * 100.0:5.1f}%)"
+        )
+
+    rows = [
+        f"energy report: {label}",
+        line("core dynamic", breakdown.core_dynamic),
+        line("core static (active)", breakdown.core_static_active),
+        line("core idle/transition", breakdown.core_idle),
+        line("memory active", breakdown.memory_active),
+        line("memory idle/transition", breakdown.memory_idle),
+        f"  {'total':<22s} {total / 1000.0:10.3f} mJ",
+        f"  memory busy {breakdown.memory_busy_time:.2f} ms, "
+        f"asleep {breakdown.memory_sleep_time:.2f} ms",
+    ]
+    return "\n".join(rows)
+
+
+def schedule_summary(schedule: Schedule) -> str:
+    """Per-core and per-task occupancy summary."""
+    rows: List[str] = ["schedule summary:"]
+    for index, core in enumerate(schedule.cores):
+        span = core.span()
+        if span is None:
+            rows.append(f"  core {index}: idle")
+            continue
+        tasks = sorted({iv.task for iv in core})
+        rows.append(
+            f"  core {index}: busy {core.busy_time:.2f} ms over "
+            f"[{span[0]:.2f}, {span[1]:.2f}], tasks: {', '.join(tasks)}"
+        )
+    busy = schedule.memory_busy_time()
+    gaps = schedule.common_idle_gaps()
+    rows.append(
+        f"  memory: busy {busy:.2f} ms, {len(gaps)} interior idle gap(s), "
+        f"common idle {schedule.common_idle_time():.2f} ms"
+    )
+    done: Dict[str, float] = schedule.executed_workloads()
+    rows.append(
+        "  tasks executed: "
+        + ", ".join(f"{name} ({kc:.0f} kc)" for name, kc in sorted(done.items()))
+    )
+    return "\n".join(rows)

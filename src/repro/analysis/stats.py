@@ -1,0 +1,61 @@
+"""Sample statistics for experiment aggregation.
+
+The paper averages 10 random cases per data point (Section 8.2) without
+reporting spread; this module adds the spread so reproduction runs can
+state how tight each point is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["SampleStats", "summarize"]
+
+# Two-sided 95% t quantiles for small samples (df = 1..30).
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Mean / spread of one experiment point across seeds."""
+
+    n: int
+    mean: float
+    std: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.n < 2:
+            return 0.0
+        return self.std / math.sqrt(self.n)
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """95% confidence half-width (t distribution, normal for n > 31)."""
+        if self.n < 2:
+            return 0.0
+        df = self.n - 1
+        t = _T95[df - 1] if df <= len(_T95) else 1.960
+        return t * self.sem
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} +/- {self.ci95_halfwidth:.3f} (n={self.n})"
+
+
+def summarize(samples: Sequence[float]) -> SampleStats:
+    """Mean and (sample) standard deviation of ``samples``."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("cannot summarize an empty sample")
+    mean = sum(samples) / n
+    if n == 1:
+        return SampleStats(1, mean, 0.0)
+    var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    return SampleStats(n, mean, math.sqrt(var))

@@ -1,0 +1,24 @@
+"""Baseline online schedulers from the paper's evaluation (Section 8).
+
+* :class:`MbkpPolicy` -- the multi-core DVS baseline (per-core Optimal
+  Available on a round-robin assignment); the memory never sleeps.
+* :func:`mbkps` -- MBKPS: the same schedule, but the memory is put to
+  sleep in *every* common idle gap (paying a transition overhead each
+  time), exactly the naive modification the paper compares against.
+* :class:`RaceToIdlePolicy` -- run everything at ``s_up`` on release and
+  sleep; the "race to idle" end of the spectrum the title refers to.
+"""
+
+from repro.baselines.mbkp import MbkpPolicy, mbkp, mbkps
+from repro.baselines.race_to_idle import RaceToIdlePolicy
+from repro.baselines.avr import AvrPolicy
+from repro.baselines.quantized import QuantizedPolicy
+
+__all__ = [
+    "MbkpPolicy",
+    "mbkp",
+    "mbkps",
+    "RaceToIdlePolicy",
+    "AvrPolicy",
+    "QuantizedPolicy",
+]

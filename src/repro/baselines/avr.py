@@ -1,0 +1,145 @@
+"""Average Rate (AVR) baseline -- Yao, Demers, Shenker (1995).
+
+AVR is the other classical online speed-scaling policy the multi-core
+literature the paper builds on extends (Albers et al. prove a
+``(3 lam)^lam / 2 + 2^lam`` competitive ratio for its multi-processor
+version).  Per core, the speed at time ``t`` is the sum of the *densities*
+``w_i / (d_i - r_i)`` of all jobs whose feasible window contains ``t``,
+and the processor runs EDF among released, unfinished jobs at that speed.
+AVR is always feasible (it allocates at least each job's density over its
+whole window) but over-provisions compared to Optimal Available.
+
+Included as an extra baseline/ablation: like MBKP it is memory-oblivious,
+but its speed profile is spikier, which changes how much common idle time
+survives for the memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+from repro.energy.accounting import SleepPolicy
+from repro.models.platform import Platform
+from repro.models.task import Task
+from repro.schedule.timeline import ExecutionInterval
+
+__all__ = ["AvrPolicy"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class _AvrJob:
+    name: str
+    release: float
+    deadline: float
+    workload: float
+    remaining: float
+
+    @property
+    def density(self) -> float:
+        return self.workload / (self.deadline - self.release)
+
+
+@dataclass
+class _AvrCore:
+    jobs: Dict[str, _AvrJob] = field(default_factory=dict)
+
+
+class AvrPolicy:
+    """Per-core Average Rate with round-robin task assignment."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        num_cores: Optional[int] = None,
+        memory_policy: SleepPolicy = SleepPolicy.NEVER,
+        core_policy: SleepPolicy = SleepPolicy.BREAK_EVEN,
+    ):
+        count = num_cores if num_cores is not None else platform.num_cores
+        if count is None:
+            raise ValueError("AVR needs a finite core count")
+        self.platform = platform
+        self.memory_policy = memory_policy
+        self.core_policy = core_policy
+        self._cores = [_AvrCore() for _ in range(count)]
+        self._rr_next = 0
+
+    # -- OnlinePolicy interface ------------------------------------------------
+
+    def on_arrival(self, now: float, tasks: Sequence[Task]) -> None:
+        for task in tasks:
+            core = self._cores[self._rr_next]
+            self._rr_next = (self._rr_next + 1) % len(self._cores)
+            if task.name in core.jobs:
+                raise ValueError(f"duplicate online task name {task.name!r}")
+            core.jobs[task.name] = _AvrJob(
+                task.name, task.release, task.deadline, task.workload, task.workload
+            )
+
+    def run_until(
+        self, now: float, until: float
+    ) -> List[Tuple[int, ExecutionInterval]]:
+        out: List[Tuple[int, ExecutionInterval]] = []
+        for index, core in enumerate(self._cores):
+            out.extend(
+                (index, interval)
+                for interval in self._run_core(core, now, until)
+            )
+        return out
+
+    # -- internals -----------------------------------------------------------------
+
+    def _run_core(
+        self, core: _AvrCore, now: float, until: float
+    ) -> List[ExecutionInterval]:
+        intervals: List[ExecutionInterval] = []
+        if not core.jobs:
+            return intervals
+        # Hard stop for open-ended runs: all work finishes by the last
+        # deadline, after which the loop has nothing to do.
+        limit = until
+        if math.isinf(limit):
+            limit = max(job.deadline for job in core.jobs.values())
+        t = now
+        while t < limit - _EPS:
+            live = [j for j in core.jobs.values() if j.remaining > _EPS]
+            if not live:
+                break
+            # AVR speed: densities of windows containing t.
+            speed = sum(
+                j.density for j in core.jobs.values() if j.release <= t < j.deadline
+            )
+            speed = min(speed, self.platform.core.s_up)
+            # Next point the speed profile or job set can change.
+            breakpoints = [limit]
+            breakpoints.extend(
+                j.deadline for j in core.jobs.values() if j.deadline > t + _EPS
+            )
+            segment_end = min(breakpoints)
+            ready = [j for j in live if j.release <= t + _EPS]
+            if not ready or speed <= 0.0:
+                t = segment_end
+                continue
+            job = min(ready, key=lambda j: (j.deadline, j.name))
+            finish = t + job.remaining / speed
+            end = min(finish, segment_end)
+            if end <= t + _EPS:
+                job.remaining = 0.0
+                continue
+            intervals.append(ExecutionInterval(job.name, t, end, speed))
+            job.remaining -= speed * (end - t)
+            t = end
+        # Drop fully completed jobs whose window has also closed -- their
+        # density no longer matters.
+        done = [
+            name
+            for name, j in core.jobs.items()
+            if j.remaining <= _EPS and j.deadline <= t + _EPS
+        ]
+        for name in done:
+            del core.jobs[name]
+        return intervals

@@ -1,0 +1,205 @@
+"""MBKP / MBKPS baselines (paper Section 8).
+
+The paper compares SDEM-ON against "the online multi-core DVS scheduling
+algorithm proposed in Albers et al. (2007), denoted as MBKP", which
+"achieves satisfying results among multiple DVS-cores in terms of energy
+saving, but does not consider the static processor power or the static
+memory cost".  No pseudo-code is given, so this module implements the
+canonical online algorithm from that line of work (DESIGN.md, substitution
+S1):
+
+* tasks are assigned to cores on arrival -- round-robin by default, the
+  rule the paper itself describes in Section 8.1.2 ("the 9th task will be
+  assigned to the first core"); a least-loaded option and Albers et al.'s
+  own *Classified Round Robin* (CRR: jobs binned by density into
+  power-of-two classes, round-robin within each class) are provided for
+  ablations;
+* each core runs **Optimal Available**: at every arrival it recomputes the
+  YDS-optimal schedule of its remaining work and follows it.  OA stretches
+  work to fill all available slack, which maximizes per-core energy
+  savings and, exactly as the paper argues, destroys the *common* idle
+  time the shared memory needs in order to sleep.
+
+MBKP and MBKPS emit the *same schedule*; they differ only in the memory
+accounting policy: MBKP never sleeps the memory, MBKPS sleeps it in every
+common idle gap (``SleepPolicy.ALWAYS``), paying a transition overhead per
+gap.  An overhead-aware variant (``SleepPolicy.BREAK_EVEN``) is exposed
+for the A3 ablation of DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+from repro.energy.accounting import SleepPolicy
+from repro.models.platform import Platform
+from repro.models.task import Task
+from repro.schedule.timeline import ExecutionInterval
+from repro.speed_scaling.online import optimal_available_plan
+from repro.speed_scaling.yds import JobPiece
+
+__all__ = ["MbkpPolicy", "mbkp", "mbkps"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class _CoreState:
+    jobs: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: absolute-time OA segments, consumed front to back
+    plan: List[JobPiece] = field(default_factory=list)
+
+
+class MbkpPolicy:
+    """Per-core Optimal Available with a static task-to-core assignment."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        num_cores: Optional[int] = None,
+        assignment: Literal["round_robin", "least_loaded", "crr"] = "round_robin",
+        memory_policy: SleepPolicy = SleepPolicy.NEVER,
+        core_policy: SleepPolicy = SleepPolicy.BREAK_EVEN,
+        clamp_speed: bool = True,
+    ):
+        count = num_cores if num_cores is not None else platform.num_cores
+        if count is None:
+            raise ValueError("MBKP needs a finite core count")
+        self.platform = platform
+        self.memory_policy = memory_policy
+        self.core_policy = core_policy
+        self.assignment = assignment
+        self.clamp_speed = clamp_speed
+        self._cores = [_CoreState() for _ in range(count)]
+        self._rr_next = 0
+        #: CRR state: density class -> next core (one RR counter per class).
+        self._crr_next: Dict[int, int] = {}
+
+    # -- OnlinePolicy interface ------------------------------------------------
+
+    def on_arrival(self, now: float, tasks: Sequence[Task]) -> None:
+        touched = set()
+        for task in tasks:
+            index = self._pick_core(task)
+            state = self._cores[index]
+            if task.name in state.jobs:
+                raise ValueError(f"duplicate online task name {task.name!r}")
+            state.jobs[task.name] = (task.deadline, task.workload)
+            touched.add(index)
+        for index in touched:
+            self._replan(index, now)
+
+    def run_until(
+        self, now: float, until: float
+    ) -> List[Tuple[int, ExecutionInterval]]:
+        out: List[Tuple[int, ExecutionInterval]] = []
+        for index, state in enumerate(self._cores):
+            if not state.plan:
+                continue
+            kept: List[JobPiece] = []
+            for piece in state.plan:
+                if piece.end <= now + _EPS:
+                    continue  # already consumed
+                start = max(piece.start, now)
+                end = min(piece.end, until)
+                if end > start + _EPS:
+                    out.append(
+                        (index, ExecutionInterval(piece.name, start, end, piece.speed))
+                    )
+                    deadline, remaining = state.jobs[piece.name]
+                    remaining -= piece.speed * (end - start)
+                    if remaining <= _EPS:
+                        del state.jobs[piece.name]
+                    else:
+                        state.jobs[piece.name] = (deadline, remaining)
+                if piece.end > until + _EPS:
+                    kept.append(piece)
+            state.plan = kept
+        return out
+
+    # -- internals -----------------------------------------------------------------
+
+    def _pick_core(self, task: Task) -> int:
+        if self.assignment == "round_robin":
+            index = self._rr_next
+            self._rr_next = (self._rr_next + 1) % len(self._cores)
+            return index
+        if self.assignment == "least_loaded":
+            loads = [
+                sum(w for _, w in state.jobs.values()) for state in self._cores
+            ]
+            return min(range(len(loads)), key=loads.__getitem__)
+        if self.assignment == "crr":
+            # Classified Round Robin (Albers et al. 2007): bin by density
+            # into power-of-two classes, round-robin within each class so
+            # similar-intensity jobs spread evenly across cores.
+            density = task.filled_speed
+            klass = math.floor(math.log2(density)) if density > 0.0 else 0
+            index = self._crr_next.get(klass, 0)
+            self._crr_next[klass] = (index + 1) % len(self._cores)
+            return index
+        raise ValueError(f"unknown assignment {self.assignment!r}")
+
+    def _replan(self, index: int, now: float) -> None:
+        state = self._cores[index]
+        live = [
+            (name, deadline, remaining)
+            for name, (deadline, remaining) in state.jobs.items()
+            if remaining > _EPS
+        ]
+        if not live:
+            state.plan = []
+            return
+        segments = optimal_available_plan(live, now)
+        if self.clamp_speed:
+            segments = self._clamp(segments, live, now)
+        state.plan = segments
+
+    def _clamp(
+        self,
+        segments: List[JobPiece],
+        live: List[Tuple[str, float, float]],
+        now: float,
+    ) -> List[JobPiece]:
+        """Clamp OA speeds at ``s_up`` (EDF order preserved).
+
+        OA's unconstrained speeds can exceed the hardware limit when one
+        core is overloaded; clamping keeps the plan executable.  Deadline
+        misses, if the overload is real, surface in schedule validation.
+        """
+        s_up = self.platform.core.s_up
+        if all(piece.speed <= s_up * (1.0 + 1e-12) for piece in segments):
+            return segments
+        clamped: List[JobPiece] = []
+        t = now
+        for piece in segments:
+            speed = min(piece.speed, s_up)
+            duration = piece.workload / speed
+            clamped.append(JobPiece(piece.name, t, t + duration, speed))
+            t += duration
+        return clamped
+
+
+def mbkp(platform: Platform, *, num_cores: Optional[int] = None) -> MbkpPolicy:
+    """The original MBKP: memory never sleeps."""
+    return MbkpPolicy(
+        platform, num_cores=num_cores, memory_policy=SleepPolicy.NEVER
+    )
+
+
+def mbkps(
+    platform: Platform,
+    *,
+    num_cores: Optional[int] = None,
+    break_even_guard: bool = False,
+) -> MbkpPolicy:
+    """MBKPS: MBKP plus naive sleeping in every common idle gap.
+
+    ``break_even_guard=True`` is the DESIGN.md A3 ablation: sleep only in
+    gaps that amortize the transition overhead.
+    """
+    policy = SleepPolicy.BREAK_EVEN if break_even_guard else SleepPolicy.ALWAYS
+    return MbkpPolicy(platform, num_cores=num_cores, memory_policy=policy)

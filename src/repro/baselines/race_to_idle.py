@@ -1,0 +1,85 @@
+"""Race-to-idle baseline: run at full speed immediately, then sleep.
+
+The opposite pole to MBKP's "stretch everything": every task executes at
+``s_up`` the moment it is released, each on its own core, and both the
+cores and the memory sleep whenever idle (break-even aware).  Useful in
+examples and ablations to demonstrate the title's tension -- with a hungry
+memory, racing wins; with frugal memory and hot cores, stretching wins;
+SDEM's optimum sits in between.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.energy.accounting import SleepPolicy
+from repro.models.platform import Platform
+from repro.models.task import Task
+from repro.schedule.timeline import ExecutionInterval
+from repro.sim.cores import CoreAllocator
+
+__all__ = ["RaceToIdlePolicy"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class _Run:
+    name: str
+    start: float
+    end: float
+    speed: float
+
+
+class RaceToIdlePolicy:
+    """Execute every task at a fixed speed (default ``s_up``) on release."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        speed: Optional[float] = None,
+        num_cores: Optional[int] = None,
+    ):
+        self.platform = platform
+        self.speed = speed if speed is not None else platform.core.s_up
+        if self.speed <= 0.0 or self.speed > platform.core.s_up:
+            raise ValueError(f"speed must lie in (0, s_up], got {self.speed}")
+        self.memory_policy = SleepPolicy.BREAK_EVEN
+        self.core_policy = SleepPolicy.BREAK_EVEN
+        self._allocator = CoreAllocator(
+            num_cores if num_cores is not None else platform.num_cores
+        )
+        self._runs: List[_Run] = []
+
+    def on_arrival(self, now: float, tasks: Sequence[Task]) -> None:
+        for task in tasks:
+            speed = self.speed
+            duration = task.workload / speed
+            if now + duration > task.deadline + _EPS:
+                raise ValueError(
+                    f"{task.name}: infeasible even at speed {speed}"
+                )
+            self._runs.append(_Run(task.name, now, now + duration, speed))
+
+    def run_until(
+        self, now: float, until: float
+    ) -> List[Tuple[int, ExecutionInterval]]:
+        out: List[Tuple[int, ExecutionInterval]] = []
+        kept: List[_Run] = []
+        for run in self._runs:
+            start = max(run.start, now)
+            end = min(run.end, until)
+            if end > start + _EPS:
+                core = self._allocator.acquire(run.name, run.start)
+                out.append(
+                    (core, ExecutionInterval(run.name, start, end, run.speed))
+                )
+            if run.end > until + _EPS:
+                kept.append(run)
+            else:
+                self._allocator.release(run.name, at=run.end)
+        self._runs = kept
+        return out

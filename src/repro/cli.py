@@ -1,0 +1,304 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``solve``
+    Solve one offline SDEM instance (tasks from CSV/JSON or ``--demo``)
+    with the appropriate optimal scheme, print the solution, an ASCII
+    Gantt chart and the energy report.
+
+``simulate``
+    Replay a trace (file or generated) under an online policy
+    (``sdem-on``, ``mbkp``, ``mbkps``, ``avr``, ``race``) and print the
+    priced result.
+
+``fig6`` / ``fig7a`` / ``fig7b`` / ``tables``
+    Regenerate the paper's exhibits; write CSV (and ASCII charts) into
+    ``--out``.
+
+All platform knobs (``--alpha-m``, ``--xi-m``, ``--cores``, ...) default
+to the paper's Table 4 stars.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import energy_report, render_gantt, schedule_summary
+from repro.baselines import AvrPolicy, RaceToIdlePolicy, mbkp, mbkps
+from repro.core import (
+    SdemOnlinePolicy,
+    solve_agreeable,
+    solve_common_release,
+    solve_common_release_with_overhead,
+)
+from repro.energy import account
+from repro.experiments import (
+    run_fig6,
+    run_fig7a,
+    run_fig7b,
+    table1_rows,
+    table3_rows,
+    table4_rows,
+    write_csv,
+)
+from repro.experiments.runner import render_ascii_chart
+from repro.models import Task, TaskSet, paper_platform
+from repro.serialization import tasks_from_csv, tasks_from_json
+from repro.sim import simulate
+from repro.workloads import dspstone_trace, synthetic_tasks
+
+__all__ = ["main", "build_parser"]
+
+
+def _platform_from(args: argparse.Namespace):
+    return paper_platform(
+        num_cores=args.cores,
+        alpha=args.alpha,
+        alpha_m=args.alpha_m,
+        xi=args.xi,
+        xi_m=args.xi_m,
+    )
+
+
+def _add_platform_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", type=int, default=8, help="core count (default 8)")
+    parser.add_argument(
+        "--alpha", type=float, default=310.0, help="core static power mW (default 310)"
+    )
+    parser.add_argument(
+        "--alpha-m", type=float, default=4000.0, dest="alpha_m",
+        help="memory static power mW (default 4000 = 4 W)",
+    )
+    parser.add_argument(
+        "--xi", type=float, default=0.0, help="core break-even ms (default 0)"
+    )
+    parser.add_argument(
+        "--xi-m", type=float, default=0.0, dest="xi_m",
+        help="memory break-even ms (default 0)",
+    )
+
+
+def _load_tasks(args: argparse.Namespace) -> List[Task]:
+    if args.demo:
+        return [
+            Task(0.0, 40.0, 8000.0, "sensor-fusion"),
+            Task(0.0, 70.0, 15000.0, "video-encode"),
+            Task(0.0, 100.0, 4000.0, "telemetry"),
+        ]
+    if not args.tasks:
+        raise SystemExit("provide --tasks FILE (CSV or JSON) or --demo")
+    with open(args.tasks) as handle:
+        text = handle.read()
+    if args.tasks.endswith(".json"):
+        return tasks_from_json(text)
+    import io
+
+    return tasks_from_csv(io.StringIO(text))
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    platform = _platform_from(args)
+    tasks = TaskSet(_load_tasks(args))
+    horizon = (tasks.earliest_release, tasks.latest_deadline)
+
+    overheads = platform.memory.xi_m > 0.0 or platform.core.xi > 0.0
+    if tasks.has_common_release():
+        if overheads:
+            solution = solve_common_release_with_overhead(tasks, platform)
+            scheme = "Section 7 (overhead-aware common release)"
+        else:
+            solution = solve_common_release(tasks, platform)
+            scheme = "Section 4 (common release)"
+        schedule = solution.schedule()
+        print(f"scheme: {scheme}")
+        print(f"memory sleep Delta = {solution.delta:.3f} ms; "
+              f"predicted energy {solution.predicted_energy / 1000.0:.3f} mJ")
+    elif tasks.is_agreeable():
+        solution = solve_agreeable(
+            tasks, platform, include_transition_overhead=overheads
+        )
+        schedule = solution.schedule()
+        print(f"scheme: Section 5 (agreeable DP), {solution.num_blocks} block(s)")
+        print(f"predicted energy {solution.predicted_energy / 1000.0:.3f} mJ")
+    else:
+        raise SystemExit(
+            "offline optimal schemes need common-release or agreeable tasks; "
+            "use `simulate --policy sdem-on` for general traces"
+        )
+
+    breakdown = account(schedule, platform, horizon=horizon)
+    print()
+    print(render_gantt(schedule, horizon=horizon, width=args.width))
+    print()
+    print(schedule_summary(schedule))
+    print()
+    print(energy_report(breakdown, label="accountant (BREAK_EVEN sleeps)"))
+    return 0
+
+
+_POLICIES = {
+    "sdem-on": lambda platform: SdemOnlinePolicy(platform),
+    "mbkp": lambda platform: mbkp(platform),
+    "mbkps": lambda platform: mbkps(platform),
+    "avr": lambda platform: AvrPolicy(platform),
+    "race": lambda platform: RaceToIdlePolicy(platform),
+}
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    platform = _platform_from(args)
+    if args.tasks or args.demo:
+        trace = _load_tasks(args)
+    elif args.dspstone:
+        trace = dspstone_trace(
+            args.dspstone,
+            utilization_factor=args.u,
+            n=args.n,
+            seed=args.seed,
+            streams=args.cores,
+        )
+    else:
+        trace = synthetic_tasks(
+            n=args.n, max_interarrival=args.x, seed=args.seed
+        )
+    policy = _POLICIES[args.policy](platform)
+    result = simulate(policy, trace, platform)
+    print(
+        f"policy {args.policy}: {len(trace)} tasks, "
+        f"peak concurrency {result.peak_concurrency}"
+    )
+    print(energy_report(result.breakdown, label=args.policy))
+    if args.gantt:
+        print()
+        print(render_gantt(result.schedule, horizon=result.horizon, width=args.width))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    os.makedirs(args.out, exist_ok=True)
+    for bench in ("fft", "matmul"):
+        series = run_fig6(bench, seeds=args.seeds, instances=args.n)
+        write_csv(series, os.path.join(args.out, f"fig6_{bench}.csv"))
+        chart = render_ascii_chart(
+            f"Fig 6 ({bench}): energy saving vs MBKP (%)",
+            [
+                (
+                    p.label,
+                    {
+                        "SDEM-ON mem": p.sdem_memory_saving,
+                        "MBKPS mem": p.mbkps_memory_saving,
+                        "SDEM-ON sys": p.sdem_system_saving,
+                        "MBKPS sys": p.mbkps_system_saving,
+                    },
+                )
+                for p in series.points
+            ],
+        )
+        print(chart)
+        with open(os.path.join(args.out, f"fig6_{bench}.txt"), "w") as handle:
+            handle.write(chart)
+    print(f"CSV + ASCII written to {args.out}/")
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace, which: str) -> int:
+    os.makedirs(args.out, exist_ok=True)
+    if which == "a":
+        series = run_fig7a(seeds=args.seeds, trace_length=args.n)
+    else:
+        series = run_fig7b(seeds=args.seeds, trace_length=args.n)
+    write_csv(series, os.path.join(args.out, f"fig7{which}.csv"))
+    for p in series.points:
+        print(
+            f"{p.label:<36s} SDEM-ON {p.sdem_system_saving:7.2f}%  "
+            f"MBKPS {p.mbkps_system_saving:7.2f}%  "
+            f"improvement {p.sdem_vs_mbkps_improvement:6.2f}%"
+        )
+    print(f"mean SDEM-ON improvement over MBKPS: {series.mean_improvement():.2f}%")
+    print(f"CSV written to {args.out}/fig7{which}.csv")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    print("Table 1 (solvers, measured):")
+    for row in table1_rows(n=args.n):
+        print(
+            f"  Sec {row['section']:<4s} {row['task_model']:<20s} "
+            f"{row['solution']:<44s} {row['measured_ms']} ms"
+        )
+    print("\nTable 3 (overhead regimes):")
+    for row in table3_rows():
+        print(
+            f"  {row['case']:<22s} Delta = {row['delta_ms']} ms "
+            f"({row['expected']})"
+        )
+    print("\nTable 4 (parameter grid):")
+    for row in table4_rows():
+        print(
+            f"  point {row['point']}: x={row['x_ms']} ms, "
+            f"alpha_m={row['alpha_m_w']} W, xi_m={row['xi_m_ms']} ms"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SDEM reproduction: solve, simulate, regenerate exhibits",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve one offline instance")
+    p_solve.add_argument("--tasks", help="tasks file (.csv or .json)")
+    p_solve.add_argument("--demo", action="store_true", help="use built-in demo tasks")
+    p_solve.add_argument("--width", type=int, default=72, help="gantt width")
+    _add_platform_args(p_solve)
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_sim = sub.add_parser("simulate", help="replay a trace under a policy")
+    p_sim.add_argument("--policy", choices=sorted(_POLICIES), default="sdem-on")
+    p_sim.add_argument("--tasks", help="trace file (.csv or .json)")
+    p_sim.add_argument("--demo", action="store_true")
+    p_sim.add_argument("--dspstone", choices=["fft", "matmul"], help="generate a DSPstone trace")
+    p_sim.add_argument("--u", type=float, default=4.0, help="DSPstone utilization factor U")
+    p_sim.add_argument("--x", type=float, default=400.0, help="synthetic max inter-arrival ms")
+    p_sim.add_argument("--n", type=int, default=50, help="generated trace length")
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--gantt", action="store_true", help="print a gantt chart")
+    p_sim.add_argument("--width", type=int, default=72)
+    _add_platform_args(p_sim)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p6 = sub.add_parser("fig6", help="regenerate Figure 6 (both benchmarks)")
+    p6.add_argument("--seeds", type=int, default=10)
+    p6.add_argument("--n", type=int, default=64, help="instances per trace")
+    p6.add_argument("--out", default="benchmarks/results")
+    p6.set_defaults(func=_cmd_fig6)
+
+    for which in ("a", "b"):
+        p7 = sub.add_parser(f"fig7{which}", help=f"regenerate Figure 7{which}")
+        p7.add_argument("--seeds", type=int, default=10)
+        p7.add_argument("--n", type=int, default=50, help="tasks per trace")
+        p7.add_argument("--out", default="benchmarks/results")
+        p7.set_defaults(func=lambda a, w=which: _cmd_fig7(a, w))
+
+    p_tab = sub.add_parser("tables", help="regenerate Tables 1, 3 and 4")
+    p_tab.add_argument("--n", type=int, default=12, help="instance size for Table 1")
+    p_tab.set_defaults(func=_cmd_tables)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,548 @@
+"""Local optimal solution of one agreeable-deadline task block (Section 5.1.1
+and 5.2.1).
+
+A *block* is a maximal memory busy interval ``[s', e']`` in which a subset
+``tau'`` of the task set executes.  Given the busy interval, every task's
+best response is independent:
+
+* its execution window is ``[max(r_k, s'), min(d_k, e')]`` -- precisely the
+  paper's four processing cases (1) ``[s', d_k]``, (2) ``[r_k, d_k]``,
+  (3) ``[s', e']`` and (4) ``[r_k, e']``, depending on which clamps bind;
+* with ``alpha = 0`` the task stretches over the whole window (slower is
+  always cheaper);
+* with ``alpha != 0`` it runs for ``min(window, w/s_0)`` -- the paper's
+  Type-I tasks (critical speed ``s_0``, window slack left over) versus
+  Type-II tasks (aligned with the busy interval).
+
+The resulting block energy
+
+    E(s', e') = alpha_m * (e' - s') + sum_k bestE_k(window_k(s', e'))
+
+is *jointly convex* in ``(s', e')``: each window length is a concave
+piecewise-affine function of the endpoints and ``bestE_k`` is convex and
+non-increasing, so the composition is convex.  Two solvers are provided:
+
+``method='descent'``
+    direct 2-D convex minimization (coordinate descent plus diagonal
+    sweeps to step across the axis-unaligned kinks at Type-I/Type-II
+    boundaries), the library's fast default;
+``method='pairs'``
+    the paper's (i, j)-pair enumeration.  For ``alpha = 0`` each pair cell
+    is solved with the first-order conditions of Eqs. (12)-(14) (monotone
+    bisection, plus a 2-D solve for the coupled Eq. (13) cells); for
+    ``alpha != 0`` each cell runs Algorithm 1's five iterative steps.
+
+The test suite certifies both against a dense numeric reference.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Literal, Optional, Sequence, Tuple
+
+from repro.models.platform import Platform
+from repro.models.task import Task, TaskSet
+from repro.schedule.timeline import ExecutionInterval, Schedule
+from repro.utils.solvers import bisect_increasing, golden_section_minimize
+
+__all__ = ["TaskPlacement", "BlockSolution", "solve_block", "block_energy"]
+
+_INF = float("inf")
+_PENALTY = 1e30
+
+
+@dataclass(frozen=True)
+class TaskPlacement:
+    """One task's execution inside a block."""
+
+    name: str
+    start: float
+    end: float
+    speed: float
+
+
+@dataclass(frozen=True)
+class BlockSolution:
+    """Optimal single-block schedule for a task subset.
+
+    ``energy`` is the block's system energy: memory awake over
+    ``[start, end]`` plus every member core's execution energy (cores
+    sleep for free outside execution in the ``xi = 0`` model).
+    """
+
+    tasks: TaskSet
+    start: float
+    end: float
+    energy: float
+    placements: Tuple[TaskPlacement, ...]
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def schedule(self) -> Schedule:
+        """One core per task (unbounded-core model)."""
+        return Schedule.one_task_per_core(
+            ExecutionInterval(p.name, p.start, p.end, p.speed)
+            for p in self.placements
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-task best response and block energy
+# ---------------------------------------------------------------------------
+
+
+def _window(task: Task, start: float, end: float) -> Tuple[float, float]:
+    return max(task.release, start), min(task.deadline, end)
+
+
+def _best_duration(task: Task, platform: Platform, window: float) -> float:
+    """Energy-minimal execution duration within a window of given length."""
+    core = platform.core
+    if core.alpha == 0.0:
+        return window
+    return min(max(task.workload / core.s0(task), task.workload / core.s_up), window)
+
+
+def block_energy(
+    tasks: TaskSet, platform: Platform, start: float, end: float
+) -> float:
+    """Block energy at busy interval ``[start, end]`` (inf if infeasible).
+
+    Infeasibility (empty window or forced overspeed) is reported as a large
+    *graded* penalty so convex descent is steered back into the feasible
+    region instead of facing a flat wall.
+    """
+    if end <= start:
+        return _PENALTY * (1.0 + (start - end))
+    core = platform.core
+    total = platform.memory.alpha_m * (end - start)
+    violation = 0.0
+    for task in tasks:
+        lo, hi = _window(task, start, end)
+        window = hi - lo
+        min_duration = task.workload / core.s_up
+        # Relative tolerance: optimizers legitimately land exactly on the
+        # speed-cap boundary, where float dust must not flip feasibility.
+        if window < min_duration * (1.0 - 1e-12) - 1e-12:
+            violation += min_duration - window
+            continue
+        duration = _best_duration(task, platform, max(window, min_duration))
+        total += core.execution_energy(task.workload, task.workload / duration)
+    if violation > 0.0:
+        return _PENALTY * (1.0 + violation)
+    return total
+
+
+def _placements_at(
+    tasks: TaskSet, platform: Platform, start: float, end: float
+) -> Tuple[TaskPlacement, ...]:
+    """Materialize per-task placements for busy interval ``[start, end]``.
+
+    Type-II / stretched tasks fill their window; Type-I tasks (``alpha !=
+    0`` with slack) run at critical speed from the start of their window.
+    """
+    placements: List[TaskPlacement] = []
+    for task in tasks:
+        lo, hi = _window(task, start, end)
+        min_duration = task.workload / platform.core.s_up
+        duration = _best_duration(task, platform, max(hi - lo, min_duration))
+        placements.append(
+            TaskPlacement(task.name, lo, lo + duration, task.workload / duration)
+        )
+    return tuple(placements)
+
+
+# ---------------------------------------------------------------------------
+# method='descent': direct 2-D convex minimization
+# ---------------------------------------------------------------------------
+
+
+def _minimize_2d(
+    func: Callable[[float, float], float],
+    x_bounds: Tuple[float, float],
+    y_bounds: Tuple[float, float],
+    starts: Sequence[Tuple[float, float]],
+    *,
+    tol: float = 1e-9,
+    max_rounds: int = 80,
+) -> Tuple[float, float, float]:
+    """Coordinate + diagonal descent for convex objectives with kinks.
+
+    After each coordinate round, two diagonal line searches (directions
+    ``(1, 1)`` and ``(-1, 1)``) are performed; this escapes the
+    axis-unaligned kinks introduced by the Type-I/Type-II boundary
+    ``window == w / s_0``, where pure coordinate descent can stall.
+    """
+    x_lo, x_hi = x_bounds
+    y_lo, y_hi = y_bounds
+
+    def line(x: float, y: float, dx: float, dy: float) -> Tuple[float, float, float]:
+        t_lo, t_hi = -_INF, _INF
+        for lo, hi, v, dv in ((x_lo, x_hi, x, dx), (y_lo, y_hi, y, dy)):
+            if dv > 0:
+                t_lo = max(t_lo, (lo - v) / dv)
+                t_hi = min(t_hi, (hi - v) / dv)
+            elif dv < 0:
+                t_lo = max(t_lo, (hi - v) / dv)
+                t_hi = min(t_hi, (lo - v) / dv)
+        if t_hi <= t_lo:
+            return x, y, func(x, y)
+        t, value = golden_section_minimize(
+            lambda s: func(x + s * dx, y + s * dy), t_lo, t_hi, tol=tol
+        )
+        # Never step to a point worse than where we stand (the input point
+        # is not among golden's probes, and near penalty cliffs the line
+        # minimum can be razor-thin).
+        here = func(x, y)
+        if here <= value:
+            return x, y, here
+        return x + t * dx, y + t * dy, value
+
+    best: Optional[Tuple[float, float, float]] = None
+    for sx, sy in starts:
+        x = min(max(sx, x_lo), x_hi)
+        y = min(max(sy, y_lo), y_hi)
+        value = func(x, y)
+        for _ in range(max_rounds):
+            x, y, value_a = line(x, y, 1.0, 0.0)
+            x, y, value_b = line(x, y, 0.0, 1.0)
+            x, y, value_c = line(x, y, 1.0, 1.0)
+            x, y, new_value = line(x, y, -1.0, 1.0)
+            if value - new_value <= max(tol, tol * abs(value)):
+                value = min(value, new_value)
+                break
+            value = new_value
+        if best is None or value < best[2]:
+            best = (x, y, value)
+    assert best is not None
+    return best
+
+
+def _solve_block_descent(tasks: TaskSet, platform: Platform) -> BlockSolution:
+    first, last = tasks[0], tasks[-1]
+    s_lo, s_hi = tasks.earliest_release, first.deadline
+    e_lo, e_hi = last.release, tasks.latest_deadline
+    starts = [
+        (s_lo, e_hi),
+        (0.5 * (s_lo + s_hi), 0.5 * (e_lo + e_hi)),
+        (s_lo, e_lo if e_lo > s_lo else e_hi),
+        (s_hi, e_hi),
+    ]
+    start, end, energy = _minimize_2d(
+        lambda s, e: block_energy(tasks, platform, s, e),
+        (s_lo, s_hi),
+        (e_lo, e_hi),
+        starts,
+    )
+    if energy >= _PENALTY:
+        raise ValueError("block infeasible: some task cannot meet its deadline")
+    return BlockSolution(
+        tasks=tasks,
+        start=start,
+        end=end,
+        energy=energy,
+        placements=_placements_at(tasks, platform, start, end),
+    )
+
+
+# ---------------------------------------------------------------------------
+# method='pairs': the paper's (i, j)-pair enumeration
+# ---------------------------------------------------------------------------
+
+
+def _pair_cells(tasks: TaskSet) -> Tuple[List[Tuple[float, float]], List[Tuple[float, float]]]:
+    """The (i, j) cell decomposition of the (s', e') rectangle.
+
+    ``s'`` cells are delimited by the sorted releases (clipped to
+    ``[r_1, d_1]``); ``e'`` cells by the sorted deadlines (clipped to
+    ``[r_n', d_n']``).  Inside one cell the identity of the paper's
+    processing case is fixed for every task, which is exactly the (i, j)
+    pair structure of Lemma 3.
+    """
+    first, last = tasks[0], tasks[-1]
+    s_min, s_max = tasks.earliest_release, first.deadline
+    e_min, e_max = last.release, tasks.latest_deadline
+
+    s_points = sorted({min(max(r, s_min), s_max) for r in tasks.releases()})
+    s_points = sorted(set(s_points) | {s_min, s_max})
+    e_points = sorted({min(max(d, e_min), e_max) for d in tasks.deadlines()})
+    e_points = sorted(set(e_points) | {e_min, e_max})
+
+    s_cells = [(a, b) for a, b in zip(s_points, s_points[1:]) if b > a]
+    e_cells = [(a, b) for a, b in zip(e_points, e_points[1:]) if b > a]
+    if not s_cells:  # all releases coincide
+        s_cells = [(s_min, s_min)]
+    if not e_cells:
+        e_cells = [(e_max, e_max)]
+    return s_cells, e_cells
+
+
+def _solve_cell_alpha_zero(
+    tasks: TaskSet,
+    platform: Platform,
+    s_cell: Tuple[float, float],
+    e_cell: Tuple[float, float],
+) -> Tuple[float, float, float]:
+    """Lemma 3 inside one (i, j) cell, ``alpha = 0``.
+
+    Tasks whose release is <= the cell's s' range start at ``s'`` (head
+    tasks); tasks whose deadline is >= the cell's e' range end at ``e'``
+    (tail tasks); when no task is both, the objective separates and the
+    first-order conditions
+
+        sum_head (w / (d - s'))**lam = alpha_m / (beta (lam - 1))
+        sum_tail (w / (e' - r))**lam = alpha_m / (beta (lam - 1))
+
+    are solved by monotone bisection; otherwise (the Eq. (13) coupling) a
+    2-D descent inside the cell is used.
+    """
+    core = platform.core
+    lam, beta = core.lam, core.beta
+    alpha_m = platform.memory.alpha_m
+    s_lo, s_hi = s_cell
+    e_lo, e_hi = e_cell
+
+    mid_s = 0.5 * (s_lo + s_hi)
+    mid_e = 0.5 * (e_lo + e_hi)
+    head = [t for t in tasks if t.release <= mid_s]
+    tail = [t for t in tasks if t.deadline >= mid_e]
+    coupled = set(t.name for t in head) & set(t.name for t in tail)
+
+    if coupled:
+        x, y, value = _minimize_2d(
+            lambda s, e: block_energy(tasks, platform, s, e),
+            s_cell,
+            e_cell,
+            [(mid_s, mid_e)],
+        )
+        return x, y, value
+
+    target = alpha_m / (beta * (lam - 1.0))
+
+    # dE/ds' is proportional to sum_head (w/(d-s'))^lam - target, which is
+    # increasing in s' (windows shrink, blowing up at s' -> d).
+    def head_slope(s: float) -> float:
+        acc = 0.0
+        for t in head:
+            len_k = t.deadline - s
+            if len_k <= 0:
+                return _INF
+            acc += (t.workload / len_k) ** lam
+        return acc - target
+
+    def tail_condition(e: float) -> float:
+        # dE/de' is proportional to target - sum (w/(e'-r))^lam, which is
+        # increasing in e' (the power sum shrinks as the windows widen).
+        acc = 0.0
+        for t in tail:
+            len_k = e - t.release
+            if len_k <= 0:
+                return -_INF
+            acc += (t.workload / len_k) ** lam
+        return target - acc
+
+    # Speed caps tighten the admissible endpoint ranges: every head task
+    # needs window (d_k - s') >= w_k / s_up, every tail task needs
+    # (e' - r_k) >= w_k / s_up.
+    s_cap = min(
+        (t.deadline - t.workload / core.s_up for t in head), default=s_hi
+    )
+    e_cap = max(
+        (t.release + t.workload / core.s_up for t in tail), default=e_lo
+    )
+    s_hi_eff = min(s_hi, s_cap)
+    e_lo_eff = max(e_lo, e_cap)
+    if s_hi_eff < s_lo or e_lo_eff > e_hi:
+        return s_lo, e_hi, _INF  # cell infeasible under the speed cap
+    if head:
+        s_star = bisect_increasing(head_slope, s_lo, s_hi_eff)
+    else:
+        s_star = s_hi_eff  # no head task: larger s' only shrinks memory time
+    if tail:
+        e_star = bisect_increasing(lambda e: tail_condition(e), e_lo_eff, e_hi)
+    else:
+        e_star = e_lo_eff
+    value = block_energy(tasks, platform, s_star, e_star)
+    return s_star, e_star, value
+
+
+def _solve_cell_alpha_nonzero(
+    tasks: TaskSet,
+    platform: Platform,
+    s_cell: Tuple[float, float],
+    e_cell: Tuple[float, float],
+) -> Tuple[float, float, float]:
+    """Algorithm 1's five iterative steps inside one (i, j) cell.
+
+    Maintains a partition of the subset into *active* tasks (assumed
+    aligned with the busy interval) and *evicted* Type-I tasks (pinned at
+    their critical speed ``s_0``).  Each iteration re-minimizes the
+    aligned-tasks energy (Step 1 / Step 4's Eq. (15)) over the cell box
+    and evicts tasks whose implied speed drops below ``s_0`` (Steps 2-3)
+    or, in the second phase, re-solves for the over-``s_1`` tasks and
+    prolongs the rest (Steps 4-5).  Evicted tasks contribute their fixed
+    ``s_0`` energy plus a feasibility requirement that the busy interval
+    keep covering their ``w / s_0`` execution; by Lemma 5 the interval
+    only grows, so eviction is permanent.
+    """
+    core = platform.core
+    alpha_m = platform.memory.alpha_m
+
+    evicted: set = set()
+    evicted_energy = 0.0
+
+    def aligned_energy(s: float, e: float) -> float:
+        """Eq. (15)-style energy: active tasks fill their windows."""
+        if e <= s:
+            return _PENALTY * (1.0 + (s - e))
+        total = alpha_m * (e - s)
+        violation = 0.0
+        for t in tasks:
+            lo, hi = _window(t, s, e)
+            window = hi - lo
+            if t.name in evicted:
+                need = t.workload / core.s0(t)
+                if window < need * (1.0 - 1e-12) - 1e-12:
+                    violation += need - window
+                continue
+            floor = t.workload / core.s_up
+            if window < floor * (1.0 - 1e-12) - 1e-12:
+                violation += floor - window
+                continue
+            total += core.execution_energy(
+                t.workload, t.workload / max(window, floor)
+            )
+        if violation > 0.0:
+            return _PENALTY * (1.0 + violation)
+        return total + evicted_energy
+
+    def minimize_over_cell(subset_only: Optional[set] = None) -> Tuple[float, float, float]:
+        if subset_only is None:
+            objective = aligned_energy
+        else:
+            def objective(s: float, e: float) -> float:
+                if e <= s:
+                    return _PENALTY * (1.0 + (s - e))
+                total = alpha_m * (e - s)
+                violation = 0.0
+                for t in tasks:
+                    if t.name not in subset_only:
+                        continue
+                    lo, hi = _window(t, s, e)
+                    window = hi - lo
+                    if window < t.workload / core.s_up:
+                        violation += t.workload / core.s_up - window
+                        continue
+                    total += core.execution_energy(t.workload, t.workload / window)
+                if violation > 0.0:
+                    return _PENALTY * (1.0 + violation)
+                return total
+        mid = (0.5 * (s_cell[0] + s_cell[1]), 0.5 * (e_cell[0] + e_cell[1]))
+        return _minimize_2d(objective, s_cell, e_cell, [mid, (s_cell[0], e_cell[1])])
+
+    # -- Steps 1-3: evict below-s0 tasks until stable ------------------------
+    s_cur, e_cur, _ = minimize_over_cell()
+    for _ in range(len(tasks) + 1):
+        newly = []
+        for t in tasks:
+            if t.name in evicted:
+                continue
+            lo, hi = _window(t, s_cur, e_cur)
+            window = hi - lo
+            if window <= 0:
+                continue
+            if t.workload / window < core.s0(t) - 1e-12:
+                newly.append(t)
+        if not newly:
+            break
+        for t in newly:
+            evicted.add(t.name)
+            evicted_energy += core.execution_energy(t.workload, core.s0(t))
+        s_cur, e_cur, _ = minimize_over_cell()
+
+    # -- Steps 4-5: shrink over-s1 tasks until stable -------------------------
+    for _ in range(len(tasks) + 1):
+        over_s1 = set()
+        for t in tasks:
+            if t.name in evicted:
+                continue
+            lo, hi = _window(t, s_cur, e_cur)
+            window = hi - lo
+            if window <= 0:
+                continue
+            if t.workload / window > core.s1(t, alpha_m) + 1e-9:
+                over_s1.add(t.name)
+        if not over_s1:
+            break
+        s_new, e_new, _ = minimize_over_cell(subset_only=over_s1)
+        # Prolong the other aligned tasks to the new (longer) interval and
+        # evict any that fall below s_0.
+        s_cur, e_cur = min(s_cur, s_new), max(e_cur, e_new)
+        changed = False
+        for t in tasks:
+            if t.name in evicted:
+                continue
+            lo, hi = _window(t, s_cur, e_cur)
+            window = hi - lo
+            if window > 0 and t.workload / window < core.s0(t) - 1e-12:
+                evicted.add(t.name)
+                evicted_energy += core.execution_energy(t.workload, core.s0(t))
+                changed = True
+        if changed:
+            s_cur, e_cur, _ = minimize_over_cell()
+
+    value = aligned_energy(s_cur, e_cur)
+    return s_cur, e_cur, value
+
+
+def _solve_block_pairs(tasks: TaskSet, platform: Platform) -> BlockSolution:
+    s_cells, e_cells = _pair_cells(tasks)
+    solve_cell = (
+        _solve_cell_alpha_zero
+        if platform.core.alpha == 0.0
+        else _solve_cell_alpha_nonzero
+    )
+    best: Optional[Tuple[float, float, float]] = None
+    for s_cell in s_cells:
+        for e_cell in e_cells:
+            if e_cell[1] <= s_cell[0]:
+                continue  # empty busy interval everywhere in this cell
+            start, end, value = solve_cell(tasks, platform, s_cell, e_cell)
+            if best is None or value < best[2]:
+                best = (start, end, value)
+    if best is None or best[2] >= _PENALTY:
+        raise ValueError("block infeasible: some task cannot meet its deadline")
+    start, end, energy = best
+    # Re-price via the canonical per-task best response so 'pairs' and
+    # 'descent' report identical semantics for the same interval.
+    energy = block_energy(tasks, platform, start, end)
+    return BlockSolution(
+        tasks=tasks,
+        start=start,
+        end=end,
+        energy=energy,
+        placements=_placements_at(tasks, platform, start, end),
+    )
+
+
+def solve_block(
+    tasks: TaskSet,
+    platform: Platform,
+    *,
+    method: Literal["descent", "pairs"] = "descent",
+) -> BlockSolution:
+    """Minimize one block's system energy over its busy interval.
+
+    Requires an agreeable subset (Section 5 model).  See the module
+    docstring for the two methods.
+    """
+    if not tasks.is_agreeable():
+        raise ValueError("block solving requires agreeable deadlines")
+    if method == "descent":
+        return _solve_block_descent(tasks, platform)
+    if method == "pairs":
+        return _solve_block_pairs(tasks, platform)
+    raise ValueError(f"unknown method {method!r}")

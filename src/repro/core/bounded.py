@@ -1,0 +1,227 @@
+"""Bounded-core SDEM (paper Section 3, Theorem 1).
+
+With fewer cores than tasks, SDEM is NP-hard even for common release time
+and common deadline, ``alpha = 0`` and free transitions: the reduction is
+from PARTITION, because for a fixed assignment the optimal busy interval and
+energy have the closed forms
+
+    |I_b|   = ((lam - 1) * beta * sum_c W_c**lam / alpha_m) ** (1/lam)   (Eq. 2)
+    E_min   = alpha_m**((lam-1)/lam) * beta**(1/lam) * lam
+              * (lam - 1)**((1-lam)/lam) * (sum_c W_c**lam) ** (1/lam)   (Eq. 3)
+
+which are minimized by balancing the per-core load sums ``W_c``.  This
+module provides those closed forms, exact and heuristic partitioners, and a
+complete solver for the common-release/common-deadline bounded instance --
+the substrate for the Theorem 1 benchmark and tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Literal, Sequence, Tuple
+
+from repro.models.platform import Platform
+from repro.models.task import TaskSet
+from repro.schedule.timeline import CoreTimeline, ExecutionInterval, Schedule
+
+__all__ = [
+    "optimal_busy_interval_two_cores",
+    "balanced_partition_energy",
+    "partition_tasks",
+    "BoundedSolution",
+    "solve_bounded_common_deadline",
+]
+
+
+def optimal_busy_interval_two_cores(
+    loads: Sequence[float], platform: Platform
+) -> float:
+    """Eq. (2): the unconstrained optimal shared busy-interval length.
+
+    ``loads`` are the per-core workload sums ``W_c`` (any core count; the
+    paper states the two-core case).  All cores share the busy interval
+    ``[0, |I_b|]``, each running at ``W_c / |I_b|``.
+    """
+    core = platform.core
+    alpha_m = platform.memory.alpha_m
+    if alpha_m <= 0.0:
+        raise ValueError("Eq. (2) requires alpha_m > 0")
+    power_sum = sum(load ** core.lam for load in loads)
+    return (
+        (core.lam - 1.0) * core.beta * power_sum / alpha_m
+    ) ** (1.0 / core.lam)
+
+
+def balanced_partition_energy(
+    loads: Sequence[float], platform: Platform
+) -> float:
+    """Eq. (3): minimum system energy for a fixed assignment.
+
+    Equal to evaluating the energy at the Eq. (2) interval; exposed in
+    closed form so tests can verify the paper's algebra.
+    """
+    core = platform.core
+    alpha_m = platform.memory.alpha_m
+    lam, beta = core.lam, core.beta
+    power_sum = sum(load ** lam for load in loads)
+    return (
+        alpha_m ** ((lam - 1.0) / lam)
+        * beta ** (1.0 / lam)
+        * lam
+        * (lam - 1.0) ** ((1.0 - lam) / lam)
+        * power_sum ** (1.0 / lam)
+    )
+
+
+def partition_tasks(
+    workloads: Sequence[float],
+    num_cores: int,
+    *,
+    lam: float = 3.0,
+    method: Literal["exact", "lpt"] = "exact",
+) -> List[List[int]]:
+    """Partition task indices across cores minimizing ``sum_c W_c**lam``.
+
+    ``exact`` branch-and-bounds over assignments (exponential -- meant for
+    the small instances of the Theorem 1 experiments); ``lpt`` is the
+    longest-processing-time greedy heuristic.  Returns one index list per
+    core.
+    """
+    n = len(workloads)
+    if num_cores < 1:
+        raise ValueError("num_cores must be >= 1")
+    if n == 0:
+        return [[] for _ in range(num_cores)]
+    order = sorted(range(n), key=lambda i: -workloads[i])
+
+    if method == "lpt":
+        groups: List[List[int]] = [[] for _ in range(num_cores)]
+        loads = [0.0] * num_cores
+        for index in order:
+            target = min(range(num_cores), key=loads.__getitem__)
+            groups[target].append(index)
+            loads[target] += workloads[index]
+        return groups
+
+    if method != "exact":
+        raise ValueError(f"unknown method {method!r}")
+    if n > 24:
+        raise ValueError("exact partitioning is exponential; use method='lpt'")
+
+    best_cost = math.inf
+    best_groups: List[List[int]] | None = None
+    groups = [[] for _ in range(num_cores)]
+    loads = [0.0] * num_cores
+
+    # Seed the bound with LPT so pruning bites immediately.
+    lpt_groups = partition_tasks(workloads, num_cores, lam=lam, method="lpt")
+    best_cost = sum(
+        sum(workloads[i] for i in group) ** lam for group in lpt_groups
+    )
+    best_groups = [list(group) for group in lpt_groups]
+
+    def recurse(position: int) -> None:
+        nonlocal best_cost, best_groups
+        if position == n:
+            cost = sum(load ** lam for load in loads)
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_groups = [list(group) for group in groups]
+            return
+        # Lower bound: committed loads finalized, remainder spread ideally.
+        committed = sum(load ** lam for load in loads)
+        if committed >= best_cost:
+            return
+        index = order[position]
+        seen_loads = set()
+        for c in range(num_cores):
+            # Symmetry pruning: identical current loads are interchangeable.
+            if loads[c] in seen_loads:
+                continue
+            seen_loads.add(loads[c])
+            groups[c].append(index)
+            loads[c] += workloads[index]
+            recurse(position + 1)
+            loads[c] -= workloads[index]
+            groups[c].pop()
+
+    recurse(0)
+    assert best_groups is not None
+    return best_groups
+
+
+@dataclass(frozen=True)
+class BoundedSolution:
+    """Solution of a bounded-core common-release/common-deadline instance."""
+
+    tasks: TaskSet
+    groups: Tuple[Tuple[int, ...], ...]
+    busy_length: float
+    predicted_energy: float
+
+    def schedule(self) -> Schedule:
+        """Back-to-back executions per core inside ``[r, r + busy_length]``."""
+        release = self.tasks[0].release
+        cores: List[CoreTimeline] = []
+        for group in self.groups:
+            intervals: List[ExecutionInterval] = []
+            cursor = release
+            load = sum(self.tasks[i].workload for i in group)
+            if load <= 0.0:
+                cores.append(CoreTimeline())
+                continue
+            speed = load / self.busy_length
+            for i in group:
+                duration = self.tasks[i].workload / speed
+                intervals.append(
+                    ExecutionInterval(
+                        self.tasks[i].name, cursor, cursor + duration, speed
+                    )
+                )
+                cursor += duration
+            cores.append(CoreTimeline(intervals))
+        return Schedule(cores)
+
+
+def solve_bounded_common_deadline(
+    tasks: TaskSet,
+    platform: Platform,
+    *,
+    method: Literal["exact", "lpt"] = "exact",
+) -> BoundedSolution:
+    """Solve the Theorem 1 instance on ``platform.num_cores`` cores.
+
+    Requires common release and common deadline and ``alpha = 0`` (the
+    hardness setting).  The assignment is found by ``method``; the busy
+    interval is Eq. (2) clamped into ``[max_c W_c / s_up, D]``.
+    """
+    if platform.num_cores is None:
+        raise ValueError("bounded solver needs a finite num_cores")
+    if not tasks.has_common_release() or not tasks.has_common_deadline():
+        raise ValueError("Theorem 1 model: common release and deadline required")
+    if platform.core.alpha != 0.0:
+        raise ValueError("Theorem 1 model assumes alpha = 0")
+
+    core = platform.core
+    deadline_span = tasks.latest_deadline - tasks[0].release
+    workloads = tasks.workloads()
+    groups = partition_tasks(
+        workloads, platform.num_cores, lam=core.lam, method=method
+    )
+    loads = [sum(workloads[i] for i in group) for group in groups]
+    busy = optimal_busy_interval_two_cores(
+        [load for load in loads if load > 0.0], platform
+    )
+    lo = max((load for load in loads), default=0.0) / core.s_up
+    busy = min(max(busy, lo), deadline_span)
+    energy = platform.memory.alpha_m * busy + sum(
+        core.beta * (load / busy) ** core.lam * busy for load in loads if load > 0.0
+    )
+    return BoundedSolution(
+        tasks=tasks,
+        groups=tuple(tuple(g) for g in groups),
+        busy_length=busy,
+        predicted_energy=energy,
+    )

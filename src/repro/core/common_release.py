@@ -1,0 +1,430 @@
+"""Optimal SDEM schemes for common-release-time tasks (paper Section 4).
+
+Both regimes share one geometric picture: all tasks are released at a common
+instant (normalized to 0 below, shifted back on output), each runs on its own
+core, and the memory sleeps for a single period of length ``Delta`` at the
+*right end* of the maximal interval ``I``.  Choosing ``Delta`` trades core
+energy (larger ``Delta`` squeezes the aligned tasks to higher speed) against
+memory leakage (larger ``Delta`` means less memory-awake time).  The paper
+partitions the ``Delta`` axis into ``n`` cases at the breakpoints
+``delta_i`` and minimizes the per-case convex energy in closed form.
+
+``alpha = 0`` (Section 4.1)
+    Breakpoints ``delta_i = d_n - d_i``.  In Case ``i`` tasks ``1..i-1``
+    run at their filled speed and tasks ``i..n`` are *aligned*: stretched
+    over ``[0, |I| - Delta]``.  The per-case optimum is Eq. (4); the global
+    optimum can be located by a linear scan (Theorem 2) or a binary search
+    over cases (Lemma 1, giving O(n log n) total).
+
+``alpha != 0`` (Section 4.2)
+    Every task has a *critical speed* ``s_0 = min(max(s_m, s_f), s_up)``;
+    run alone it would finish at ``c_i = w_i / s_0``.  Breakpoints are
+    ``delta_i = |I| - c_i`` with ``|I| = c_n = max c``.  In Case ``i``
+    tasks with ``c_j < |I| - Delta`` keep their critical speed (their core
+    then sleeps); the rest are aligned.  The per-case optimum is Eq. (8);
+    Theorem 3 scans all ``n`` cases (O(n^2) naively, O(n) here thanks to
+    prefix/suffix sums after the O(n log n) sort).
+
+The returned solution carries both the paper's *predicted* energy (the
+closed-form value) and a concrete :class:`~repro.schedule.timeline.Schedule`
+that the generic accountant prices to the same number -- the test suite
+asserts that equality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Optional, Tuple
+
+from repro.models.platform import Platform
+from repro.models.task import Task, TaskSet
+from repro.schedule.timeline import ExecutionInterval, Schedule
+
+__all__ = [
+    "CommonReleaseSolution",
+    "solve_common_release",
+    "solve_common_release_alpha_zero",
+    "solve_common_release_alpha_nonzero",
+]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class CommonReleaseSolution:
+    """Result of a Section 4 scheme.
+
+    Attributes
+    ----------
+    tasks:
+        The (deadline- or completion-sorted) input task set.
+    release:
+        The common release instant (original time axis).
+    interval_end:
+        End of the maximal interval ``I`` on the original axis:
+        ``release + d_n`` in the ``alpha = 0`` regime,
+        ``release + c_n`` when ``alpha != 0``.
+    delta:
+        Optimal memory sleep length at the right of ``I`` (ms).
+    case_index:
+        1-based paper case the optimum fell in (``i`` such that
+        ``delta_i <= Delta < delta_{i-1}``).
+    finish_times:
+        Task name -> completion instant on the original time axis.
+    speeds:
+        Task name -> constant execution speed (MHz).
+    predicted_energy:
+        System energy in uJ per the paper's closed forms (memory active
+        exactly while some core runs; cores/memory sleep for free).
+    alpha_zero:
+        Which regime produced this solution.
+    """
+
+    tasks: TaskSet
+    release: float
+    interval_end: float
+    delta: float
+    case_index: int
+    finish_times: Dict[str, float]
+    speeds: Dict[str, float]
+    predicted_energy: float
+    alpha_zero: bool
+
+    @property
+    def memory_busy_length(self) -> float:
+        """``|I| - Delta``: how long the memory must stay awake."""
+        return (self.interval_end - self.release) - self.delta
+
+    def schedule(self) -> Schedule:
+        """Materialize the solution: one task per core, started at release."""
+        placements = []
+        for task in self.tasks:
+            end = self.finish_times[task.name]
+            speed = self.speeds[task.name]
+            placements.append(
+                ExecutionInterval(task.name, self.release, end, speed)
+            )
+        return Schedule.one_task_per_core(placements)
+
+
+def _prepare_common_release(tasks: TaskSet) -> float:
+    """Validate the common-release precondition and return the release."""
+    if not tasks.has_common_release():
+        raise ValueError(
+            "Section 4 schemes require a common release time; got releases "
+            f"{sorted(set(tasks.releases()))}"
+        )
+    return tasks[0].release
+
+
+# ---------------------------------------------------------------------------
+# Section 4.1: alpha = 0
+# ---------------------------------------------------------------------------
+
+
+def solve_common_release_alpha_zero(
+    tasks: TaskSet,
+    platform: Platform,
+    *,
+    method: Literal["scan", "binary"] = "scan",
+) -> CommonReleaseSolution:
+    """Optimal scheme for common-release tasks with negligible core static
+    power (paper Section 4.1, Theorem 2 / Lemma 1).
+
+    ``method='scan'`` walks all ``n`` cases (linear after sorting);
+    ``method='binary'`` binary-searches them using the paper's
+    valid / just-fit / invalid classification.  Both return the same
+    solution; the scan is the test suite's reference for the search.
+    """
+    core = platform.core
+    alpha_m = platform.memory.alpha_m
+    release = _prepare_common_release(tasks)
+    if not tasks.is_feasible_at(core.s_up):
+        raise ValueError("task set infeasible even at s_up")
+
+    n = len(tasks)
+    # Relative deadlines on the normalized axis (release = 0).
+    deadlines = [t.deadline - release for t in tasks]
+    workloads = [t.workload for t in tasks]
+    horizon = deadlines[-1]  # |I| = d_n
+
+    # delta_i = d_n - d_i for i in 1..n (1-based); delta_0 = +inf.
+    delta_bp = [_INF] + [horizon - d for d in deadlines]
+    lam = core.lam
+    beta = core.beta
+
+    # Prefix energy of filled-speed tasks: prefix[i] = sum_{j<=i} w^lam d_j^(1-lam)
+    prefix = [0.0] * (n + 1)
+    for j in range(1, n + 1):
+        prefix[j] = prefix[j - 1] + workloads[j - 1] ** lam * deadlines[j - 1] ** (
+            1.0 - lam
+        )
+    # Suffix power sum: suffix[i] = sum_{j>=i} w_j^lam (1-based i).
+    suffix = [0.0] * (n + 2)
+    for j in range(n, 0, -1):
+        suffix[j] = suffix[j + 1] + workloads[j - 1] ** lam
+    # Suffix max workload for the speed cap on aligned tasks.
+    suffix_max_w = [0.0] * (n + 2)
+    for j in range(n, 0, -1):
+        suffix_max_w[j] = max(suffix_max_w[j + 1], workloads[j - 1])
+
+    def case_energy(i: int, delta: float) -> float:
+        """Total energy of Case i at sleep length ``delta``."""
+        busy = horizon - delta
+        return (
+            alpha_m * busy
+            + beta * prefix[i - 1]
+            + beta * suffix[i] * busy ** (1.0 - lam)
+        )
+
+    def case_extreme(i: int) -> float:
+        """Unconstrained minimizer Delta_mi of Case i (paper Eq. (4)).
+
+        With ``alpha_m = 0`` sleeping is worthless and the energy is
+        decreasing in the busy length, so the stationary point degenerates
+        to ``-inf`` (every case clamps to its lower boundary).
+        """
+        if alpha_m == 0.0:
+            return -_INF
+        return horizon - (beta * (lam - 1.0) * suffix[i] / alpha_m) ** (1.0 / lam)
+
+    def case_bounds(i: int) -> Tuple[float, float]:
+        """Feasible Delta range of Case i, tightened by the speed cap."""
+        lo = delta_bp[i]
+        hi = delta_bp[i - 1]
+        cap = horizon - suffix_max_w[i] / core.s_up
+        return lo, min(hi, cap)
+
+    def case_local_optimum(i: int) -> Optional[Tuple[float, float]]:
+        """(delta*, energy*) of Case i, or None if speed-infeasible."""
+        lo, hi = case_bounds(i)
+        if hi < lo:
+            return None
+        delta = min(max(case_extreme(i), lo), hi)
+        return delta, case_energy(i, delta)
+
+    if method == "scan":
+        best: Optional[Tuple[float, float, int]] = None
+        for i in range(1, n + 1):
+            local = case_local_optimum(i)
+            if local is None:
+                continue
+            delta, energy = local
+            if best is None or energy < best[1] - 1e-12:
+                best = (delta, energy, i)
+        if best is None:  # pragma: no cover - guarded by feasibility check
+            raise RuntimeError("no feasible case found")
+        delta_opt, energy_opt, case_idx = best
+    elif method == "binary":
+        delta_opt, energy_opt, case_idx = _binary_search_cases(
+            n, case_extreme, case_bounds, case_energy, delta_bp
+        )
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    return _build_alpha_zero_solution(
+        tasks, platform, release, horizon, delta_opt, energy_opt, case_idx
+    )
+
+
+def _binary_search_cases(
+    n: int,
+    case_extreme,
+    case_bounds,
+    case_energy,
+    delta_bp: List[float],
+) -> Tuple[float, float, int]:
+    """Lemma 1's binary search over cases.
+
+    Classification of Case ``i`` against its Delta domain
+    ``[delta_i, delta_{i-1})`` (speed-capped):
+
+    * *valid* -- the (capped) extreme value lies inside: answer found;
+    * *just-fit* -- it lies below ``delta_i``: the optimum wants a smaller
+      ``Delta``, so search the higher-index half (Cases i..n);
+    * *invalid* -- it lies at/above ``delta_{i-1}``: search Cases 1..i.
+
+    Every probed boundary candidate is recorded, so if the search exits
+    without a valid case the best boundary (the just-fit solution the lemma
+    names) is returned.
+    """
+    lo_case, hi_case = 1, n
+    best: Optional[Tuple[float, float, int]] = None
+
+    def consider(delta: float, energy: float, i: int) -> None:
+        nonlocal best
+        if best is None or energy < best[1] - 1e-12:
+            best = (delta, energy, i)
+
+    while lo_case <= hi_case:
+        i = (lo_case + hi_case) // 2
+        lo, hi = case_bounds(i)
+        if hi < lo:
+            # Speed-infeasible: Delta must shrink -> higher case indices.
+            lo_case = i + 1
+            continue
+        extreme = case_extreme(i)
+        capped = min(max(extreme, lo), hi)
+        consider(capped, case_energy(i, capped), i)
+        if extreme < delta_bp[i]:
+            # just-fit: optimum wants smaller Delta.
+            lo_case = i + 1
+        elif extreme >= delta_bp[i - 1]:
+            # invalid: optimum wants larger Delta.
+            hi_case = i - 1
+        else:
+            # valid (possibly speed-capped): unique global optimum.
+            return capped, case_energy(i, capped), i
+    if best is None:
+        raise RuntimeError("no feasible case found")
+    return best
+
+
+def _build_alpha_zero_solution(
+    tasks: TaskSet,
+    platform: Platform,
+    release: float,
+    horizon: float,
+    delta: float,
+    energy: float,
+    case_idx: int,
+) -> CommonReleaseSolution:
+    busy_end_rel = horizon - delta
+    finish: Dict[str, float] = {}
+    speeds: Dict[str, float] = {}
+    for task in tasks:
+        d_rel = task.deadline - release
+        end_rel = min(d_rel, busy_end_rel)
+        finish[task.name] = release + end_rel
+        speeds[task.name] = task.workload / end_rel
+    return CommonReleaseSolution(
+        tasks=tasks,
+        release=release,
+        interval_end=release + horizon,
+        delta=delta,
+        case_index=case_idx,
+        finish_times=finish,
+        speeds=speeds,
+        predicted_energy=energy,
+        alpha_zero=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Section 4.2: alpha != 0
+# ---------------------------------------------------------------------------
+
+
+def solve_common_release_alpha_nonzero(
+    tasks: TaskSet,
+    platform: Platform,
+) -> CommonReleaseSolution:
+    """Optimal scheme for common-release tasks with non-negligible core
+    static power (paper Section 4.2, Theorem 3).
+
+    Tasks are first priced at their critical speed ``s_0``; the case scan
+    over the completion-time breakpoints then finds the sleep length
+    ``Delta`` balancing the aligned cores + memory against the
+    critical-speed cores.  The reported ``predicted_energy`` is the *total*
+    system energy: the paper's Eq. (7) omits the (case-dependent) constant
+    contributed by the critical-speed tasks, which must be added back when
+    comparing across cases.
+    """
+    core = platform.core
+    if core.alpha <= 0.0:
+        raise ValueError("alpha must be positive; use the alpha=0 scheme")
+    alpha = core.alpha
+    alpha_m = platform.memory.alpha_m
+    lam, beta = core.lam, core.beta
+    release = _prepare_common_release(tasks)
+    if not tasks.is_feasible_at(core.s_up):
+        raise ValueError("task set infeasible even at s_up")
+
+    # Sort by completion time at critical speed (paper's indexing).
+    order = sorted(tasks, key=lambda t: t.workload / core.s0(t))
+    n = len(order)
+    s0 = [core.s0(t) for t in order]
+    completion = [t.workload / s for t, s in zip(order, s0)]
+    workloads = [t.workload for t in order]
+    horizon = completion[-1]  # |I|^(alpha) = c_n
+
+    delta_bp = [_INF] + [horizon - c for c in completion]
+
+    # prefix_fixed[i] = sum_{j <= i} (beta s0_j^lam + alpha) * c_j
+    prefix_fixed = [0.0] * (n + 1)
+    for j in range(1, n + 1):
+        prefix_fixed[j] = prefix_fixed[j - 1] + (
+            beta * s0[j - 1] ** lam + alpha
+        ) * completion[j - 1]
+    suffix_wlam = [0.0] * (n + 2)
+    suffix_max_w = [0.0] * (n + 2)
+    for j in range(n, 0, -1):
+        suffix_wlam[j] = suffix_wlam[j + 1] + workloads[j - 1] ** lam
+        suffix_max_w[j] = max(suffix_max_w[j + 1], workloads[j - 1])
+
+    def case_energy(i: int, delta: float) -> float:
+        busy = horizon - delta
+        aligned = n - i + 1
+        return (
+            (aligned * alpha + alpha_m) * busy
+            + beta * suffix_wlam[i] * busy ** (1.0 - lam)
+            + prefix_fixed[i - 1]
+        )
+
+    def case_extreme(i: int) -> float:
+        aligned = n - i + 1
+        return horizon - (
+            beta * (lam - 1.0) * suffix_wlam[i] / (aligned * alpha + alpha_m)
+        ) ** (1.0 / lam)
+
+    best: Optional[Tuple[float, float, int]] = None
+    for i in range(1, n + 1):
+        lo = delta_bp[i]
+        cap = horizon - suffix_max_w[i] / core.s_up
+        hi = min(delta_bp[i - 1], cap)
+        if hi < lo:
+            # Some aligned task would exceed s_up everywhere in this case
+            # (Theorem 3: "skip and go to the next case").
+            continue
+        delta = min(max(case_extreme(i), lo), hi)
+        energy = case_energy(i, delta)
+        if best is None or energy < best[1] - 1e-12:
+            best = (delta, energy, i)
+    if best is None:  # pragma: no cover - guarded by feasibility check
+        raise RuntimeError("no feasible case found")
+    delta_opt, energy_opt, case_idx = best
+
+    busy_end_rel = horizon - delta_opt
+    finish: Dict[str, float] = {}
+    speeds: Dict[str, float] = {}
+    for task, c, s in zip(order, completion, s0):
+        if c <= busy_end_rel + 1e-12:
+            finish[task.name] = release + c
+            speeds[task.name] = s
+        else:
+            finish[task.name] = release + busy_end_rel
+            speeds[task.name] = task.workload / busy_end_rel
+    return CommonReleaseSolution(
+        tasks=tasks,
+        release=release,
+        interval_end=release + horizon,
+        delta=delta_opt,
+        case_index=case_idx,
+        finish_times=finish,
+        speeds=speeds,
+        predicted_energy=energy_opt,
+        alpha_zero=False,
+    )
+
+
+def solve_common_release(
+    tasks: TaskSet,
+    platform: Platform,
+    *,
+    method: Literal["scan", "binary"] = "scan",
+) -> CommonReleaseSolution:
+    """Dispatch to the ``alpha = 0`` or ``alpha != 0`` scheme."""
+    if platform.core.alpha == 0.0:
+        return solve_common_release_alpha_zero(tasks, platform, method=method)
+    return solve_common_release_alpha_nonzero(tasks, platform)

@@ -1,0 +1,155 @@
+"""Discrete speed levels: two-level emulation of continuous schedules.
+
+The paper assumes continuous speeds and cites Ishihara & Yasuura (1998)
+for the bridge to real hardware: any continuous speed ``s`` between two
+adjacent available levels ``s_lo < s < s_hi`` is optimally emulated by
+splitting the execution between exactly those two levels, finishing the
+same workload in the same window.  Because the power function is convex,
+the emulation energy is the chord of ``P`` between the two levels -- the
+cheapest of all level mixtures -- and the overhead vanishes as the level
+grid refines.
+
+This module quantizes any :class:`~repro.schedule.timeline.Schedule`
+produced by the continuous schemes onto a level grid and reports the
+overhead, letting users reproduce the paper's claim that "there will be
+no big gap between the continuous voltage and discrete voltage".
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.models.power import CorePowerModel
+from repro.schedule.timeline import CoreTimeline, ExecutionInterval, Schedule
+
+__all__ = [
+    "split_interval",
+    "quantize_schedule",
+    "quantization_overhead",
+    "a57_levels",
+]
+
+
+def a57_levels(count: int = 13) -> List[float]:
+    """An evenly spaced 700..1900 MHz level grid (A57-style DVFS table)."""
+    if count < 2:
+        raise ValueError("need at least two levels")
+    step = (1900.0 - 700.0) / (count - 1)
+    return [700.0 + step * k for k in range(count)]
+
+
+def _bracket(levels: Sequence[float], speed: float) -> Tuple[float, float]:
+    """Adjacent levels around ``speed`` (clamped to the grid's range)."""
+    if speed <= levels[0]:
+        return levels[0], levels[0]
+    if speed >= levels[-1]:
+        return levels[-1], levels[-1]
+    hi_index = bisect.bisect_left(levels, speed)
+    lo = levels[hi_index - 1]
+    hi = levels[hi_index]
+    if math.isclose(speed, hi, rel_tol=1e-12):
+        return hi, hi
+    return lo, hi
+
+
+def split_interval(
+    interval: ExecutionInterval, levels: Sequence[float]
+) -> List[ExecutionInterval]:
+    """Emulate one constant-speed interval on a discrete level grid.
+
+    Runs at the higher level first, then the lower, so the workload and
+    the ``[start, end)`` window are preserved exactly:
+
+        t_hi * s_hi + (T - t_hi) * s_lo = T * s
+        =>  t_hi = T * (s - s_lo) / (s_hi - s_lo).
+
+    Speeds below the lowest level are *rounded up* to it (finishing early
+    is always deadline-safe; idling after is the platform's business);
+    speeds above the highest level are rejected -- the continuous schedule
+    was infeasible for this grid.
+    """
+    ordered = sorted(levels)
+    if not ordered:
+        raise ValueError("empty level grid")
+    speed = interval.speed
+    if speed > ordered[-1] * (1.0 + 1e-9):
+        raise ValueError(
+            f"{interval.task}: speed {speed:.1f} exceeds the top level "
+            f"{ordered[-1]:.1f}"
+        )
+    lo, hi = _bracket(ordered, speed)
+    duration = interval.duration
+    if lo == hi:
+        # Exactly on a level, or below the grid: run at the level, shorter.
+        new_duration = interval.workload / lo
+        return [
+            ExecutionInterval(
+                interval.task, interval.start, interval.start + new_duration, lo
+            )
+        ]
+    t_hi = duration * (speed - lo) / (hi - lo)
+    pieces: List[ExecutionInterval] = []
+    if t_hi > 1e-12:
+        pieces.append(
+            ExecutionInterval(
+                interval.task, interval.start, interval.start + t_hi, hi
+            )
+        )
+    if duration - t_hi > 1e-12:
+        pieces.append(
+            ExecutionInterval(
+                interval.task, interval.start + t_hi, interval.end, lo
+            )
+        )
+    return pieces
+
+
+def quantize_schedule(
+    schedule: Schedule, levels: Sequence[float]
+) -> Schedule:
+    """Quantize every interval of a schedule onto the level grid."""
+    cores = []
+    for core in schedule.cores:
+        pieces: List[ExecutionInterval] = []
+        for interval in core:
+            pieces.extend(split_interval(interval, levels))
+        cores.append(CoreTimeline(pieces))
+    return Schedule(cores)
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Energy effect of discretizing a continuous schedule."""
+
+    continuous_dynamic: float
+    discrete_dynamic: float
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Relative dynamic-energy overhead, ``discrete/continuous - 1``."""
+        if self.continuous_dynamic == 0.0:
+            return 0.0
+        return self.discrete_dynamic / self.continuous_dynamic - 1.0
+
+
+def quantization_overhead(
+    schedule: Schedule, levels: Sequence[float], core: CorePowerModel
+) -> QuantizationReport:
+    """Dynamic-energy overhead of two-level emulation on ``levels``.
+
+    (Static energy depends on idle policy and horizon, which quantization
+    does not change: windows are preserved or shortened.)
+    """
+    continuous = sum(
+        core.dynamic_power(iv.speed) * iv.duration
+        for iv in schedule.all_intervals()
+    )
+    quantized = quantize_schedule(schedule, levels)
+    discrete = sum(
+        core.dynamic_power(iv.speed) * iv.duration
+        for iv in quantized.all_intervals()
+    )
+    return QuantizationReport(continuous, discrete)

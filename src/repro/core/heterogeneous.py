@@ -1,0 +1,148 @@
+"""Heterogeneous-core extension of the Section 4 schemes.
+
+The paper notes (end of Section 4.2) that its common-release schemes carry
+over to heterogeneous cores with per-core power functions ``P_c(s) =
+alpha_c + beta_c * s**lam_c``: each task keeps its own critical speed and,
+inside each case of the Delta scan, "the dynamic power of different cores
+should be added up separately".  With distinct exponents the per-case
+optimum no longer has a single closed form, so each case is minimized
+numerically -- the per-case energy is still convex in ``Delta`` (a sum of
+convex per-core terms), so a golden-section search inside the case domain
+is exact.
+
+The task-to-core binding is positional: ``cores[k]`` executes
+``tasks[k]`` in the *input* order of the task list (the unbounded model
+assigns one task per core, so the binding is part of the instance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.models.memory import MemoryModel
+from repro.models.power import CorePowerModel
+from repro.models.task import Task
+from repro.schedule.timeline import ExecutionInterval, Schedule
+from repro.utils.solvers import minimize_convex_1d
+
+__all__ = ["HeterogeneousSolution", "solve_common_release_heterogeneous"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class HeterogeneousSolution:
+    """Optimal common-release schedule on heterogeneous cores."""
+
+    tasks: Tuple[Task, ...]
+    cores: Tuple[CorePowerModel, ...]
+    release: float
+    interval_end: float
+    delta: float
+    finish_times: Dict[str, float]
+    speeds: Dict[str, float]
+    predicted_energy: float
+
+    @property
+    def memory_busy_length(self) -> float:
+        return (self.interval_end - self.release) - self.delta
+
+    def schedule(self) -> Schedule:
+        return Schedule.one_task_per_core(
+            ExecutionInterval(
+                task.name,
+                self.release,
+                self.finish_times[task.name],
+                self.speeds[task.name],
+            )
+            for task in self.tasks
+        )
+
+
+def solve_common_release_heterogeneous(
+    tasks: Sequence[Task],
+    cores: Sequence[CorePowerModel],
+    memory: MemoryModel,
+) -> HeterogeneousSolution:
+    """Minimize system energy for common-release tasks on bound cores.
+
+    Handles both regimes uniformly: a task's *natural* finish is its
+    deadline when its core has ``alpha = 0`` (filled speed) and its
+    critical-speed completion otherwise; tasks whose natural finish falls
+    inside the sleep window are aligned to the busy end.  The scan over
+    natural-finish breakpoints plus a convex 1-D minimization per case is
+    exact (same argument as Theorems 2/3, with the closed forms replaced
+    by numeric minimizers).
+    """
+    tasks = tuple(tasks)
+    cores = tuple(cores)
+    if len(tasks) != len(cores):
+        raise ValueError(
+            f"need one core per task, got {len(tasks)} tasks / {len(cores)} cores"
+        )
+    releases = {t.release for t in tasks}
+    if len(releases) != 1:
+        raise ValueError("heterogeneous scheme requires a common release time")
+    release = tasks[0].release
+    for task, core in zip(tasks, cores):
+        if task.filled_speed > core.s_up * (1.0 + 1e-12):
+            raise ValueError(f"{task.name}: infeasible even at its core's s_up")
+
+    # Natural finishes on the release-relative axis.
+    def natural_end(task: Task, core: CorePowerModel) -> float:
+        if core.alpha == 0.0:
+            return task.deadline - release
+        return task.workload / core.s0(task)
+
+    pairs = sorted(
+        zip(tasks, cores), key=lambda tc: natural_end(tc[0], tc[1])
+    )
+    ends = [natural_end(t, c) for t, c in pairs]
+    horizon = ends[-1]
+
+    def energy_at(delta: float) -> float:
+        busy = horizon - delta
+        if busy <= 0.0:
+            return _INF
+        total = memory.alpha_m * busy
+        for (task, core), end in zip(pairs, ends):
+            finish = min(end, busy)
+            speed = task.workload / finish
+            if speed > core.s_up * (1.0 + 1e-9):
+                return _INF
+            total += core.execution_energy(task.workload, speed)
+        return total
+
+    # Case breakpoints: Delta crossing horizon - end flips task alignment.
+    breakpoints = sorted({max(horizon - end, 0.0) for end in ends} | {0.0})
+    cap = horizon - max(
+        task.workload / core.s_up for task, core in pairs
+    )
+    best_delta, best_energy = 0.0, energy_at(0.0)
+    for lo, hi in zip(breakpoints, breakpoints[1:] + [max(cap, 0.0)]):
+        hi = min(hi, cap)
+        if hi < lo:
+            continue
+        delta, energy = minimize_convex_1d(energy_at, lo, hi)
+        if energy < best_energy - 1e-12:
+            best_delta, best_energy = delta, energy
+
+    busy_end = horizon - best_delta
+    finish: Dict[str, float] = {}
+    speeds: Dict[str, float] = {}
+    for (task, core), end in zip(pairs, ends):
+        end_rel = min(end, busy_end)
+        finish[task.name] = release + end_rel
+        speeds[task.name] = task.workload / end_rel
+    return HeterogeneousSolution(
+        tasks=tuple(t for t, _ in pairs),
+        cores=tuple(c for _, c in pairs),
+        release=release,
+        interval_end=release + horizon,
+        delta=best_delta,
+        finish_times=finish,
+        speeds=speeds,
+        predicted_energy=best_energy,
+    )

@@ -1,0 +1,156 @@
+"""SDEM-ON: the paper's online heuristic for general tasks (Section 6).
+
+On every arrival the policy:
+
+1. re-anchors all unfinished work at the current instant ``t`` (a
+   common-release relaxation of the remaining problem);
+2. solves it optimally with the Section 4 scheme (Section 7's variant when
+   transition overheads are modelled), obtaining each task's planned
+   execution time ``p_j``;
+3. *procrastinates*: keeps the memory (and cores) asleep until the first
+   task hits its latest start time ``d_j - p_j``, then starts **all**
+   current tasks together, so their executions -- and therefore the
+   memory's busy time -- overlap maximally.
+
+Arrivals preempt the plan: workloads are decremented by what actually ran
+and the relaxation is re-solved.  Feasibility is preserved because
+procrastination never plans a start later than every task's latest start,
+and re-solving at higher urgency can only raise speeds toward ``s_up``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.common_release import solve_common_release
+from repro.core.transition import solve_common_release_with_overhead
+from repro.energy.accounting import SleepPolicy
+from repro.models.platform import Platform
+from repro.models.task import Task, TaskSet
+from repro.schedule.timeline import ExecutionInterval
+from repro.sim.cores import CoreAllocator
+
+__all__ = ["SdemOnlinePolicy"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class _Job:
+    name: str
+    deadline: float
+    remaining: float
+    speed: float = 0.0  # planned speed (set by replan)
+    planned_start: float = math.inf
+
+
+class SdemOnlinePolicy:
+    """The paper's online heuristic (evaluated as SDEM-ON in Section 8).
+
+    Parameters
+    ----------
+    platform:
+        Supplies the power models; ``platform.core.alpha`` selects the
+        Section 4.1 or 4.2 inner solver, and non-zero break-even times
+        switch to the Section 7 overhead-aware solver.
+    num_cores:
+        Physical core count for the allocator; default taken from the
+        platform (``None`` = unbounded).
+    procrastinate:
+        Ablation knob (DESIGN.md A1).  ``True`` (the paper's rule) delays
+        the batch until the first latest-start instant so executions
+        overlap maximally; ``False`` starts every batch immediately,
+        keeping the per-task speeds but discarding the alignment.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        num_cores: Optional[int] = None,
+        procrastinate: bool = True,
+    ):
+        self.platform = platform
+        self.procrastinate = procrastinate
+        self.memory_policy = SleepPolicy.BREAK_EVEN
+        self.core_policy = SleepPolicy.BREAK_EVEN
+        self._jobs: Dict[str, _Job] = {}
+        self._allocator = CoreAllocator(
+            num_cores if num_cores is not None else platform.num_cores
+        )
+        self._wake = math.inf
+        self._use_overhead_scheme = (
+            platform.memory.xi_m > 0.0 or platform.core.xi > 0.0
+        )
+
+    # -- OnlinePolicy interface ------------------------------------------------
+
+    def on_arrival(self, now: float, tasks: Sequence[Task]) -> None:
+        for task in tasks:
+            if task.name in self._jobs:
+                raise ValueError(f"duplicate online task name {task.name!r}")
+            self._jobs[task.name] = _Job(task.name, task.deadline, task.workload)
+        self._replan(now)
+
+    def run_until(
+        self, now: float, until: float
+    ) -> List[Tuple[int, ExecutionInterval]]:
+        out: List[Tuple[int, ExecutionInterval]] = []
+        if not self._jobs:
+            return out
+        start = max(self._wake, now)
+        if until <= start + _EPS:
+            return out
+        finished: List[Tuple[str, float]] = []
+        for job in self._jobs.values():
+            duration = job.remaining / job.speed
+            seg_end = min(until, start + duration)
+            if seg_end <= start + _EPS:
+                continue
+            core = self._allocator.acquire(job.name, start)
+            out.append(
+                (core, ExecutionInterval(job.name, start, seg_end, job.speed))
+            )
+            job.remaining -= job.speed * (seg_end - start)
+            if job.remaining <= max(_EPS, 1e-9 * job.speed):
+                finished.append((job.name, seg_end))
+        for name, at in finished:
+            del self._jobs[name]
+            self._allocator.release(name, at=at)
+        # If anything remains (an arrival interrupted the run), it resumes
+        # immediately after the interrupting replan; advancing the wake time
+        # here keeps run_until idempotent for zero-length calls.
+        if self._jobs:
+            self._wake = until
+        return out
+
+    # -- internals -----------------------------------------------------------------
+
+    @property
+    def peak_concurrency(self) -> int:
+        return self._allocator.peak_concurrency
+
+    def _replan(self, now: float) -> None:
+        """Re-solve the common-release relaxation at instant ``now``."""
+        live = [j for j in self._jobs.values() if j.remaining > _EPS]
+        if not live:
+            self._wake = math.inf
+            return
+        relaxed = TaskSet(
+            Task(now, job.deadline, job.remaining, job.name) for job in live
+        )
+        if self._use_overhead_scheme:
+            solution = solve_common_release_with_overhead(relaxed, self.platform)
+        else:
+            solution = solve_common_release(relaxed, self.platform)
+        wake = math.inf
+        for job in live:
+            duration = solution.finish_times[job.name] - now
+            job.speed = job.remaining / duration
+            latest_start = job.deadline - duration
+            wake = min(wake, latest_start)
+        if not self.procrastinate:
+            wake = now  # A1 ablation: eager start, no alignment
+        self._wake = max(now, wake)

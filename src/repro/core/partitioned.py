@@ -1,0 +1,182 @@
+"""Bounded-core heuristic for common-release tasks with individual
+deadlines.
+
+Theorem 1 makes the bounded-core SDEM problem NP-hard even in its
+simplest form, so beyond the exact (exponential) solver for the
+common-deadline case (:mod:`repro.core.bounded`) a practical system needs
+a heuristic.  This module provides one for the common-release /
+individual-deadline model on ``C`` cores:
+
+1. **Partition** tasks across cores -- LPT on workloads by default (the
+   balance criterion Eq. (3) rewards), or the exact partitioner for small
+   instances;
+2. **Chain** each core's tasks in EDF order;
+3. **Couple** the cores through one memory busy-end parameter ``b``: for
+   a given ``b``, each core runs the YDS-optimal schedule of its chain
+   with every deadline clamped to ``min(d_i, b)`` -- the cheapest way for
+   that core to be silent after ``b`` -- and the memory sleeps
+   ``[b, horizon]``.  The total energy is scanned/refined over ``b``.
+
+The result upper-bounds the (intractable) optimum and collapses to the
+Section 4.1 optimum when ``C >= n`` (each chain is a single task, so
+clamping reproduces the aligned/filled case split exactly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Literal, Optional, Sequence, Tuple
+
+from repro.core.bounded import partition_tasks
+from repro.models.platform import Platform
+from repro.models.task import Task, TaskSet
+from repro.schedule.timeline import CoreTimeline, ExecutionInterval, Schedule
+from repro.speed_scaling.online import staircase_speeds
+from repro.utils.solvers import golden_section_minimize
+
+__all__ = ["PartitionedSolution", "solve_partitioned_common_release"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class PartitionedSolution:
+    """Heuristic bounded-core schedule for common-release tasks."""
+
+    tasks: TaskSet
+    groups: Tuple[Tuple[int, ...], ...]
+    busy_end: float
+    predicted_energy: float
+    schedule_obj: Schedule
+
+    def schedule(self) -> Schedule:
+        return self.schedule_obj
+
+
+def _chain_plan(
+    chain: Sequence[Task],
+    release: float,
+    busy_end: float,
+    s_up: float,
+) -> Optional[List[Tuple[Task, float, float, float]]]:
+    """YDS plan of one core's chain with deadlines clamped to ``busy_end``.
+
+    Returns ``(task, start, end, speed)`` tuples or ``None`` if infeasible
+    (some clamped deadline unreachable even at ``s_up``).
+    """
+    jobs = [
+        (t.name, min(t.deadline, release + busy_end), t.workload) for t in chain
+    ]
+    if any(deadline <= release for _, deadline, _ in jobs):
+        return None
+    try:
+        speeds = staircase_speeds(jobs, release)
+    except ValueError:
+        return None
+    by_name = {t.name: t for t in chain}
+    plan: List[Tuple[Task, float, float, float]] = []
+    cursor = release
+    for name, speed in speeds:
+        if speed > s_up * (1.0 + 1e-9):
+            return None
+        task = by_name[name]
+        duration = task.workload / speed
+        plan.append((task, cursor, cursor + duration, speed))
+        cursor += duration
+    return plan
+
+
+def solve_partitioned_common_release(
+    tasks: TaskSet,
+    platform: Platform,
+    *,
+    method: Literal["lpt", "exact"] = "lpt",
+    grid: int = 400,
+) -> PartitionedSolution:
+    """Bounded-core heuristic (see module docstring).
+
+    Requires ``platform.num_cores`` finite, common releases and
+    ``alpha = 0`` (the regime Theorem 1 addresses; per-core static power
+    would additionally couple chain spacing, which the heuristic does not
+    model).
+    """
+    if platform.num_cores is None:
+        raise ValueError("partitioned solver needs a finite num_cores")
+    if not tasks.has_common_release():
+        raise ValueError("partitioned solver requires a common release time")
+    if platform.core.alpha != 0.0:
+        raise ValueError("partitioned heuristic assumes alpha = 0")
+
+    core = platform.core
+    alpha_m = platform.memory.alpha_m
+    release = tasks[0].release
+    horizon = tasks.latest_deadline - release
+
+    workloads = tasks.workloads()
+    groups = partition_tasks(
+        workloads, platform.num_cores, lam=core.lam, method=method
+    )
+    chains: List[List[Task]] = [
+        sorted((tasks[i] for i in group), key=lambda t: t.deadline)
+        for group in groups
+    ]
+
+    def energy_at(busy_end: float) -> float:
+        if busy_end <= 0.0:
+            return _INF
+        total = alpha_m * busy_end
+        for chain in chains:
+            if not chain:
+                continue
+            plan = _chain_plan(chain, release, busy_end, core.s_up)
+            if plan is None:
+                return _INF
+            for _task, start, end, speed in plan:
+                total += core.dynamic_power(speed) * (end - start)
+        return total
+
+    # The chains' total work at s_up lower-bounds the busy end.
+    min_busy = max(
+        (sum(t.workload for t in chain) / core.s_up for chain in chains if chain),
+        default=0.0,
+    )
+    best_b, best_e = horizon, energy_at(horizon)
+    lo = max(min_busy, 1e-9)
+    step = (horizon - lo) / grid if horizon > lo else 0.0
+    for k in range(grid + 1):
+        b = lo + step * k
+        e = energy_at(b)
+        if e < best_e:
+            best_b, best_e = b, e
+    if step > 0.0:
+        window_lo = max(lo, best_b - 2.0 * step)
+        window_hi = min(horizon, best_b + 2.0 * step)
+        refined_b, refined_e = golden_section_minimize(
+            energy_at, window_lo, window_hi
+        )
+        if refined_e < best_e:
+            best_b, best_e = refined_b, refined_e
+    if not math.isfinite(best_e):
+        raise ValueError("no feasible busy end found (overloaded partition)")
+
+    cores: List[CoreTimeline] = []
+    for chain in chains:
+        if not chain:
+            cores.append(CoreTimeline())
+            continue
+        plan = _chain_plan(chain, release, best_b, core.s_up)
+        assert plan is not None
+        cores.append(
+            CoreTimeline(
+                ExecutionInterval(task.name, start, end, speed)
+                for task, start, end, speed in plan
+            )
+        )
+    return PartitionedSolution(
+        tasks=tasks,
+        groups=tuple(tuple(g) for g in groups),
+        busy_end=best_b,
+        predicted_energy=best_e,
+        schedule_obj=Schedule(cores),
+    )

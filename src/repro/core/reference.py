@@ -1,0 +1,258 @@
+"""Slow reference optimizers used to certify the fast schemes.
+
+These deliberately avoid the paper's case analysis.  They express the SDEM
+objective directly as a function of the free variables (the memory sleep
+length ``Delta`` for Section 4; the block busy interval ``[s', e']`` for
+Section 5 subsets; the block partition for the Section 5 DP) and minimize
+it by dense grid search plus local golden-section refinement.  On small
+instances they find the global optimum to high accuracy, which lets the
+test suite assert the optimality claims of Theorems 2-4 empirically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.models.platform import Platform
+from repro.models.task import Task, TaskSet
+from repro.utils.solvers import golden_section_minimize
+
+__all__ = [
+    "common_release_energy_at_delta",
+    "reference_common_release",
+    "block_energy_alpha_zero",
+    "block_energy_alpha_nonzero",
+    "reference_block",
+    "reference_agreeable",
+]
+
+
+# ---------------------------------------------------------------------------
+# Section 4 reference: energy as a direct function of Delta
+# ---------------------------------------------------------------------------
+
+
+def common_release_energy_at_delta(
+    tasks: TaskSet, platform: Platform, delta: float
+) -> float:
+    """Total energy of the best schedule with memory sleep length ``delta``.
+
+    Given ``Delta``, each task's best response is independent:
+
+    * ``alpha = 0``: finish at ``min(d_i, |I| - Delta)`` (slower is always
+      cheaper, but the core must be idle during the common sleep window);
+    * ``alpha != 0``: finish at ``min(c_i, |I| - Delta)`` where ``c_i`` is
+      the critical-speed completion -- running slower than ``s_0`` never
+      helps once the core can sleep for free.
+
+    Returns ``inf`` when ``delta`` would force some task above ``s_up``.
+    """
+    core = platform.core
+    release = tasks[0].release
+    if core.alpha == 0.0:
+        horizon = tasks.latest_deadline - release
+        natural_end = [t.deadline - release for t in tasks]
+    else:
+        natural_end = [t.workload / core.s0(t) for t in tasks]
+        horizon = max(natural_end)
+    busy_end = horizon - delta
+    if busy_end <= 0.0:
+        return math.inf
+    total = platform.memory.alpha_m * busy_end
+    for task, natural in zip(tasks, natural_end):
+        end = min(natural, busy_end)
+        speed = task.workload / end
+        if speed > core.s_up * (1.0 + 1e-9):
+            return math.inf
+        total += core.execution_energy(task.workload, speed)
+    return total
+
+
+def _grid_refine_minimize(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    grid: int = 4000,
+) -> Tuple[float, float]:
+    """Dense grid search + golden refinement of a 1-D function."""
+    best_x, best_v = lo, func(lo)
+    step = (hi - lo) / grid
+    xs = [lo + k * step for k in range(grid + 1)]
+    vals = [func(x) for x in xs]
+    for x, v in zip(xs, vals):
+        if v < best_v:
+            best_x, best_v = x, v
+    window_lo = max(lo, best_x - 2.0 * step)
+    window_hi = min(hi, best_x + 2.0 * step)
+    x_ref, v_ref = golden_section_minimize(func, window_lo, window_hi)
+    if v_ref < best_v:
+        return x_ref, v_ref
+    return best_x, best_v
+
+
+def reference_common_release(
+    tasks: TaskSet, platform: Platform, *, grid: int = 4000
+) -> Tuple[float, float]:
+    """Globally minimize the Section 4 objective over ``Delta`` numerically.
+
+    Returns ``(delta*, energy*)``.
+    """
+    core = platform.core
+    release = tasks[0].release
+    if core.alpha == 0.0:
+        horizon = tasks.latest_deadline - release
+    else:
+        horizon = max(t.workload / core.s0(t) for t in tasks)
+    hi = horizon - max(t.workload for t in tasks) / core.s_up
+    func = lambda d: common_release_energy_at_delta(tasks, platform, d)
+    return _grid_refine_minimize(func, 0.0, max(hi, 0.0), grid=grid)
+
+
+# ---------------------------------------------------------------------------
+# Section 5 reference: block energy as a function of [s', e']
+# ---------------------------------------------------------------------------
+
+
+def block_energy_alpha_zero(
+    tasks: TaskSet, platform: Platform, start: float, end: float
+) -> float:
+    """Energy of one block occupying exactly ``[start, end]``, ``alpha = 0``.
+
+    Every task is stretched over its whole available window
+    ``[max(r, start), min(d, end)]`` (with no static power, slower is
+    always better).  The memory stays awake for the whole block.  Returns
+    ``inf`` when infeasible (empty window or overspeed).
+    """
+    if end <= start:
+        return math.inf
+    core = platform.core
+    total = platform.memory.alpha_m * (end - start)
+    for task in tasks:
+        lo = max(task.release, start)
+        hi = min(task.deadline, end)
+        window = hi - lo
+        if window <= 0.0:
+            return math.inf
+        speed = task.workload / window
+        if speed > core.s_up * (1.0 + 1e-9):
+            return math.inf
+        total += core.execution_energy(task.workload, speed)
+    return total
+
+
+def block_energy_alpha_nonzero(
+    tasks: TaskSet, platform: Platform, start: float, end: float
+) -> float:
+    """Energy of one block occupying ``[start, end]``, ``alpha != 0``.
+
+    Each task independently picks its cheapest duration inside its window
+    ``[max(r, start), min(d, end)]``: the critical-speed duration
+    ``w / s_0`` clamped to the window (the energy is convex in the
+    duration, so clamping is exact).  The memory stays awake for the whole
+    block; each core sleeps (for free, ``xi = 0``) outside its execution.
+    """
+    if end <= start:
+        return math.inf
+    core = platform.core
+    total = platform.memory.alpha_m * (end - start)
+    for task in tasks:
+        lo = max(task.release, start)
+        hi = min(task.deadline, end)
+        window = hi - lo
+        if window <= 0.0:
+            return math.inf
+        min_duration = task.workload / core.s_up
+        if min_duration > window * (1.0 + 1e-9):
+            return math.inf
+        s0 = core.s0(task)
+        duration = min(max(task.workload / s0, min_duration), window)
+        total += core.execution_energy(task.workload, task.workload / duration)
+    return total
+
+
+def reference_block(
+    tasks: TaskSet,
+    platform: Platform,
+    *,
+    grid: int = 160,
+) -> Tuple[float, float, float]:
+    """Globally minimize one block's energy over ``(s', e')`` numerically.
+
+    Returns ``(start*, end*, energy*)``.  Grid search over the 2-D
+    rectangle ``[r_1, d_1] x [r_n, d_n]`` with local coordinate-descent
+    refinement.  Exponential in nothing but slow; use small instances.
+    """
+    core = platform.core
+    energy_fn = (
+        block_energy_alpha_zero if core.alpha == 0.0 else block_energy_alpha_nonzero
+    )
+    first, last = tasks[0], tasks[-1]
+    s_lo, s_hi = tasks.earliest_release, first.deadline
+    e_lo, e_hi = last.release, tasks.latest_deadline
+    best = (s_lo, e_hi, energy_fn(tasks, platform, s_lo, e_hi))
+    for i in range(grid + 1):
+        start = s_lo + (s_hi - s_lo) * i / grid
+        for j in range(grid + 1):
+            end = e_lo + (e_hi - e_lo) * j / grid
+            value = energy_fn(tasks, platform, start, end)
+            if value < best[2]:
+                best = (start, end, value)
+    # Local refinement via alternating golden-section sweeps.
+    start, end, value = best
+    for _ in range(12):
+        step_s = (s_hi - s_lo) / grid
+        step_e = (e_hi - e_lo) / grid
+        start, _ = golden_section_minimize(
+            lambda s: energy_fn(tasks, platform, s, end),
+            max(s_lo, start - step_s),
+            min(s_hi, start + step_s),
+        )
+        end, new_value = golden_section_minimize(
+            lambda e: energy_fn(tasks, platform, start, e),
+            max(e_lo, end - step_e),
+            min(e_hi, end + step_e),
+        )
+        if value - new_value <= 1e-10:
+            value = min(value, new_value)
+            break
+        value = new_value
+    return start, end, value
+
+
+# ---------------------------------------------------------------------------
+# Section 5 reference: exhaustive block partition
+# ---------------------------------------------------------------------------
+
+
+def reference_agreeable(
+    tasks: TaskSet,
+    platform: Platform,
+    *,
+    grid: int = 120,
+    block_overhead: float = 0.0,
+) -> float:
+    """Exhaustively optimal agreeable-deadline energy on small instances.
+
+    Enumerates every partition of the deadline order into consecutive
+    blocks (Lemma 4 justifies consecutiveness), prices each block with
+    :func:`reference_block`, and returns the best total.  ``block_overhead``
+    adds a constant per block (the Section 7 ``alpha_m * xi_m`` term).
+    """
+    n = len(tasks)
+    block_cost: dict[Tuple[int, int], float] = {}
+    for p in range(n):
+        for q in range(p + 1, n + 1):
+            subset = tasks.subset(p, q)
+            _, _, value = reference_block(subset, platform, grid=grid)
+            block_cost[(p, q)] = value
+    best = [math.inf] * (n + 1)
+    best[0] = 0.0
+    for q in range(1, n + 1):
+        for p in range(q):
+            candidate = best[p] + block_cost[(p, q)] + block_overhead
+            if candidate < best[q]:
+                best[q] = candidate
+    return best[n]

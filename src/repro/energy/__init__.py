@@ -1,0 +1,29 @@
+"""System-wide energy accounting (the SDEM objective function).
+
+:func:`repro.energy.accounting.account` is the single source of truth for
+pricing a schedule on a platform.  Every algorithm's *predicted* energy
+(its internal closed forms) is cross-checked against this accountant in the
+test suite.
+"""
+
+from repro.energy.accounting import (
+    SleepPolicy,
+    EnergyBreakdown,
+    account,
+    memory_energy_for_gaps,
+)
+from repro.energy.switching import (
+    SwitchingReport,
+    count_speed_switches,
+    switching_energy,
+)
+
+__all__ = [
+    "SleepPolicy",
+    "EnergyBreakdown",
+    "account",
+    "memory_energy_for_gaps",
+    "SwitchingReport",
+    "count_speed_switches",
+    "switching_energy",
+]

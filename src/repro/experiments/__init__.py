@@ -1,0 +1,51 @@
+"""Experiment harness regenerating every table and figure of Section 8.
+
+One module per exhibit; each returns structured results and can emit CSV
+plus an ASCII rendering (matplotlib is unavailable offline).  The mapping
+from exhibits to modules lives in DESIGN.md's per-experiment index.
+"""
+
+from repro.experiments.config import (
+    ALPHA_M_SWEEP_MW,
+    DEFAULT_ALPHA_M_MW,
+    DEFAULT_SEEDS,
+    DEFAULT_X_MS,
+    DEFAULT_XI_M_MS,
+    U_SWEEP,
+    X_SWEEP_MS,
+    XI_M_SWEEP_MS,
+    experiment_platform,
+)
+from repro.experiments.runner import (
+    ComparisonPoint,
+    SeriesResult,
+    compare_policies,
+    render_ascii_chart,
+    write_csv,
+)
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7a, run_fig7b
+from repro.experiments.tables import table1_rows, table3_rows, table4_rows
+
+__all__ = [
+    "ALPHA_M_SWEEP_MW",
+    "DEFAULT_ALPHA_M_MW",
+    "DEFAULT_SEEDS",
+    "DEFAULT_X_MS",
+    "DEFAULT_XI_M_MS",
+    "U_SWEEP",
+    "X_SWEEP_MS",
+    "XI_M_SWEEP_MS",
+    "experiment_platform",
+    "ComparisonPoint",
+    "SeriesResult",
+    "compare_policies",
+    "render_ascii_chart",
+    "write_csv",
+    "run_fig6",
+    "run_fig7a",
+    "run_fig7b",
+    "table1_rows",
+    "table3_rows",
+    "table4_rows",
+]

@@ -1,0 +1,62 @@
+"""Shared experiment configuration (paper Section 8.1.3 and Table 4).
+
+Starred Table 4 defaults: ``x = 400 ms``, ``alpha_m = 4 W``,
+``xi_m = 40 ms``.  The platform is eight ARM Cortex-A57 cores plus a 50 nm
+DRAM (see :func:`repro.models.platform.paper_platform`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.platform import Platform, paper_platform
+
+__all__ = [
+    "U_SWEEP",
+    "X_SWEEP_MS",
+    "ALPHA_M_SWEEP_MW",
+    "XI_M_SWEEP_MS",
+    "DEFAULT_X_MS",
+    "DEFAULT_ALPHA_M_MW",
+    "DEFAULT_XI_M_MS",
+    "DEFAULT_SEEDS",
+    "DEFAULT_NUM_CORES",
+    "DEFAULT_TRACE_LENGTH",
+    "experiment_platform",
+]
+
+#: Benchmark utilization factors (Fig. 6); larger U = lower utilization.
+U_SWEEP: List[int] = [2, 3, 4, 5, 6, 7, 8, 9]
+
+#: Maximum inter-arrival times in ms (Table 4 row 1; Fig. 7 x-axis).
+X_SWEEP_MS: List[float] = [100.0, 200.0, 300.0, 400.0, 500.0, 600.0, 700.0, 800.0]
+
+#: Memory static power sweep in mW (Table 4 row 2: 1..8 W).
+ALPHA_M_SWEEP_MW: List[float] = [1000.0 * k for k in range(1, 9)]
+
+#: Memory break-even times in ms (Table 4 row 3).
+XI_M_SWEEP_MS: List[float] = [15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 60.0, 70.0]
+
+DEFAULT_X_MS: float = 400.0  # Table 4 star
+DEFAULT_ALPHA_M_MW: float = 4000.0  # Table 4 star (4 W)
+DEFAULT_XI_M_MS: float = 40.0  # Table 4 star
+
+#: "For each data point in all task sets, we randomly generate 10
+#: different cases, and use the average value" (Section 8.2).
+DEFAULT_SEEDS: int = 10
+
+DEFAULT_NUM_CORES: int = 8
+
+#: Tasks per synthetic trace (long enough that edge effects average out;
+#: the paper does not state its trace length).
+DEFAULT_TRACE_LENGTH: int = 50
+
+
+def experiment_platform(
+    *,
+    alpha_m: float = DEFAULT_ALPHA_M_MW,
+    xi_m: float = DEFAULT_XI_M_MS,
+    num_cores: int = DEFAULT_NUM_CORES,
+) -> Platform:
+    """The Section 8 platform with the requested memory parameters."""
+    return paper_platform(alpha_m=alpha_m, xi_m=xi_m, num_cores=num_cores)

@@ -1,0 +1,102 @@
+"""Figure 7 reproduction: synthetic sporadic tasks over parameter grids.
+
+* **Fig. 7a** -- system-wide energy-saving improvement over the grid
+  (memory static power ``alpha_m`` in 1..8 W) x (max inter-arrival ``x``
+  in 100..800 ms), ``xi_m`` fixed at its Table 4 star (40 ms);
+* **Fig. 7b** -- same over (``xi_m`` in 15..70 ms) x (``x``), ``alpha_m``
+  fixed at 4 W.
+
+Reported paper numbers: SDEM-ON improves on MBKPS by 9.74% on average in
+7a and 10.52% in 7b; the improvement is essentially flat in ``xi_m`` and
+MBKPS degenerates to MBKP as utilization rises (``x -> 100 ms``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.config import (
+    ALPHA_M_SWEEP_MW,
+    DEFAULT_ALPHA_M_MW,
+    DEFAULT_SEEDS,
+    DEFAULT_TRACE_LENGTH,
+    DEFAULT_XI_M_MS,
+    X_SWEEP_MS,
+    XI_M_SWEEP_MS,
+    experiment_platform,
+)
+from repro.experiments.runner import SeriesResult, compare_policies
+from repro.workloads.synthetic import synthetic_tasks
+
+__all__ = ["run_fig7a", "run_fig7b"]
+
+
+def _grid_run(
+    name: str,
+    memory_points: List[tuple[float, float]],
+    x_values: List[float],
+    *,
+    seeds: int,
+    trace_length: int,
+) -> SeriesResult:
+    """Shared Fig. 7 grid sweep.
+
+    ``memory_points`` are ``(alpha_m, xi_m)`` pairs; every pair is crossed
+    with every ``x``.
+    """
+    series = SeriesResult(name=name)
+    for alpha_m, xi_m in memory_points:
+        platform = experiment_platform(alpha_m=alpha_m, xi_m=xi_m)
+        for x in x_values:
+            point = compare_policies(
+                label=f"alpha_m={alpha_m / 1000.0:g}W xi_m={xi_m:g}ms x={x:g}ms",
+                trace_factory=lambda seed, x=x: synthetic_tasks(
+                    n=trace_length,
+                    max_interarrival=x,
+                    seed=seed * 7919 + int(x),
+                ),
+                platform=platform,
+                seeds=seeds,
+            )
+            series.points.append(point)
+    return series
+
+
+def run_fig7a(
+    *,
+    alpha_m_values: List[float] | None = None,
+    x_values: List[float] | None = None,
+    seeds: int = DEFAULT_SEEDS,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+) -> SeriesResult:
+    """Fig. 7a: sweep memory static power x utilization."""
+    alpha_m_values = (
+        alpha_m_values if alpha_m_values is not None else ALPHA_M_SWEEP_MW
+    )
+    x_values = x_values if x_values is not None else X_SWEEP_MS
+    return _grid_run(
+        "fig7a",
+        [(a, DEFAULT_XI_M_MS) for a in alpha_m_values],
+        x_values,
+        seeds=seeds,
+        trace_length=trace_length,
+    )
+
+
+def run_fig7b(
+    *,
+    xi_m_values: List[float] | None = None,
+    x_values: List[float] | None = None,
+    seeds: int = DEFAULT_SEEDS,
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+) -> SeriesResult:
+    """Fig. 7b: sweep memory transition overhead x utilization."""
+    xi_m_values = xi_m_values if xi_m_values is not None else XI_M_SWEEP_MS
+    x_values = x_values if x_values is not None else X_SWEEP_MS
+    return _grid_run(
+        "fig7b",
+        [(DEFAULT_ALPHA_M_MW, x) for x in xi_m_values],
+        x_values,
+        seeds=seeds,
+        trace_length=trace_length,
+    )

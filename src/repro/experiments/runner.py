@@ -1,0 +1,201 @@
+"""Shared experiment plumbing: run the three policies, aggregate, render.
+
+Every Section 8 exhibit reduces to the same inner loop -- simulate a trace
+under SDEM-ON, MBKPS and MBKP over an identical horizon, average savings
+across seeds -- so it lives here once.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.baselines import mbkp, mbkps
+from repro.core.online import SdemOnlinePolicy
+from repro.models.platform import Platform
+from repro.models.task import Task
+from repro.sim.engine import SimulationResult, simulate
+
+__all__ = [
+    "ComparisonPoint",
+    "SeriesResult",
+    "compare_policies",
+    "write_csv",
+    "render_ascii_chart",
+]
+
+
+@dataclass(frozen=True)
+class ComparisonPoint:
+    """Averaged three-way comparison at one parameter point.
+
+    Savings are relative to MBKP, as in Figures 6-7:
+    ``saving = (1 - E_algo / E_mbkp) * 100`` (percent).
+    ``sdem_saving_samples`` carries the per-seed system savings so reports
+    can state the spread (the paper reports means only).
+    """
+
+    label: str
+    sdem_total: float
+    mbkps_total: float
+    mbkp_total: float
+    sdem_memory: float
+    mbkps_memory: float
+    mbkp_memory: float
+    sdem_saving_samples: Tuple[float, ...] = ()
+
+    @property
+    def sdem_system_saving(self) -> float:
+        return (1.0 - self.sdem_total / self.mbkp_total) * 100.0
+
+    @property
+    def mbkps_system_saving(self) -> float:
+        return (1.0 - self.mbkps_total / self.mbkp_total) * 100.0
+
+    @property
+    def sdem_memory_saving(self) -> float:
+        return (1.0 - self.sdem_memory / self.mbkp_memory) * 100.0
+
+    @property
+    def mbkps_memory_saving(self) -> float:
+        return (1.0 - self.mbkps_memory / self.mbkp_memory) * 100.0
+
+    @property
+    def sdem_vs_mbkps_improvement(self) -> float:
+        """The paper's headline metric: SDEM-ON's saving over MBKPS."""
+        return (1.0 - self.sdem_total / self.mbkps_total) * 100.0
+
+    def saving_spread(self):
+        """Per-seed spread of SDEM-ON's saving vs MBKP (95% CI helper).
+
+        Returns a :class:`repro.analysis.stats.SampleStats` or ``None``
+        when per-seed samples were not recorded.
+        """
+        if not self.sdem_saving_samples:
+            return None
+        from repro.analysis.stats import summarize
+
+        return summarize(self.sdem_saving_samples)
+
+
+@dataclass
+class SeriesResult:
+    """One exhibit's worth of comparison points."""
+
+    name: str
+    points: List[ComparisonPoint] = field(default_factory=list)
+
+    def rows(self) -> List[Dict[str, float | str]]:
+        out: List[Dict[str, float | str]] = []
+        for p in self.points:
+            row: Dict[str, float | str] = {
+                "point": p.label,
+                "sdem_system_saving_pct": round(p.sdem_system_saving, 3),
+                "mbkps_system_saving_pct": round(p.mbkps_system_saving, 3),
+                "sdem_memory_saving_pct": round(p.sdem_memory_saving, 3),
+                "mbkps_memory_saving_pct": round(p.mbkps_memory_saving, 3),
+                "sdem_vs_mbkps_pct": round(p.sdem_vs_mbkps_improvement, 3),
+                "sdem_total_uj": round(p.sdem_total, 1),
+                "mbkps_total_uj": round(p.mbkps_total, 1),
+                "mbkp_total_uj": round(p.mbkp_total, 1),
+            }
+            spread = p.saving_spread()
+            row["sdem_saving_ci95_pct"] = (
+                round(spread.ci95_halfwidth, 3) if spread is not None else ""
+            )
+            out.append(row)
+        return out
+
+    def mean_improvement(self) -> float:
+        """Average SDEM-ON vs MBKPS system-energy improvement (percent)."""
+        if not self.points:
+            return 0.0
+        return sum(p.sdem_vs_mbkps_improvement for p in self.points) / len(
+            self.points
+        )
+
+
+def compare_policies(
+    label: str,
+    trace_factory: Callable[[int], Sequence[Task]],
+    platform: Platform,
+    *,
+    seeds: int,
+) -> ComparisonPoint:
+    """Average SDEM-ON / MBKPS / MBKP over ``seeds`` traces.
+
+    ``trace_factory(seed)`` must return a fresh trace; all three policies
+    see the *same* trace and horizon per seed.
+    """
+    sums = {"sdem": 0.0, "mbkps": 0.0, "mbkp": 0.0}
+    mems = {"sdem": 0.0, "mbkps": 0.0, "mbkp": 0.0}
+    saving_samples = []
+    for seed in range(seeds):
+        trace = list(trace_factory(seed))
+        horizon = (
+            min(t.release for t in trace),
+            max(t.deadline for t in trace),
+        )
+        runs = {
+            "sdem": simulate(
+                SdemOnlinePolicy(platform), trace, platform, horizon=horizon
+            ),
+            "mbkps": simulate(mbkps(platform), trace, platform, horizon=horizon),
+            "mbkp": simulate(mbkp(platform), trace, platform, horizon=horizon),
+        }
+        for key, result in runs.items():
+            sums[key] += result.breakdown.total
+            mems[key] += result.breakdown.memory_total
+        saving_samples.append(
+            (1.0 - runs["sdem"].breakdown.total / runs["mbkp"].breakdown.total)
+            * 100.0
+        )
+    return ComparisonPoint(
+        label=label,
+        sdem_total=sums["sdem"] / seeds,
+        mbkps_total=sums["mbkps"] / seeds,
+        mbkp_total=sums["mbkp"] / seeds,
+        sdem_memory=mems["sdem"] / seeds,
+        mbkps_memory=mems["mbkps"] / seeds,
+        mbkp_memory=mems["mbkp"] / seeds,
+        sdem_saving_samples=tuple(saving_samples),
+    )
+
+
+def write_csv(series: SeriesResult, path: str) -> None:
+    """Write an exhibit's rows to a CSV file."""
+    rows = series.rows()
+    if not rows:
+        raise ValueError(f"series {series.name!r} has no points")
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def render_ascii_chart(
+    title: str,
+    points: Sequence[Tuple[str, Dict[str, float]]],
+    *,
+    width: int = 50,
+) -> str:
+    """Render grouped horizontal bars (one group per x-axis point).
+
+    ``points`` is ``[(label, {series: value}), ...]``; values are percent
+    savings, clamped at 0 for display.
+    """
+    out = io.StringIO()
+    out.write(f"{title}\n")
+    all_values = [v for _, series in points for v in series.values()]
+    top = max(max(all_values, default=1.0), 1e-9)
+    for label, series in points:
+        out.write(f"  {label}\n")
+        for name, value in series.items():
+            filled = int(round(max(value, 0.0) / top * width))
+            out.write(
+                f"    {name:<10s} |{'#' * filled}{' ' * (width - filled)}| "
+                f"{value:7.2f}%\n"
+            )
+    return out.getvalue()

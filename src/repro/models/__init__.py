@@ -1,0 +1,32 @@
+"""System and task models for the SDEM problem (paper Section 3).
+
+Units used throughout the library (see DESIGN.md Section 7):
+
+* time: milliseconds (ms)
+* speed: MHz -- with workloads expressed in kilocycles, ``duration_ms =
+  workload_kc / speed_mhz`` holds exactly because 1 MHz = 1 kilocycle/ms
+* workload: kilocycles (kc)
+* power: milliwatts (mW)
+* energy: microjoules (uJ = mW * ms)
+"""
+
+from repro.models.task import Task, TaskSet
+from repro.models.power import CorePowerModel
+from repro.models.memory import MemoryModel
+from repro.models.platform import (
+    Platform,
+    arm_cortex_a57,
+    dram_50nm,
+    paper_platform,
+)
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "CorePowerModel",
+    "MemoryModel",
+    "Platform",
+    "arm_cortex_a57",
+    "dram_50nm",
+    "paper_platform",
+]

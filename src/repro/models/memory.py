@@ -1,0 +1,74 @@
+"""Shared main-memory model (paper Section 3, *System model*).
+
+The memory draws static (leakage) power ``alpha_m`` whenever at least one
+core is executing, may sleep only during the *common idle time* of all
+cores, and each sleep/wake cycle costs a transition-energy overhead
+expressed as the break-even time ``xi_m``: idling awake for ``xi_m`` ms
+costs exactly as much as one full transition pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryModel"]
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Shared memory with sleep-capable leakage power.
+
+    Parameters
+    ----------
+    alpha_m:
+        Static power in mW while active (awake), whether accessed or idle.
+    xi_m:
+        Break-even time in ms.  The combined active-to-sleep plus
+        sleep-to-active transition energy equals ``alpha_m * xi_m``.
+        Zero models the free-transition regime of Sections 4-6.
+    """
+
+    alpha_m: float
+    xi_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.alpha_m < 0.0:
+            raise ValueError(f"alpha_m must be non-negative, got {self.alpha_m}")
+        if self.xi_m < 0.0:
+            raise ValueError(f"xi_m must be non-negative, got {self.xi_m}")
+
+    def active_energy(self, duration: float) -> float:
+        """Static energy in uJ for staying awake ``duration`` ms."""
+        if duration < 0.0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        return self.alpha_m * duration
+
+    def transition_energy(self) -> float:
+        """Energy overhead of one sleep/wake cycle, ``alpha_m * xi_m`` uJ."""
+        return self.alpha_m * self.xi_m
+
+    def sleep_gap_energy(self, gap: float) -> float:
+        """Energy spent on an idle gap if the memory sleeps through it.
+
+        Equal to the transition overhead regardless of gap length (the sleep
+        state itself is modelled as zero-power, as in the paper).
+        """
+        if gap < 0.0:
+            raise ValueError(f"gap must be non-negative, got {gap}")
+        return self.transition_energy()
+
+    def best_gap_energy(self, gap: float) -> float:
+        """Cheapest way to cross an idle gap: sleep iff ``gap >= xi_m``."""
+        return min(self.active_energy(gap), self.sleep_gap_energy(gap))
+
+    def should_sleep(self, gap: float) -> bool:
+        """True when sleeping through ``gap`` ms saves (>=) energy."""
+        return gap >= self.xi_m
+
+    def with_alpha_m(self, alpha_m: float) -> "MemoryModel":
+        """Copy with different leakage power (Table 4 sweeps)."""
+        return MemoryModel(alpha_m, self.xi_m)
+
+    def with_xi_m(self, xi_m: float) -> "MemoryModel":
+        """Copy with different break-even time (Table 4 sweeps)."""
+        return MemoryModel(self.alpha_m, xi_m)

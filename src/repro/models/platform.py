@@ -1,0 +1,118 @@
+"""Platform = homogeneous DVS cores + one shared memory (paper Section 3).
+
+Includes the concrete configuration the paper evaluates on (Section 8.1.3):
+ARM Cortex-A57 cores (``beta = 2.53e-7 mW/MHz^3``, ``alpha = 310 mW``,
+``lam = 3``, f in [700, 1900] MHz) and a CACTI-modelled 50 nm DRAM whose
+leakage ``alpha_m`` is swept over 1..8 W and break-even time ``xi_m`` over
+15..70 ms (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.models.memory import MemoryModel
+from repro.models.power import CorePowerModel
+
+__all__ = [
+    "Platform",
+    "arm_cortex_a57",
+    "dram_50nm",
+    "paper_platform",
+]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A multi-core platform with shared main memory.
+
+    Parameters
+    ----------
+    core:
+        Power model shared by all (homogeneous) cores.
+    memory:
+        Shared main memory model.
+    num_cores:
+        Number of physical cores; ``None`` models the unbounded-core
+        regime of the paper's theory sections (every task gets its own
+        core).  The experiments of Section 8 use 8 cores with round-robin
+        assignment.
+    """
+
+    core: CorePowerModel
+    memory: MemoryModel
+    num_cores: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_cores is not None and self.num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {self.num_cores}")
+
+    @property
+    def unbounded(self) -> bool:
+        """True in the unbounded-core regime (Sections 4-7)."""
+        return self.num_cores is None
+
+    # -- convenience constructors -------------------------------------------------
+
+    def with_memory(self, memory: MemoryModel) -> "Platform":
+        return replace(self, memory=memory)
+
+    def with_core(self, core: CorePowerModel) -> "Platform":
+        return replace(self, core=core)
+
+    def with_num_cores(self, num_cores: int | None) -> "Platform":
+        return replace(self, num_cores=num_cores)
+
+    def negligible_core_static(self) -> "Platform":
+        """Copy in the ``alpha = 0`` regime (Sections 4.1 / 5.1)."""
+        return self.with_core(self.core.with_alpha(0.0))
+
+    def zero_transition_overheads(self) -> "Platform":
+        """Copy with ``xi = xi_m = 0`` (the free-transition theory regime)."""
+        return Platform(
+            self.core.with_xi(0.0),
+            self.memory.with_xi_m(0.0),
+            self.num_cores,
+        )
+
+
+def arm_cortex_a57(*, alpha: float = 310.0, xi: float = 0.0) -> CorePowerModel:
+    """ARM Cortex-A57 power model from Section 8.1.3.
+
+    ``beta = 2.53e-7 mW/MHz^3``, ``lam = 3``, static power 310 mW and a
+    700-1900 MHz frequency range.  At 1900 MHz the dynamic power evaluates
+    to ~1.74 W, matching the AnandTech measurements the paper cites.
+    """
+    return CorePowerModel(
+        beta=2.53e-7,
+        lam=3.0,
+        alpha=alpha,
+        s_up=1900.0,
+        s_min=700.0,
+        xi=xi,
+    )
+
+
+def dram_50nm(*, alpha_m: float = 4000.0, xi_m: float = 40.0) -> MemoryModel:
+    """50 nm DRAM model with the Table 4 default parameters.
+
+    Defaults are the starred entries of Table 4: ``alpha_m = 4 W``
+    (4000 mW) and ``xi_m = 40 ms``.
+    """
+    return MemoryModel(alpha_m=alpha_m, xi_m=xi_m)
+
+
+def paper_platform(
+    *,
+    num_cores: int | None = 8,
+    alpha: float = 310.0,
+    alpha_m: float = 4000.0,
+    xi: float = 0.0,
+    xi_m: float = 40.0,
+) -> Platform:
+    """The full Section 8 evaluation platform: 8x Cortex-A57 + 50 nm DRAM."""
+    return Platform(
+        core=arm_cortex_a57(alpha=alpha, xi=xi),
+        memory=dram_50nm(alpha_m=alpha_m, xi_m=xi_m),
+        num_cores=num_cores,
+    )

@@ -1,0 +1,184 @@
+"""Core power model ``P(s) = alpha + beta * s**lam`` (paper Eq. (1)).
+
+The model carries the whole critical-speed algebra of the paper:
+
+* ``s_m = (alpha / (beta * (lam - 1))) ** (1/lam)`` -- the speed minimizing
+  the per-workload core energy ``(beta * s**lam + alpha) * w / s``
+  (Section 4.2, *Critical speed*);
+* ``s_0 = min(max(s_m, s_f), s_up)`` -- the task-clamped critical speed;
+* ``s_cm = ((alpha + alpha_m) / (beta * (lam - 1))) ** (1/lam)`` -- the
+  *memory-associated* critical speed (Section 5.2), which also charges the
+  memory's static power to the execution window;
+* ``s_1 = min(max(s_cm, s_f), s_up)``;
+* ``s_c`` -- the *constrained* critical speed of Section 7 that falls back
+  to the filled speed when the residual idle gap cannot amortize the core's
+  break-even time ``xi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.models.task import Task
+
+__all__ = ["CorePowerModel"]
+
+
+@dataclass(frozen=True)
+class CorePowerModel:
+    """Homogeneous DVS core power model.
+
+    Parameters
+    ----------
+    beta:
+        Dynamic power coefficient in mW / MHz**lam
+        (``P_dyn(s) = beta * s**lam`` with ``s`` in MHz).
+    lam:
+        Power exponent ``lam > 1`` (the paper's lambda; 3 for CMOS cubes).
+    alpha:
+        Static (leakage) power in mW drawn while the core is *active*
+        (executing or idling awake).  ``alpha = 0`` models the negligible
+        static power regime of Sections 4.1/5.1.
+    s_up:
+        Maximum speed in MHz.
+    s_min:
+        Informational minimum hardware frequency in MHz.  The paper's
+        continuous-speed theory does not enforce a lower bound, so the
+        schedulers ignore it; it is kept so platform presets remain honest
+        and so discretization helpers can clamp to it.
+    xi:
+        Core break-even time in ms: sleeping for a gap shorter than ``xi``
+        costs more energy than idling awake (Section 7).  Zero means
+        transitions are free.
+    """
+
+    beta: float
+    lam: float
+    alpha: float = 0.0
+    s_up: float = float("inf")
+    s_min: float = 0.0
+    xi: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0.0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+        if self.lam <= 1.0:
+            raise ValueError(f"lam must exceed 1, got {self.lam}")
+        if self.alpha < 0.0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.s_up <= 0.0:
+            raise ValueError(f"s_up must be positive, got {self.s_up}")
+        if self.s_min < 0.0 or self.s_min > self.s_up:
+            raise ValueError(f"s_min must lie in [0, s_up], got {self.s_min}")
+        if self.xi < 0.0:
+            raise ValueError(f"xi must be non-negative, got {self.xi}")
+
+    # -- instantaneous power ---------------------------------------------------
+
+    def dynamic_power(self, speed: float) -> float:
+        """Dynamic power ``beta * s**lam`` in mW at ``speed`` MHz."""
+        if speed < 0.0:
+            raise ValueError(f"speed must be non-negative, got {speed}")
+        return self.beta * speed ** self.lam
+
+    def active_power(self, speed: float) -> float:
+        """Total active power ``alpha + beta * s**lam`` in mW."""
+        return self.alpha + self.dynamic_power(speed)
+
+    # -- energy over an execution -----------------------------------------------
+
+    def execution_energy(self, workload: float, speed: float) -> float:
+        """Energy in uJ to execute ``workload`` kc at constant ``speed`` MHz.
+
+        ``E = (alpha + beta * s**lam) * w / s``; convex in ``s`` with its
+        interior minimum at :attr:`s_m`.
+        """
+        if workload < 0.0:
+            raise ValueError(f"workload must be non-negative, got {workload}")
+        if workload == 0.0:
+            return 0.0
+        if speed <= 0.0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        return self.active_power(speed) * workload / speed
+
+    def stretch_energy(self, workload: float, duration: float) -> float:
+        """Energy in uJ to execute ``workload`` kc evenly over ``duration`` ms."""
+        if duration <= 0.0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        return self.execution_energy(workload, workload / duration)
+
+    def idle_energy(self, duration: float) -> float:
+        """Static energy in uJ burned by an awake-but-idle core."""
+        if duration < 0.0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        return self.alpha * duration
+
+    def sleep_transition_energy(self) -> float:
+        """Energy overhead of one sleep/wake cycle, ``alpha * xi`` in uJ."""
+        return self.alpha * self.xi
+
+    # -- critical speeds -----------------------------------------------------------
+
+    @property
+    def s_m(self) -> float:
+        """Unclamped critical speed ``(alpha / (beta*(lam-1))) ** (1/lam)``.
+
+        Zero when ``alpha = 0``: with no static power, slower is always
+        cheaper and only the deadline clamps the speed.
+        """
+        if self.alpha == 0.0:
+            return 0.0
+        return (self.alpha / (self.beta * (self.lam - 1.0))) ** (1.0 / self.lam)
+
+    def s_cm(self, alpha_m: float) -> float:
+        """Memory-associated critical speed (Section 5.2).
+
+        Minimizes ``(beta*s**lam + alpha + alpha_m) * w / s`` -- the energy
+        of a single core *plus* the shared memory kept awake during the
+        execution.  Always at least :attr:`s_m`.
+        """
+        if alpha_m < 0.0:
+            raise ValueError(f"alpha_m must be non-negative, got {alpha_m}")
+        total_static = self.alpha + alpha_m
+        if total_static == 0.0:
+            return 0.0
+        return (total_static / (self.beta * (self.lam - 1.0))) ** (1.0 / self.lam)
+
+    def s0(self, task: Task) -> float:
+        """Task-clamped critical speed ``min(max(s_m, s_f), s_up)``."""
+        return min(max(self.s_m, task.filled_speed), self.s_up)
+
+    def s1(self, task: Task, alpha_m: float) -> float:
+        """Task-clamped memory-associated critical speed (Section 5.2)."""
+        return min(max(self.s_cm(alpha_m), task.filled_speed), self.s_up)
+
+    def s_c(self, task: Task, horizon: float) -> float:
+        """Constrained critical speed of Section 7.
+
+        ``s_c = min(max(s_m, s_f), s_up)`` provided the leftover gap after
+        finishing at that speed within the maximal interval ``[0, horizon]``
+        is at least the core break-even time ``xi``; otherwise running at the
+        filled speed (never sleeping the core) is cheaper and ``s_c = s_f``.
+        """
+        candidate = min(max(self.s_m, task.filled_speed), self.s_up)
+        reference = min(self.s_m, self.s_up) if self.s_m > 0.0 else candidate
+        if reference <= 0.0:
+            return candidate
+        if horizon - task.workload / reference >= self.xi:
+            return candidate
+        return min(task.filled_speed, self.s_up)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def clamp_speed(self, speed: float) -> float:
+        """Clamp ``speed`` into ``(0, s_up]`` (theory ignores ``s_min``)."""
+        return min(speed, self.s_up)
+
+    def with_alpha(self, alpha: float) -> "CorePowerModel":
+        """Copy with a different static power (used to toggle regimes)."""
+        return CorePowerModel(self.beta, self.lam, alpha, self.s_up, self.s_min, self.xi)
+
+    def with_xi(self, xi: float) -> "CorePowerModel":
+        """Copy with a different core break-even time."""
+        return CorePowerModel(self.beta, self.lam, self.alpha, self.s_up, self.s_min, xi)

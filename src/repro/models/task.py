@@ -1,0 +1,230 @@
+"""Real-time task model (paper Section 3, *Task model*).
+
+A task :class:`Task` is a triple ``(release, deadline, workload)`` plus an
+identifier.  The library follows the paper's conventions:
+
+* tasks are independent and access memory during their whole execution;
+* offline schemes are non-preemptive and non-migrating -- each task runs on
+  its own core in the unbounded-core model;
+* the *feasible region* of ``T_i`` is ``[r_i, d_i]`` and the *filled speed*
+  ``s_f = w_i / (d_i - r_i)`` is the slowest deadline-feasible speed.
+
+:class:`TaskSet` is an immutable, deadline-sorted container with the
+structural predicates the algorithms dispatch on (common release time,
+agreeable deadlines) and convenience accessors used by the schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Task", "TaskSet"]
+
+
+@dataclass(frozen=True, order=False)
+class Task:
+    """A real-time task with release time, deadline and workload.
+
+    Parameters
+    ----------
+    release:
+        Release time ``r_i`` in ms.  Execution may not start earlier.
+    deadline:
+        Absolute deadline ``d_i`` in ms, strictly greater than ``release``.
+    workload:
+        Worst-case execution requirement ``w_i`` in kilocycles, positive.
+    name:
+        Optional human-readable identifier; auto-derived when omitted.
+    """
+
+    release: float
+    deadline: float
+    workload: float
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not (self.deadline > self.release):
+            raise ValueError(
+                f"task {self.name or '<anon>'}: deadline {self.deadline} must "
+                f"exceed release {self.release}"
+            )
+        if not (self.workload > 0.0):
+            raise ValueError(
+                f"task {self.name or '<anon>'}: workload must be positive, "
+                f"got {self.workload}"
+            )
+
+    @property
+    def span(self) -> float:
+        """Length ``|I_i| = d_i - r_i`` of the feasible region, in ms."""
+        return self.deadline - self.release
+
+    @property
+    def filled_speed(self) -> float:
+        """Filled speed ``s_f = w_i / |I_i|`` in MHz.
+
+        Executing at the filled speed occupies the entire feasible region;
+        when core static power is negligible (``alpha = 0``) this is the
+        energy-minimal deadline-feasible speed for an isolated task.
+        """
+        return self.workload / self.span
+
+    def duration_at(self, speed: float) -> float:
+        """Execution time in ms when run at ``speed`` MHz."""
+        if speed <= 0.0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        return self.workload / speed
+
+    def shifted(self, *, release: Optional[float] = None) -> "Task":
+        """Return a copy with a new release time (deadline/workload kept).
+
+        The online algorithm of Section 6 resets the release time of every
+        unfinished task to the current instant; this helper implements that
+        transformation.
+        """
+        new_release = self.release if release is None else release
+        return Task(new_release, self.deadline, self.workload, self.name)
+
+    def with_workload(self, workload: float) -> "Task":
+        """Return a copy with updated remaining workload."""
+        return Task(self.release, self.deadline, workload, self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "task"
+        return (
+            f"Task({label}: r={self.release:g}, d={self.deadline:g}, "
+            f"w={self.workload:g})"
+        )
+
+
+class TaskSet:
+    """An immutable collection of tasks sorted by (deadline, release).
+
+    The sort order matches the indexing conventions of Sections 4 and 5:
+    for common-release sets it is the increasing-deadline order; for
+    agreeable sets sorting by deadline also sorts by release.
+    """
+
+    def __init__(self, tasks: Iterable[Task]):
+        ordered = sorted(tasks, key=lambda t: (t.deadline, t.release, t.workload))
+        if not ordered:
+            raise ValueError("a TaskSet must contain at least one task")
+        named: List[Task] = []
+        for index, task in enumerate(ordered):
+            if task.name:
+                named.append(task)
+            else:
+                named.append(Task(task.release, task.deadline, task.workload, f"T{index + 1}"))
+        self._tasks: Tuple[Task, ...] = tuple(named)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __getitem__(self, index: int) -> Task:
+        return self._tasks[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TaskSet({len(self._tasks)} tasks, span=[{self.earliest_release:g}, {self.latest_deadline:g}])"
+
+    @property
+    def tasks(self) -> Tuple[Task, ...]:
+        """Deadline-sorted tuple of tasks."""
+        return self._tasks
+
+    # -- aggregate properties ------------------------------------------------
+
+    @property
+    def earliest_release(self) -> float:
+        return min(task.release for task in self._tasks)
+
+    @property
+    def latest_deadline(self) -> float:
+        return self._tasks[-1].deadline
+
+    @property
+    def total_workload(self) -> float:
+        return sum(task.workload for task in self._tasks)
+
+    @property
+    def max_filled_speed(self) -> float:
+        """Largest filled speed across tasks (feasibility lower bound)."""
+        return max(task.filled_speed for task in self._tasks)
+
+    # -- structural predicates ------------------------------------------------
+
+    def has_common_release(self, *, tol: float = 1e-9) -> bool:
+        """True when all tasks share one release time (Section 4 model)."""
+        first = self._tasks[0].release
+        return all(abs(task.release - first) <= tol for task in self._tasks)
+
+    def has_common_deadline(self, *, tol: float = 1e-9) -> bool:
+        """True when all tasks share one deadline (Theorem 1 model)."""
+        last = self._tasks[-1].deadline
+        return all(abs(task.deadline - last) <= tol for task in self._tasks)
+
+    def is_agreeable(self) -> bool:
+        """True when later releases imply later deadlines (Section 5 model).
+
+        Formally: for any two tasks, ``r_i >= r_j`` implies ``d_i >= d_j``.
+        Equivalently, sorting by deadline (our storage order) yields releases
+        in non-decreasing order.
+        """
+        releases = [task.release for task in self._tasks]
+        return all(a <= b + 1e-12 for a, b in zip(releases, releases[1:]))
+
+    def is_feasible_at(self, max_speed: float) -> bool:
+        """True when every task meets its deadline at ``max_speed``.
+
+        The paper assumes ``s_up >= s_f`` for all tasks w.l.o.g.; this check
+        lets callers enforce the assumption on generated workloads.  The
+        tolerance is relative: online replanning legitimately produces
+        residual jobs whose filled speed equals ``s_up`` up to float
+        rounding (a task compressed to the speed cap and then preempted).
+        """
+        return self.max_filled_speed <= max_speed * (1.0 + 1e-9) + 1e-9
+
+    # -- transformations -------------------------------------------------------
+
+    def subset(self, start: int, stop: int) -> "TaskSet":
+        """Return the deadline-ordered slice ``tasks[start:stop]`` as a set.
+
+        Used by the Section 5 dynamic programs, which divide the deadline
+        order into consecutive blocks.
+        """
+        sliced = self._tasks[start:stop]
+        if not sliced:
+            raise ValueError(f"empty subset [{start}:{stop}]")
+        return TaskSet(sliced)
+
+    def normalized_to_zero(self) -> "TaskSet":
+        """Shift time so the earliest release is 0 (w.l.o.g. step in Sec. 5.1)."""
+        shift = self.earliest_release
+        if shift == 0.0:
+            return self
+        return TaskSet(
+            Task(t.release - shift, t.deadline - shift, t.workload, t.name)
+            for t in self._tasks
+        )
+
+    def with_common_release(self, release: float) -> "TaskSet":
+        """Reset every task's release to ``release`` (online re-anchoring).
+
+        Tasks whose deadline would not exceed the new release are rejected;
+        the online engine must filter finished/expired tasks first.
+        """
+        return TaskSet(t.shifted(release=release) for t in self._tasks)
+
+    def deadlines(self) -> List[float]:
+        return [task.deadline for task in self._tasks]
+
+    def releases(self) -> List[float]:
+        return [task.release for task in self._tasks]
+
+    def workloads(self) -> List[float]:
+        return [task.workload for task in self._tasks]

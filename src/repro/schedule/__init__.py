@@ -1,0 +1,34 @@
+"""Schedule representation shared by every SDEM algorithm and baseline.
+
+A :class:`Schedule` is a list of per-core timelines of constant-speed
+execution intervals.  The memory's busy time is the union of all cores'
+execution intervals; the *common idle time* (equivalently the maximal
+memory sleep time Delta of the paper) is its complement within the
+accounting horizon.
+"""
+
+from repro.schedule.timeline import (
+    ExecutionInterval,
+    CoreTimeline,
+    Schedule,
+    merge_intervals,
+    complement_within,
+    total_length,
+)
+from repro.schedule.validation import (
+    FeasibilityError,
+    validate_schedule,
+    is_feasible,
+)
+
+__all__ = [
+    "ExecutionInterval",
+    "CoreTimeline",
+    "Schedule",
+    "merge_intervals",
+    "complement_within",
+    "total_length",
+    "FeasibilityError",
+    "validate_schedule",
+    "is_feasible",
+]

@@ -1,0 +1,250 @@
+"""Per-core timelines and whole-system schedules.
+
+Conventions:
+
+* intervals are half-open ``[start, end)`` in ms;
+* each :class:`ExecutionInterval` runs one task at one constant speed --
+  the offline schemes of the paper never change speed mid-task, and the
+  online engine emits a new interval at every recomputation point;
+* a :class:`CoreTimeline` holds non-overlapping intervals sorted by start;
+* a :class:`Schedule` is an immutable tuple of core timelines plus helpers
+  to compute the memory busy union and common idle gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.models.task import Task
+
+__all__ = [
+    "ExecutionInterval",
+    "CoreTimeline",
+    "Schedule",
+    "merge_intervals",
+    "complement_within",
+    "total_length",
+]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ExecutionInterval:
+    """One task executing at one constant speed on one core.
+
+    ``workload`` (kc) is derived: ``speed * (end - start)``.
+    """
+
+    task: str
+    start: float
+    end: float
+    speed: float
+
+    def __post_init__(self) -> None:
+        if not (self.end > self.start):
+            raise ValueError(
+                f"interval for {self.task}: end {self.end} must exceed start {self.start}"
+            )
+        if self.speed <= 0.0:
+            raise ValueError(f"interval for {self.task}: speed must be positive")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def workload(self) -> float:
+        """Kilocycles executed in this interval."""
+        return self.speed * self.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Exec({self.task} @ {self.speed:.1f} MHz, "
+            f"[{self.start:.3f}, {self.end:.3f}))"
+        )
+
+
+class CoreTimeline:
+    """Non-overlapping, start-sorted execution intervals on one core."""
+
+    def __init__(self, intervals: Iterable[ExecutionInterval] = ()):
+        items = sorted(intervals, key=lambda iv: iv.start)
+        for prev, cur in zip(items, items[1:]):
+            if cur.start < prev.end - _EPS:
+                raise ValueError(
+                    f"overlapping intervals on one core: {prev} then {cur}"
+                )
+        self._intervals: Tuple[ExecutionInterval, ...] = tuple(items)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self):
+        return iter(self._intervals)
+
+    def __getitem__(self, index: int) -> ExecutionInterval:
+        return self._intervals[index]
+
+    @property
+    def intervals(self) -> Tuple[ExecutionInterval, ...]:
+        return self._intervals
+
+    @property
+    def busy_time(self) -> float:
+        return sum(iv.duration for iv in self._intervals)
+
+    def busy_spans(self) -> List[Tuple[float, float]]:
+        """Merged busy spans of this core."""
+        return merge_intervals((iv.start, iv.end) for iv in self._intervals)
+
+    def idle_gaps(self, horizon: Tuple[float, float]) -> List[Tuple[float, float]]:
+        """Idle gaps of this core within ``horizon`` (including edges)."""
+        return complement_within(self.busy_spans(), horizon)
+
+    def span(self) -> Optional[Tuple[float, float]]:
+        """(first start, last end), or None for an empty timeline."""
+        if not self._intervals:
+            return None
+        return self._intervals[0].start, self._intervals[-1].end
+
+
+class Schedule:
+    """A system-wide schedule: one timeline per core.
+
+    Empty cores are legal (the unbounded-core model instantiates a core per
+    task; the bounded experiments fix eight).  The schedule is agnostic to
+    the platform -- energy is priced by :mod:`repro.energy.accounting`.
+    """
+
+    def __init__(self, cores: Iterable[CoreTimeline]):
+        self._cores: Tuple[CoreTimeline, ...] = tuple(cores)
+        if not self._cores:
+            raise ValueError("a schedule needs at least one core timeline")
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_assignments(
+        cls, assignments: Sequence[Sequence[ExecutionInterval]]
+    ) -> "Schedule":
+        return cls(CoreTimeline(items) for items in assignments)
+
+    @classmethod
+    def one_task_per_core(
+        cls, placements: Iterable[ExecutionInterval]
+    ) -> "Schedule":
+        """Unbounded-core helper: each execution interval on its own core."""
+        return cls(CoreTimeline([iv]) for iv in placements)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def cores(self) -> Tuple[CoreTimeline, ...]:
+        return self._cores
+
+    @property
+    def num_cores(self) -> int:
+        return len(self._cores)
+
+    def all_intervals(self) -> List[ExecutionInterval]:
+        return [iv for core in self._cores for iv in core]
+
+    def executed_workloads(self) -> Dict[str, float]:
+        """Total kilocycles executed per task name."""
+        totals: Dict[str, float] = {}
+        for iv in self.all_intervals():
+            totals[iv.task] = totals.get(iv.task, 0.0) + iv.workload
+        return totals
+
+    # -- memory view ----------------------------------------------------------------
+
+    def busy_union(self) -> List[Tuple[float, float]]:
+        """Merged union of all cores' busy spans = memory busy intervals."""
+        spans: List[Tuple[float, float]] = []
+        for core in self._cores:
+            spans.extend(core.busy_spans())
+        return merge_intervals(spans)
+
+    def memory_busy_time(self) -> float:
+        return total_length(self.busy_union())
+
+    def common_idle_gaps(
+        self, horizon: Optional[Tuple[float, float]] = None
+    ) -> List[Tuple[float, float]]:
+        """Common idle intervals (memory may sleep) within ``horizon``.
+
+        ``horizon`` defaults to the schedule's own span, in which case there
+        are no edge gaps -- only interior ones.
+        """
+        busy = self.busy_union()
+        if horizon is None:
+            if not busy:
+                return []
+            horizon = (busy[0][0], busy[-1][1])
+        return complement_within(busy, horizon)
+
+    def common_idle_time(
+        self, horizon: Optional[Tuple[float, float]] = None
+    ) -> float:
+        """Total common idle time Delta within ``horizon``."""
+        return total_length(self.common_idle_gaps(horizon))
+
+    def span(self) -> Optional[Tuple[float, float]]:
+        busy = self.busy_union()
+        if not busy:
+            return None
+        return busy[0][0], busy[-1][1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n_iv = sum(len(core) for core in self._cores)
+        return f"Schedule({self.num_cores} cores, {n_iv} intervals)"
+
+
+def merge_intervals(
+    spans: Iterable[Tuple[float, float]], *, eps: float = _EPS
+) -> List[Tuple[float, float]]:
+    """Merge possibly-overlapping ``(start, end)`` spans into a sorted union.
+
+    Spans closer than ``eps`` are coalesced, so hairline numerical gaps do
+    not masquerade as sleep opportunities.
+    """
+    items = sorted(spans)
+    merged: List[Tuple[float, float]] = []
+    for start, end in items:
+        if end <= start:
+            raise ValueError(f"bad span ({start}, {end})")
+        if merged and start <= merged[-1][1] + eps:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def complement_within(
+    spans: Sequence[Tuple[float, float]],
+    horizon: Tuple[float, float],
+    *,
+    eps: float = _EPS,
+) -> List[Tuple[float, float]]:
+    """Gaps of a *merged, sorted* span list within ``horizon``."""
+    lo, hi = horizon
+    if hi < lo:
+        raise ValueError(f"bad horizon ({lo}, {hi})")
+    gaps: List[Tuple[float, float]] = []
+    cursor = lo
+    for start, end in spans:
+        if end <= lo or start >= hi:
+            continue
+        if start > cursor + eps:
+            gaps.append((cursor, min(start, hi)))
+        cursor = max(cursor, min(end, hi))
+    if hi > cursor + eps:
+        gaps.append((cursor, hi))
+    return gaps
+
+
+def total_length(spans: Iterable[Tuple[float, float]]) -> float:
+    """Sum of span lengths."""
+    return sum(end - start for start, end in spans)

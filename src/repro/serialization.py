@@ -1,0 +1,138 @@
+"""Serialization: task sets, traces and schedules to/from JSON and CSV.
+
+Formats are deliberately boring:
+
+* **tasks CSV** -- header ``name,release,deadline,workload`` (ms / kc);
+* **tasks JSON** -- ``{"tasks": [{"name": ..., "release": ...,
+  "deadline": ..., "workload": ...}, ...]}``;
+* **schedule JSON** -- ``{"cores": [[{"task": ..., "start": ...,
+  "end": ..., "speed": ...}, ...], ...]}``.
+
+These feed the CLI (``python -m repro``) and make experiment inputs and
+outputs diffable artifacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable, List, TextIO, Union
+
+from repro.models.task import Task, TaskSet
+from repro.schedule.timeline import CoreTimeline, ExecutionInterval, Schedule
+
+__all__ = [
+    "tasks_to_json",
+    "tasks_from_json",
+    "tasks_to_csv",
+    "tasks_from_csv",
+    "schedule_to_json",
+    "schedule_from_json",
+]
+
+_TASK_FIELDS = ("name", "release", "deadline", "workload")
+
+
+def tasks_to_json(tasks: Iterable[Task]) -> str:
+    """Serialize tasks to a JSON string."""
+    payload = {
+        "tasks": [
+            {
+                "name": t.name,
+                "release": t.release,
+                "deadline": t.deadline,
+                "workload": t.workload,
+            }
+            for t in tasks
+        ]
+    }
+    return json.dumps(payload, indent=2)
+
+
+def tasks_from_json(text: str) -> List[Task]:
+    """Parse tasks from a JSON string (see module docstring for schema)."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or "tasks" not in payload:
+        raise ValueError("expected a JSON object with a 'tasks' array")
+    tasks: List[Task] = []
+    for index, entry in enumerate(payload["tasks"]):
+        missing = [f for f in ("release", "deadline", "workload") if f not in entry]
+        if missing:
+            raise ValueError(f"task #{index}: missing fields {missing}")
+        tasks.append(
+            Task(
+                float(entry["release"]),
+                float(entry["deadline"]),
+                float(entry["workload"]),
+                str(entry.get("name", "")),
+            )
+        )
+    return tasks
+
+
+def tasks_to_csv(tasks: Iterable[Task], handle: TextIO) -> None:
+    """Write tasks as CSV to an open text handle."""
+    writer = csv.writer(handle)
+    writer.writerow(_TASK_FIELDS)
+    for t in tasks:
+        writer.writerow([t.name, t.release, t.deadline, t.workload])
+
+
+def tasks_from_csv(handle: TextIO) -> List[Task]:
+    """Read tasks from a CSV handle with the canonical header."""
+    reader = csv.DictReader(handle)
+    required = {"release", "deadline", "workload"}
+    if reader.fieldnames is None or not required <= set(reader.fieldnames):
+        raise ValueError(
+            f"tasks CSV needs columns {sorted(required)}; got {reader.fieldnames}"
+        )
+    tasks: List[Task] = []
+    for row_number, row in enumerate(reader):
+        tasks.append(
+            Task(
+                float(row["release"]),
+                float(row["deadline"]),
+                float(row["workload"]),
+                (row.get("name") or f"T{row_number + 1}"),
+            )
+        )
+    if not tasks:
+        raise ValueError("tasks CSV contains no rows")
+    return tasks
+
+
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialize a schedule to a JSON string."""
+    payload = {
+        "cores": [
+            [
+                {
+                    "task": iv.task,
+                    "start": iv.start,
+                    "end": iv.end,
+                    "speed": iv.speed,
+                }
+                for iv in core
+            ]
+            for core in schedule.cores
+        ]
+    }
+    return json.dumps(payload, indent=2)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Parse a schedule from a JSON string."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or "cores" not in payload:
+        raise ValueError("expected a JSON object with a 'cores' array")
+    cores = []
+    for entries in payload["cores"]:
+        cores.append(
+            CoreTimeline(
+                ExecutionInterval(
+                    str(e["task"]), float(e["start"]), float(e["end"]), float(e["speed"])
+                )
+                for e in entries
+            )
+        )
+    return Schedule(cores)

@@ -1,0 +1,14 @@
+"""Event-driven online scheduling simulation.
+
+The engine replays an arrival trace against any :class:`OnlinePolicy`
+(SDEM-ON, the MBKP/MBKPS baselines, race-to-idle, ...), collecting the
+execution intervals each policy emits into a system
+:class:`~repro.schedule.timeline.Schedule` that the shared energy
+accountant then prices.  Policies see only the past: the engine reveals a
+task exactly at its release time.
+"""
+
+from repro.sim.engine import OnlinePolicy, SimulationResult, simulate
+from repro.sim.cores import CoreAllocator
+
+__all__ = ["OnlinePolicy", "SimulationResult", "simulate", "CoreAllocator"]

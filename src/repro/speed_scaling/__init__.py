@@ -1,0 +1,23 @@
+"""Classical single-core DVS speed-scaling substrate.
+
+The MBKP baseline of Section 8 is "the online multi-core DVS algorithm of
+Albers et al. (2007)"; that line of work builds on the Yao-Demers-Shenker
+machinery, so this package provides it from scratch:
+
+* :func:`repro.speed_scaling.yds.yds_schedule` -- the offline YDS critical-
+  interval algorithm (optimal single-core preemptive speed scaling);
+* :func:`repro.speed_scaling.online.optimal_available_plan` -- the Optimal
+  Available (OA) online policy: at every arrival, recompute the YDS-optimal
+  schedule of the remaining work and follow it.
+"""
+
+from repro.speed_scaling.yds import JobPiece, yds_schedule, yds_energy
+from repro.speed_scaling.online import optimal_available_plan, staircase_speeds
+
+__all__ = [
+    "JobPiece",
+    "yds_schedule",
+    "yds_energy",
+    "optimal_available_plan",
+    "staircase_speeds",
+]

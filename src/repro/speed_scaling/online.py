@@ -1,0 +1,89 @@
+"""Online single-core speed scaling: Optimal Available (OA).
+
+OA (Yao-Demers-Shenker) recomputes, at every arrival instant, the optimal
+(YDS) schedule for the *remaining* work and follows it until the next
+arrival.  In the MBKP baseline every job handed to a core has already been
+released, so the remaining-work instance is always a common-release one and
+its YDS schedule reduces to the deadline *staircase*:
+
+    sort jobs by deadline; speed of the first group is
+    ``max_k (sum_{j<=k} w_j) / (d_k - now)``; peel the group off and repeat.
+
+:func:`staircase_speeds` implements that special case directly (O(n log n))
+and :func:`optimal_available_plan` turns it into executable (job, start,
+end, speed) segments.  The general-release case falls back to the full YDS
+solver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.speed_scaling.yds import JobPiece, yds_schedule
+
+__all__ = ["staircase_speeds", "optimal_available_plan"]
+
+
+def staircase_speeds(
+    jobs: Sequence[Tuple[str, float, float]], now: float
+) -> List[Tuple[str, float]]:
+    """YDS speeds for common-release jobs ``(name, deadline, workload)``.
+
+    Returns ``[(name, speed), ...]`` in execution (EDF) order.  Jobs in the
+    same critical group share one speed; groups are peeled off the front of
+    the deadline staircase.
+    """
+    if not jobs:
+        return []
+    pending = sorted(jobs, key=lambda j: (j[1], j[0]))
+    for name, deadline, workload in pending:
+        if deadline <= now:
+            raise ValueError(f"job {name}: deadline {deadline} not after now={now}")
+        if workload <= 0.0:
+            raise ValueError(f"job {name}: non-positive workload")
+    result: List[Tuple[str, float]] = []
+    t = now
+    while pending:
+        # Find the prefix with maximal intensity.
+        cum = 0.0
+        best_intensity = -1.0
+        best_idx = 0
+        for idx, (name, deadline, workload) in enumerate(pending):
+            cum += workload
+            intensity = cum / (deadline - t)
+            if intensity > best_intensity + 1e-15:
+                best_intensity = intensity
+                best_idx = idx
+        group = pending[: best_idx + 1]
+        pending = pending[best_idx + 1 :]
+        for name, _deadline, _workload in group:
+            result.append((name, best_intensity))
+        t += sum(w for _, _, w in group) / best_intensity
+    return result
+
+
+def optimal_available_plan(
+    jobs: Sequence[Tuple[str, float, float]], now: float
+) -> List[JobPiece]:
+    """OA plan segments for common-release remaining jobs.
+
+    Returns back-to-back :class:`JobPiece` segments starting at ``now``;
+    the caller follows them until the next arrival, then replans.
+    """
+    speeds = staircase_speeds(jobs, now)
+    by_name = {name: (deadline, workload) for name, deadline, workload in jobs}
+    segments: List[JobPiece] = []
+    t = now
+    for name, speed in speeds:
+        _, workload = by_name[name]
+        duration = workload / speed
+        segments.append(JobPiece(name, t, t + duration, speed))
+        t += duration
+    return segments
+
+
+def optimal_available_plan_general(
+    jobs: Iterable[Tuple[str, float, float, float]],
+) -> List[JobPiece]:
+    """OA plan for jobs with arbitrary (future) releases: full YDS."""
+    return yds_schedule(jobs)

@@ -1,0 +1,242 @@
+"""Offline YDS speed scaling (Yao, Demers, Shenker, FOCS 1995).
+
+Single core, preemptive, continuous speeds: repeatedly find the *critical
+interval* ``[a, b]`` maximizing the intensity
+
+    g(a, b) = (sum of workloads of jobs with [r, d] inside [a, b]) / (b - a),
+
+schedule those jobs EDF at that constant speed inside ``[a, b]``, excise the
+interval from the timeline, and recurse on the remaining jobs.  The result
+minimizes ``integral of s(t)**lam`` for any ``lam > 1`` simultaneously.
+
+The excision is realized with a growing list of *blocked* spans and a
+coordinate map between real time and "available" time, so the emitted
+pieces live on the original axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["JobPiece", "yds_schedule", "yds_energy"]
+
+
+@dataclass(frozen=True)
+class JobPiece:
+    """One constant-speed execution piece of one job."""
+
+    name: str
+    start: float
+    end: float
+    speed: float
+
+    @property
+    def workload(self) -> float:
+        return self.speed * (self.end - self.start)
+
+
+@dataclass(frozen=True)
+class _Job:
+    name: str
+    release: float
+    deadline: float
+    workload: float
+
+
+class _Timeline:
+    """Real axis with excised (blocked) spans and coordinate maps."""
+
+    def __init__(self) -> None:
+        self._blocked: List[Tuple[float, float]] = []
+
+    def block(self, start: float, end: float) -> None:
+        self._blocked.append((start, end))
+        self._blocked.sort()
+        merged: List[Tuple[float, float]] = []
+        for a, b in self._blocked:
+            if merged and a <= merged[-1][1] + 1e-12:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], b))
+            else:
+                merged.append((a, b))
+        self._blocked = merged
+
+    def to_available(self, t: float) -> float:
+        """Real time -> available time (blocked measure removed)."""
+        shift = 0.0
+        for a, b in self._blocked:
+            if t <= a:
+                break
+            shift += min(t, b) - a
+        return t - shift
+
+    def to_real(self, u: float) -> float:
+        """Available time -> real time (skipping blocked spans)."""
+        t = u
+        for a, b in self._blocked:
+            if t < a - 1e-15:
+                break
+            t += b - a
+        return t
+
+    def real_pieces(self, u_start: float, u_end: float) -> List[Tuple[float, float]]:
+        """Map an available-time span back to real, possibly split spans."""
+        pieces: List[Tuple[float, float]] = []
+        cursor_real = self.to_real(u_start)
+        remaining = u_end - u_start
+        for a, b in self._blocked:
+            if b <= cursor_real:
+                continue
+            if remaining <= 1e-15:
+                break
+            if cursor_real < a:
+                chunk = min(remaining, a - cursor_real)
+                pieces.append((cursor_real, cursor_real + chunk))
+                remaining -= chunk
+                cursor_real += chunk
+            if remaining > 1e-15 and cursor_real >= a - 1e-15:
+                cursor_real = max(cursor_real, b)
+        if remaining > 1e-15:
+            pieces.append((cursor_real, cursor_real + remaining))
+        return pieces
+
+
+def yds_schedule(
+    jobs: Iterable[Tuple[str, float, float, float]],
+    *,
+    tol: float = 1e-12,
+) -> List[JobPiece]:
+    """Optimal offline preemptive single-core speed-scaling schedule.
+
+    Parameters
+    ----------
+    jobs:
+        Iterables of ``(name, release, deadline, workload)``.
+
+    Returns
+    -------
+    list of :class:`JobPiece` on the original time axis, EDF-ordered within
+    each critical interval.
+    """
+    pending = [
+        _Job(name, r, d, w) for name, r, d, w in jobs if w > 0.0
+    ]
+    for job in pending:
+        if job.deadline <= job.release:
+            raise ValueError(f"job {job.name}: empty feasible window")
+    timeline = _Timeline()
+    pieces: List[JobPiece] = []
+
+    while pending:
+        # Work in available coordinates.
+        avail = [
+            _Job(
+                j.name,
+                timeline.to_available(j.release),
+                timeline.to_available(j.deadline),
+                j.workload,
+            )
+            for j in pending
+        ]
+        points = sorted({j.release for j in avail} | {j.deadline for j in avail})
+        best_intensity = -1.0
+        best_span: Tuple[float, float] | None = None
+        for i, a in enumerate(points):
+            for b in points[i + 1 :]:
+                inside = [j for j in avail if j.release >= a - tol and j.deadline <= b + tol]
+                if not inside:
+                    continue
+                intensity = sum(j.workload for j in inside) / (b - a)
+                if intensity > best_intensity + tol:
+                    best_intensity = intensity
+                    best_span = (a, b)
+        assert best_span is not None
+        a, b = best_span
+        speed = best_intensity
+        inside = [
+            j for j in avail if j.release >= a - tol and j.deadline <= b + tol
+        ]
+        # Preemptive EDF at the critical speed inside [a, b] (available
+        # coordinates); EDF at the critical intensity is always feasible.
+        for name, u_start, u_end in _edf_pack(inside, a, speed):
+            for real_a, real_b in timeline.real_pieces(u_start, u_end):
+                pieces.append(JobPiece(name, real_a, real_b, speed))
+        # Excise the critical interval and drop its jobs.
+        real_span_pieces = timeline.real_pieces(a, b)
+        done = {j.name for j in inside}
+        pending = [j for j in pending if j.name not in done]
+        for real_a, real_b in real_span_pieces:
+            timeline.block(real_a, real_b)
+
+    pieces.sort(key=lambda p: (p.start, p.name))
+    return _merge_adjacent(pieces)
+
+
+def _edf_pack(
+    jobs: Sequence[_Job], start: float, speed: float
+) -> List[Tuple[str, float, float]]:
+    """Preemptive EDF simulation at a constant speed.
+
+    ``jobs`` live on one (available-) time axis; execution may not begin
+    before a job's release.  Returns ``(name, start, end)`` runs.
+    """
+    remaining: Dict[str, float] = {j.name: j.workload for j in jobs}
+    info = {j.name: j for j in jobs}
+    releases = sorted({j.release for j in jobs})
+    runs: List[Tuple[str, float, float]] = []
+    # Residuals smaller than the work done in ~1 femtosecond of schedule
+    # time are float noise, not real workload; without this guard the loop
+    # can stall on a residual too small to advance t.
+    work_eps = 1e-12 * max(j.workload for j in jobs) if jobs else 0.0
+    t = start
+    while any(w > work_eps for w in remaining.values()):
+        ready = [
+            info[name]
+            for name, w in remaining.items()
+            if w > work_eps and info[name].release <= t + 1e-12
+        ]
+        if not ready:
+            t = min(r for r in releases if r > t + 1e-12)
+            continue
+        job = min(ready, key=lambda j: (j.deadline, j.name))
+        next_release = min(
+            (r for r in releases if r > t + 1e-12), default=math.inf
+        )
+        finish = t + remaining[job.name] / speed
+        end = min(finish, next_release)
+        if end <= t:
+            # The leftover cannot advance time at this float resolution.
+            remaining[job.name] = 0.0
+            continue
+        runs.append((job.name, t, end))
+        remaining[job.name] -= speed * (end - t)
+        t = end
+    return runs
+
+
+def _merge_adjacent(pieces: List[JobPiece]) -> List[JobPiece]:
+    """Merge touching pieces of the same job at the same speed."""
+    merged: List[JobPiece] = []
+    for p in pieces:
+        if (
+            merged
+            and merged[-1].name == p.name
+            and math.isclose(merged[-1].end, p.start, abs_tol=1e-9)
+            and math.isclose(merged[-1].speed, p.speed, rel_tol=1e-9)
+        ):
+            merged[-1] = JobPiece(p.name, merged[-1].start, p.end, p.speed)
+        else:
+            merged.append(p)
+    return merged
+
+
+def yds_energy(
+    jobs: Iterable[Tuple[str, float, float, float]],
+    beta: float,
+    lam: float,
+) -> float:
+    """Dynamic energy of the YDS schedule under ``P = beta * s**lam``."""
+    return sum(
+        beta * p.speed**lam * (p.end - p.start) for p in yds_schedule(jobs)
+    )

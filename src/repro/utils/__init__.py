@@ -1,0 +1,22 @@
+"""Shared numeric utilities for the SDEM reproduction.
+
+The solvers in :mod:`repro.utils.solvers` implement the small amount of
+numerical machinery the paper's closed-form schemes need: guarded bisection
+for monotone root finding (used for the first-order conditions of
+Eqs. (12)-(15)), a golden-section minimizer for unimodal one-dimensional
+objectives, and helpers for safe power evaluation near domain boundaries.
+"""
+
+from repro.utils.solvers import (
+    bisect_increasing,
+    golden_section_minimize,
+    minimize_convex_1d,
+    minimize_convex_2d_box,
+)
+
+__all__ = [
+    "bisect_increasing",
+    "golden_section_minimize",
+    "minimize_convex_1d",
+    "minimize_convex_2d_box",
+]

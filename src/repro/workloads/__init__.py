@@ -1,0 +1,38 @@
+"""Workload generators reproducing the paper's evaluation inputs (Sec. 8.1).
+
+* :mod:`repro.workloads.synthetic` -- random sporadic task sets per
+  Section 8.1.2 (workloads 2-5 Mcycles, feasible regions 10-120 ms,
+  max inter-arrival ``x`` in 100..800 ms);
+* :mod:`repro.workloads.dspstone` -- DSPstone-like FFT-1024 and
+  matrix-multiply instance streams per Section 8.1.1 (cycle counts
+  modelled from operation counts; see DESIGN.md substitution S2).
+"""
+
+from repro.workloads.synthetic import synthetic_tasks, utilization_of
+from repro.workloads.dspstone import (
+    FFT_1024_KILOCYCLES,
+    REFERENCE_MHZ,
+    dspstone_trace,
+    fft_instance_kilocycles,
+    matmul_instance_kilocycles,
+)
+from repro.workloads.periodic import (
+    PeriodicTask,
+    expand_periodic,
+    hyperperiod,
+    total_utilization,
+)
+
+__all__ = [
+    "PeriodicTask",
+    "expand_periodic",
+    "hyperperiod",
+    "total_utilization",
+    "synthetic_tasks",
+    "utilization_of",
+    "FFT_1024_KILOCYCLES",
+    "REFERENCE_MHZ",
+    "dspstone_trace",
+    "fft_instance_kilocycles",
+    "matmul_instance_kilocycles",
+]

@@ -1,0 +1,72 @@
+"""Shared fixtures for the SDEM reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import (
+    CorePowerModel,
+    MemoryModel,
+    Platform,
+    Task,
+    TaskSet,
+    paper_platform,
+)
+
+
+@pytest.fixture
+def simple_core() -> CorePowerModel:
+    """A round-number core model: P(s) = 100 + 1.0 * s^3 (mW, MHz)."""
+    return CorePowerModel(beta=1.0, lam=3.0, alpha=100.0, s_up=1000.0)
+
+
+@pytest.fixture
+def zero_alpha_core() -> CorePowerModel:
+    """Round-number core with negligible static power (Sections 4.1/5.1)."""
+    return CorePowerModel(beta=1.0, lam=3.0, alpha=0.0, s_up=1000.0)
+
+
+@pytest.fixture
+def simple_memory() -> MemoryModel:
+    return MemoryModel(alpha_m=50.0, xi_m=0.0)
+
+
+@pytest.fixture
+def simple_platform(simple_core, simple_memory) -> Platform:
+    return Platform(core=simple_core, memory=simple_memory)
+
+
+@pytest.fixture
+def zero_alpha_platform(zero_alpha_core, simple_memory) -> Platform:
+    return Platform(core=zero_alpha_core, memory=simple_memory)
+
+
+@pytest.fixture
+def a57_platform() -> Platform:
+    """The Section 8 evaluation platform (transition overheads zeroed)."""
+    return paper_platform(xi=0.0, xi_m=0.0)
+
+
+@pytest.fixture
+def common_release_tasks() -> TaskSet:
+    """Three common-release tasks with staggered deadlines."""
+    return TaskSet(
+        [
+            Task(0.0, 10.0, 20.0, "T1"),
+            Task(0.0, 20.0, 30.0, "T2"),
+            Task(0.0, 40.0, 10.0, "T3"),
+        ]
+    )
+
+
+@pytest.fixture
+def agreeable_tasks() -> TaskSet:
+    """Four agreeable-deadline tasks forming two natural clusters."""
+    return TaskSet(
+        [
+            Task(0.0, 15.0, 25.0, "T1"),
+            Task(5.0, 25.0, 30.0, "T2"),
+            Task(60.0, 80.0, 20.0, "T3"),
+            Task(65.0, 95.0, 35.0, "T4"),
+        ]
+    )

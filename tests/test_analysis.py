@@ -1,0 +1,126 @@
+"""Tests for the analysis helpers (gantt, stats, reports)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    SampleStats,
+    energy_report,
+    render_gantt,
+    schedule_summary,
+    summarize,
+)
+from repro.energy import account
+from repro.models import CorePowerModel, MemoryModel, Platform
+from repro.schedule import ExecutionInterval, Schedule
+
+
+def iv(task, start, end, speed=100.0):
+    return ExecutionInterval(task, start, end, speed)
+
+
+@pytest.fixture
+def schedule():
+    return Schedule.from_assignments(
+        [[iv("alpha", 0, 4), iv("beta", 6, 8)], [iv("gamma", 2, 5)]]
+    )
+
+
+class TestGantt:
+    def test_rows_and_markers(self, schedule):
+        art = render_gantt(schedule, horizon=(0.0, 10.0), width=40)
+        lines = art.splitlines()
+        assert len(lines) == 4  # time + 2 cores + MEM
+        assert lines[1].startswith("core 0")
+        assert "A" in lines[1] and "B" in lines[1]
+        assert "G" in lines[2]
+        assert lines[3].startswith("MEM")
+        assert "#" in lines[3] and "." in lines[3]
+
+    def test_memory_row_reflects_union(self, schedule):
+        art = render_gantt(schedule, horizon=(0.0, 10.0), width=10)
+        mem = art.splitlines()[3].split("|")[1]
+        # Busy union [0,5] and [6,8] over 10 slots of 1 ms each.
+        assert mem[0] == "#" and mem[4] == "#"
+        assert mem[9] == "."
+
+    def test_default_horizon(self, schedule):
+        art = render_gantt(schedule, width=16)
+        assert "time" in art
+
+    def test_rejects_tiny_width(self, schedule):
+        with pytest.raises(ValueError):
+            render_gantt(schedule, width=4)
+
+    def test_rejects_empty_without_horizon(self):
+        empty = Schedule.from_assignments([[]])
+        with pytest.raises(ValueError):
+            render_gantt(empty)
+
+    def test_empty_core_rendered_idle(self):
+        sched = Schedule.from_assignments([[iv("a", 0, 1)], []])
+        art = render_gantt(sched, horizon=(0.0, 2.0), width=10)
+        assert art.splitlines()[2].split("|")[1] == "." * 10
+
+
+class TestStats:
+    def test_single_sample(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.ci95_halfwidth == 0.0
+
+    def test_known_values(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)
+        assert stats.sem == pytest.approx(1.0 / math.sqrt(3.0))
+        # df=2 -> t = 4.303
+        assert stats.ci95_halfwidth == pytest.approx(4.303 / math.sqrt(3.0))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_large_sample_uses_normal_quantile(self):
+        stats = summarize([float(i) for i in range(40)])
+        assert stats.ci95_halfwidth == pytest.approx(1.96 * stats.sem, rel=1e-9)
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+    def test_mean_within_range(self, xs):
+        stats = summarize(xs)
+        assert min(xs) - 1e-9 <= stats.mean <= max(xs) + 1e-9
+        assert stats.std >= 0.0
+
+
+class TestReports:
+    def test_energy_report_shares_sum_to_total(self, schedule):
+        platform = Platform(
+            CorePowerModel(beta=1e-3, lam=3.0, alpha=5.0),
+            MemoryModel(alpha_m=20.0, xi_m=1.0),
+        )
+        bd = account(schedule, platform, horizon=(0.0, 10.0))
+        text = energy_report(bd, label="demo")
+        assert "demo" in text
+        assert "total" in text
+        assert f"{bd.total / 1000.0:.3f}" in text
+
+    def test_energy_report_zero(self):
+        from repro.energy.accounting import EnergyBreakdown
+
+        zero = EnergyBreakdown(0, 0, 0, 0, 0, 0, 0)
+        assert "zero energy" in energy_report(zero)
+
+    def test_schedule_summary_mentions_everything(self, schedule):
+        text = schedule_summary(schedule)
+        assert "core 0" in text and "core 1" in text
+        assert "alpha" in text and "gamma" in text
+        assert "memory" in text
+
+    def test_schedule_summary_idle_core(self):
+        sched = Schedule.from_assignments([[iv("a", 0, 1)], []])
+        assert "idle" in schedule_summary(sched)

@@ -1,0 +1,110 @@
+"""Tests for the Average Rate (AVR) baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import AvrPolicy, mbkp
+from repro.models import CorePowerModel, MemoryModel, Platform, Task
+from repro.sim import simulate
+
+
+def make_platform(num_cores=4, alpha=0.0, s_up=1000.0):
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=alpha, s_up=s_up),
+        MemoryModel(alpha_m=20.0),
+        num_cores=num_cores,
+    )
+
+
+class TestAvrPolicy:
+    def test_single_task_runs_at_density(self):
+        platform = make_platform()
+        tasks = [Task(0.0, 100.0, 1000.0, "a")]
+        result = simulate(AvrPolicy(platform), tasks, platform)
+        iv = result.schedule.all_intervals()[0]
+        assert iv.speed == pytest.approx(10.0)  # density = 1000/100
+        assert iv.start == pytest.approx(0.0)
+        assert iv.end == pytest.approx(100.0)
+
+    def test_overlapping_windows_add_densities(self):
+        """Two same-core jobs with overlapping windows stack their rates."""
+        platform = make_platform(num_cores=1)
+        tasks = [
+            Task(0.0, 100.0, 1000.0, "a"),  # density 10
+            Task(0.0, 50.0, 500.0, "b"),  # density 10
+        ]
+        result = simulate(AvrPolicy(platform), tasks, platform)
+        first = sorted(result.schedule.all_intervals(), key=lambda x: x.start)[0]
+        # While both windows are open the core runs at 20 MHz, EDF -> b.
+        assert first.task == "b"
+        assert first.speed == pytest.approx(20.0)
+
+    def test_finished_job_keeps_contributing_density(self):
+        """AVR's signature: speed depends on windows, not remaining work."""
+        platform = make_platform(num_cores=1)
+        tasks = [
+            Task(0.0, 100.0, 1000.0, "long"),  # density 10
+            Task(0.0, 10.0, 10.0, "blip"),  # density 1, done in ~0.9ms
+        ]
+        result = simulate(AvrPolicy(platform), tasks, platform)
+        pieces = sorted(
+            (iv for iv in result.schedule.all_intervals() if iv.task == "long"),
+            key=lambda x: x.start,
+        )
+        # Before t=10 the long job runs at 11 (blip window still open),
+        # after t=10 at 10.
+        assert pieces[0].speed == pytest.approx(11.0)
+        assert pieces[-1].speed == pytest.approx(10.0)
+
+    def test_feasible_on_random_traces(self):
+        platform = make_platform(num_cores=8, s_up=2000.0)
+        rng = random.Random(5)
+        for _ in range(5):
+            tasks = []
+            t = 0.0
+            for i in range(rng.randint(3, 12)):
+                t += rng.uniform(0.0, 50.0)
+                span = rng.uniform(10.0, 120.0)
+                tasks.append(Task(t, t + span, rng.uniform(500.0, 5000.0), f"J{i}"))
+            result = simulate(AvrPolicy(platform), tasks, platform)
+            assert result.total_energy > 0.0
+
+    def test_avr_never_cheaper_than_oa_on_dynamic_energy(self):
+        """OA (MBKP) is energy-optimal per core; AVR can only match or lose
+        on dynamic energy for single-core instances."""
+        platform = make_platform(num_cores=1, alpha=0.0)
+        rng = random.Random(9)
+        for _ in range(5):
+            tasks = []
+            t = 0.0
+            for i in range(rng.randint(2, 6)):
+                t += rng.uniform(0.0, 40.0)
+                span = rng.uniform(20.0, 120.0)
+                tasks.append(Task(t, t + span, rng.uniform(500.0, 4000.0), f"J{i}"))
+            avr = simulate(AvrPolicy(platform), tasks, platform)
+            oa = simulate(mbkp(platform, num_cores=1), tasks, platform)
+            assert (
+                avr.breakdown.core_dynamic
+                >= oa.breakdown.core_dynamic * (1.0 - 1e-6)
+            )
+
+    def test_needs_finite_cores(self):
+        unbounded = Platform(
+            CorePowerModel(beta=1e-6, lam=3.0), MemoryModel(alpha_m=1.0)
+        )
+        with pytest.raises(ValueError, match="finite"):
+            AvrPolicy(unbounded)
+
+    def test_duplicate_names_rejected(self):
+        platform = make_platform()
+        policy = AvrPolicy(platform)
+        policy.on_arrival(0.0, [Task(0.0, 10.0, 10.0, "x")])
+        # Same name lands on a different core via round-robin, so collide
+        # it intentionally on core 1 of 1.
+        single = AvrPolicy(make_platform(num_cores=1))
+        single.on_arrival(0.0, [Task(0.0, 10.0, 10.0, "x")])
+        with pytest.raises(ValueError, match="duplicate"):
+            single.on_arrival(1.0, [Task(1.0, 12.0, 10.0, "x")])

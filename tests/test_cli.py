@@ -1,0 +1,155 @@
+"""End-to-end tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.models import Task
+from repro.serialization import tasks_to_csv, tasks_to_json
+
+
+@pytest.fixture
+def task_csv(tmp_path):
+    path = os.path.join(tmp_path, "tasks.csv")
+    with open(path, "w") as handle:
+        tasks_to_csv(
+            [
+                Task(0.0, 40.0, 8000.0, "a"),
+                Task(0.0, 70.0, 15000.0, "b"),
+            ],
+            handle,
+        )
+    return path
+
+
+@pytest.fixture
+def agreeable_json(tmp_path):
+    path = os.path.join(tmp_path, "tasks.json")
+    with open(path, "w") as handle:
+        handle.write(
+            tasks_to_json(
+                [
+                    Task(0.0, 30.0, 5000.0, "a"),
+                    Task(10.0, 60.0, 5000.0, "b"),
+                    Task(200.0, 260.0, 5000.0, "c"),
+                ]
+            )
+        )
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "nope"])
+
+
+class TestSolve:
+    def test_demo(self, capsys):
+        assert main(["solve", "--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 4" in out
+        assert "MEM" in out
+        assert "energy report" in out
+
+    def test_csv_input(self, capsys, task_csv):
+        assert main(["solve", "--tasks", task_csv]) == 0
+        out = capsys.readouterr().out
+        assert "memory sleep Delta" in out
+
+    def test_agreeable_json_input(self, capsys, agreeable_json):
+        assert main(["solve", "--tasks", agreeable_json]) == 0
+        out = capsys.readouterr().out
+        assert "Section 5" in out
+        assert "block(s)" in out
+
+    def test_overhead_scheme_selected(self, capsys):
+        assert main(["solve", "--demo", "--xi-m", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 7" in out
+
+    def test_missing_tasks_errors(self):
+        with pytest.raises(SystemExit, match="--tasks"):
+            main(["solve"])
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("policy", ["sdem-on", "mbkp", "mbkps", "avr", "race"])
+    def test_synthetic_trace_all_policies(self, capsys, policy):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--policy",
+                    policy,
+                    "--n",
+                    "10",
+                    "--seed",
+                    "4",
+                    "--x",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert policy in out
+        assert "total" in out
+
+    def test_dspstone_trace(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--dspstone",
+                    "fft",
+                    "--u",
+                    "4",
+                    "--n",
+                    "12",
+                    "--policy",
+                    "sdem-on",
+                ]
+            )
+            == 0
+        )
+        assert "fft" not in capsys.readouterr().err
+
+    def test_gantt_flag(self, capsys):
+        assert (
+            main(
+                ["simulate", "--n", "5", "--gantt", "--width", "40", "--seed", "2"]
+            )
+            == 0
+        )
+        assert "MEM" in capsys.readouterr().out
+
+
+class TestExhibits:
+    def test_fig7a_reduced(self, capsys, tmp_path, monkeypatch):
+        out_dir = os.path.join(tmp_path, "results")
+        assert (
+            main(["fig7a", "--seeds", "1", "--n", "15", "--out", out_dir]) == 0
+        )
+        assert os.path.exists(os.path.join(out_dir, "fig7a.csv"))
+        assert "improvement" in capsys.readouterr().out
+
+    def test_fig6_reduced(self, capsys, tmp_path):
+        out_dir = os.path.join(tmp_path, "results")
+        assert main(["fig6", "--seeds", "1", "--n", "16", "--out", out_dir]) == 0
+        assert os.path.exists(os.path.join(out_dir, "fig6_fft.csv"))
+        assert os.path.exists(os.path.join(out_dir, "fig6_matmul.txt"))
+
+    def test_tables(self, capsys):
+        assert main(["tables", "--n", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 3" in out and "Table 4" in out

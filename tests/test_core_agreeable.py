@@ -1,0 +1,186 @@
+"""Tests for the Section 5 dynamic program over blocks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import solve_agreeable, solve_block, solve_common_release
+from repro.core.reference import reference_agreeable
+from repro.energy import account
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+from repro.schedule import validate_schedule
+
+
+def make_platform(alpha: float, alpha_m: float = 10.0, xi_m: float = 0.0):
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=alpha, s_up=1000.0),
+        MemoryModel(alpha_m=alpha_m, xi_m=xi_m),
+    )
+
+
+def random_agreeable_tasks(rng: random.Random, n: int, spread: float = 150.0) -> TaskSet:
+    releases = sorted(rng.uniform(0.0, spread) for _ in range(n))
+    deadlines = []
+    last_d = 0.0
+    for r in releases:
+        d = max(r + rng.uniform(5.0, 60.0), last_d + rng.uniform(0.1, 5.0))
+        deadlines.append(d)
+        last_d = d
+    return TaskSet(
+        Task(r, d, rng.uniform(50.0, 3000.0))
+        for r, d in zip(releases, deadlines)
+    )
+
+
+@pytest.fixture
+def two_cluster_tasks():
+    """Two clearly separated clusters: the optimum uses two blocks."""
+    return TaskSet(
+        [
+            Task(0.0, 20.0, 2000.0, "A1"),
+            Task(2.0, 25.0, 1500.0, "A2"),
+            Task(500.0, 520.0, 2000.0, "B1"),
+            Task(505.0, 530.0, 1500.0, "B2"),
+        ]
+    )
+
+
+class TestSolveAgreeable:
+    def test_rejects_non_agreeable(self):
+        nested = TaskSet([Task(0, 30, 10), Task(5, 10, 10)])
+        with pytest.raises(ValueError, match="agreeable"):
+            solve_agreeable(nested, make_platform(0.0))
+
+    def test_far_clusters_split_into_two_blocks(self, two_cluster_tasks):
+        sol = solve_agreeable(two_cluster_tasks, make_platform(0.0))
+        assert sol.num_blocks == 2
+        (s1, e1), (s2, e2) = sol.block_intervals()
+        assert e1 <= s2
+
+    def test_single_block_when_memory_cheap_tasks_tight(self):
+        ts = TaskSet(
+            [Task(0.0, 30.0, 2000.0, "a"), Task(5.0, 40.0, 2000.0, "b")]
+        )
+        sol = solve_agreeable(ts, make_platform(0.0, alpha_m=0.5))
+        assert sol.num_blocks >= 1
+        total_block = solve_block(ts, make_platform(0.0, alpha_m=0.5))
+        assert sol.predicted_energy <= total_block.energy + 1e-9
+
+    @pytest.mark.parametrize("alpha", [0.0, 2.0])
+    def test_matches_exhaustive_reference(self, alpha):
+        platform = make_platform(alpha)
+        rng = random.Random(41)
+        for _ in range(4):
+            ts = random_agreeable_tasks(rng, rng.randint(2, 5))
+            sol = solve_agreeable(ts, platform)
+            ref = reference_agreeable(ts, platform, grid=60)
+            assert sol.predicted_energy == pytest.approx(ref, rel=3e-3)
+            assert sol.predicted_energy <= ref * (1.0 + 1e-6)
+
+    @pytest.mark.parametrize("alpha", [0.0, 2.0])
+    def test_schedule_feasible_and_account_consistent(self, alpha):
+        platform = make_platform(alpha)
+        rng = random.Random(43)
+        for _ in range(5):
+            ts = random_agreeable_tasks(rng, rng.randint(2, 7))
+            sol = solve_agreeable(ts, platform)
+            sched = sol.schedule()
+            validate_schedule(
+                sched, ts, max_speed=1000.0, require_non_preemptive=True
+            )
+            bd = account(
+                sched, platform, horizon=(0.0, ts.latest_deadline)
+            )
+            # Blocks charge the memory for their whole interval; the busy
+            # union can only be smaller, never bigger.
+            assert bd.total <= sol.predicted_energy * (1.0 + 1e-9) + 1e-9
+
+    def test_dp_beats_single_block_and_per_task_blocks(self):
+        """The DP must be at least as good as two natural fixed partitions."""
+        platform = make_platform(2.0)
+        rng = random.Random(47)
+        for _ in range(5):
+            ts = random_agreeable_tasks(rng, rng.randint(2, 6))
+            sol = solve_agreeable(ts, platform)
+            single = solve_block(ts, platform).energy
+            per_task = sum(
+                solve_block(ts.subset(i, i + 1), platform).energy
+                for i in range(len(ts))
+            )
+            assert sol.predicted_energy <= single * (1.0 + 1e-9)
+            assert sol.predicted_energy <= per_task * (1.0 + 1e-9)
+
+    def test_common_release_consistency(self):
+        """On common-release inputs the DP must match the Section 4 scheme.
+
+        A common-release set is agreeable, and the Section 4 optimum is one
+        block anchored at the release; both schemes are optimal so their
+        energies must agree.
+        """
+        platform = make_platform(0.0)
+        ts = TaskSet(
+            [Task(0.0, 40.0, 800.0), Task(0.0, 70.0, 1500.0), Task(0.0, 100.0, 400.0)]
+        )
+        dp = solve_agreeable(ts, platform)
+        cr = solve_common_release(ts, platform)
+        assert dp.predicted_energy == pytest.approx(cr.predicted_energy, rel=1e-5)
+
+    def test_transition_overhead_merges_blocks(self):
+        """A big xi_m makes the DP merge blocks it would otherwise split."""
+        ts = TaskSet(
+            [
+                Task(0.0, 20.0, 2000.0, "A"),
+                Task(30.0, 55.0, 2000.0, "B"),
+            ]
+        )
+        free = solve_agreeable(
+            ts, make_platform(0.0, alpha_m=10.0, xi_m=0.0)
+        )
+        costly = solve_agreeable(
+            ts,
+            make_platform(0.0, alpha_m=10.0, xi_m=1e6),
+            include_transition_overhead=True,
+        )
+        assert free.num_blocks == 2
+        assert costly.num_blocks == 1
+
+    def test_transition_overhead_added_per_block(self):
+        platform = make_platform(0.0, alpha_m=10.0, xi_m=1.0)
+        ts = TaskSet([Task(0.0, 20.0, 2000.0), Task(200.0, 230.0, 2000.0)])
+        base = solve_agreeable(ts, platform)
+        charged = solve_agreeable(ts, platform, include_transition_overhead=True)
+        assert charged.num_blocks == base.num_blocks == 2
+        assert charged.predicted_energy == pytest.approx(
+            base.predicted_energy + 2 * platform.memory.transition_energy(),
+            rel=1e-9,
+        )
+
+    def test_more_memory_power_means_fewer_or_shorter_busy_time(self):
+        rng = random.Random(53)
+        ts = random_agreeable_tasks(rng, 6)
+        busy = []
+        for alpha_m in [0.5, 5.0, 50.0]:
+            sol = solve_agreeable(ts, make_platform(0.0, alpha_m=alpha_m))
+            busy.append(sum(b.length for b in sol.blocks))
+        assert all(a >= b - 1e-6 for a, b in zip(busy, busy[1:]))
+
+
+class TestReferenceWithOverhead:
+    def test_dp_matches_reference_including_block_overhead(self):
+        """The +alpha_m*xi_m DP matches the exhaustive reference."""
+        from repro.core.reference import reference_agreeable
+
+        platform = make_platform(0.0, alpha_m=10.0, xi_m=25.0)
+        rng = random.Random(101)
+        for _ in range(3):
+            ts = random_agreeable_tasks(rng, rng.randint(2, 4))
+            sol = solve_agreeable(ts, platform, include_transition_overhead=True)
+            ref = reference_agreeable(
+                ts,
+                platform,
+                grid=60,
+                block_overhead=platform.memory.transition_energy(),
+            )
+            assert sol.predicted_energy == pytest.approx(ref, rel=3e-3)

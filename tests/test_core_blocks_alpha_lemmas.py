@@ -1,0 +1,147 @@
+"""Lemma-level behaviour tests for the Section 5.2 block machinery.
+
+These verify the *structural* claims the paper proves about the
+``alpha != 0`` block optimum (Lemmas 5-6, Theorem 4, Table 2), rather
+than just the final energies:
+
+* Type-I tasks run exactly at their critical speed ``s_0``; Type-II tasks
+  are aligned with the busy interval and run within ``[s_0, s_1]``;
+* adding a Type-II task can only lengthen the optimal busy interval
+  (Lemma 6);
+* Type-I executions are covered by the busy interval (Table 2).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import solve_block
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+
+
+def make_platform(alpha=2.0, alpha_m=10.0, s_up=1000.0):
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=alpha, s_up=s_up),
+        MemoryModel(alpha_m=alpha_m),
+    )
+
+
+def classify(block, platform, tasks):
+    """Split placements into (type1, type2) per the paper's definition."""
+    by_name = {t.name: t for t in tasks}
+    type1, type2 = [], []
+    for p in block.placements:
+        s0 = platform.core.s0(by_name[p.name])
+        if abs(p.speed - s0) <= 1e-6 * s0 and (
+            p.end < block.end - 1e-6 or p.start > block.start + 1e-6
+        ):
+            type1.append(p)
+        else:
+            type2.append(p)
+    return type1, type2
+
+
+def random_agreeable(rng, n, spread=120.0):
+    releases = sorted(rng.uniform(0.0, spread) for _ in range(n))
+    tasks, last_d = [], 0.0
+    for r in releases:
+        d = max(r + rng.uniform(15.0, 90.0), last_d + 0.5)
+        tasks.append(Task(r, d, rng.uniform(200.0, 4000.0)))
+        last_d = d
+    return TaskSet(tasks)
+
+
+class TestTypeClassification:
+    def test_speeds_respect_type_bands(self):
+        """Table 2: Type-I at s_0; Type-II within [s_0, s_1]."""
+        platform = make_platform()
+        rng = random.Random(3)
+        for _ in range(10):
+            tasks = random_agreeable(rng, rng.randint(2, 6))
+            block = solve_block(tasks, platform)
+            by_name = {t.name: t for t in tasks}
+            for p in block.placements:
+                task = by_name[p.name]
+                s0 = platform.core.s0(task)
+                s1 = platform.core.s1(task, platform.memory.alpha_m)
+                assert p.speed >= s0 * (1.0 - 1e-5)
+                assert p.speed <= max(s1, task.filled_speed) * (1.0 + 1e-5)
+
+    def test_type1_executions_covered_by_busy_interval(self):
+        platform = make_platform()
+        rng = random.Random(7)
+        for _ in range(10):
+            tasks = random_agreeable(rng, rng.randint(2, 6))
+            block = solve_block(tasks, platform)
+            for p in block.placements:
+                assert p.start >= block.start - 1e-6
+                assert p.end <= block.end + 1e-6
+
+    def test_some_block_has_both_types(self):
+        """A slack task inside a tight envelope must become Type-I."""
+        platform = make_platform(alpha=2.0, alpha_m=50.0)
+        tasks = TaskSet(
+            [
+                Task(0.0, 12.0, 6000.0, "head"),
+                Task(1.0, 150.0, 200.0, "slack"),
+                Task(2.0, 152.0, 6000.0, "tail"),
+            ]
+        )
+        block = solve_block(tasks, platform)
+        type1, type2 = classify(block, platform, tasks)
+        assert any(p.name == "slack" for p in type1)
+        assert len(type2) >= 1
+
+
+class TestLemma6Monotonicity:
+    def test_busy_interval_grows_with_more_type2_work(self):
+        """Adding an (aligned) task never shrinks the busy interval."""
+        platform = make_platform(alpha=2.0, alpha_m=10.0)
+        base_tasks = [Task(0.0, 60.0, 3000.0, "a")]
+        lengths = []
+        for extra in range(4):
+            tasks = TaskSet(
+                base_tasks
+                + [Task(0.0, 60.0, 3000.0, f"x{k}") for k in range(extra)]
+            )
+            block = solve_block(tasks, platform)
+            lengths.append(block.length)
+        assert all(b >= a - 1e-6 for a, b in zip(lengths, lengths[1:]))
+
+    def test_heavier_workload_never_shrinks_interval(self):
+        platform = make_platform()
+        lengths = []
+        for scale in (1.0, 1.5, 2.0, 3.0):
+            tasks = TaskSet(
+                [Task(0.0, 80.0, 1500.0 * scale, "a"), Task(5.0, 90.0, 1000.0 * scale, "b")]
+            )
+            block = solve_block(tasks, platform)
+            lengths.append(block.length)
+        assert all(b >= a - 1e-6 for a, b in zip(lengths, lengths[1:]))
+
+
+class TestSpeedBandsVsMemoryPower:
+    def test_type2_speeds_rise_with_alpha_m(self):
+        """More memory pressure pushes aligned tasks toward s_1 -> s_up."""
+        tasks = TaskSet([Task(0.0, 80.0, 4000.0, "a"), Task(0.0, 90.0, 3000.0, "b")])
+        speeds = []
+        for alpha_m in (1.0, 10.0, 100.0, 1000.0):
+            platform = make_platform(alpha=2.0, alpha_m=alpha_m)
+            block = solve_block(tasks, platform)
+            speeds.append(max(p.speed for p in block.placements))
+        assert all(b >= a - 1e-6 for a, b in zip(speeds, speeds[1:]))
+
+    def test_zero_memory_power_means_everyone_at_critical_speed(self):
+        """alpha_m -> 0: the memory doesn't matter; every task relaxes to
+        its own critical speed (pure per-core optimum)."""
+        platform = make_platform(alpha=2.0, alpha_m=1e-9)
+        tasks = TaskSet(
+            [Task(0.0, 200.0, 1000.0, "a"), Task(10.0, 300.0, 2000.0, "b")]
+        )
+        block = solve_block(tasks, platform)
+        by_name = {t.name: t for t in tasks}
+        for p in block.placements:
+            s0 = platform.core.s0(by_name[p.name])
+            assert p.speed == pytest.approx(s0, rel=1e-3)

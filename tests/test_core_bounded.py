@@ -1,0 +1,182 @@
+"""Tests for the bounded-core analysis (Theorem 1, Eqs. (2)-(3))."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounded import (
+    balanced_partition_energy,
+    optimal_busy_interval_two_cores,
+    partition_tasks,
+    solve_bounded_common_deadline,
+)
+from repro.energy import account
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+from repro.schedule import validate_schedule
+from repro.utils.solvers import golden_section_minimize
+
+
+def make_platform(alpha_m=10.0, num_cores=2):
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=0.0, s_up=1000.0),
+        MemoryModel(alpha_m=alpha_m),
+        num_cores=num_cores,
+    )
+
+
+class TestClosedForms:
+    def test_eq2_is_stationary_point(self):
+        """Eq. (2) must minimize E(b) = alpha_m b + beta sum (W/b)^lam b."""
+        platform = make_platform()
+        loads = [1200.0, 900.0]
+        b_star = optimal_busy_interval_two_cores(loads, platform)
+
+        def energy(b):
+            return platform.memory.alpha_m * b + sum(
+                platform.core.beta * (load / b) ** 3 * b for load in loads
+            )
+
+        b_num, _ = golden_section_minimize(energy, 1e-3, 1e4)
+        assert b_star == pytest.approx(b_num, rel=1e-6)
+
+    def test_eq3_equals_energy_at_eq2(self):
+        platform = make_platform()
+        loads = [700.0, 1300.0, 450.0]
+        b_star = optimal_busy_interval_two_cores(loads, platform)
+        energy_at_b = platform.memory.alpha_m * b_star + sum(
+            platform.core.beta * (load / b_star) ** 3 * b_star for load in loads
+        )
+        assert balanced_partition_energy(loads, platform) == pytest.approx(
+            energy_at_b, rel=1e-9
+        )
+
+    @given(
+        w=st.lists(st.floats(10.0, 5000.0), min_size=1, max_size=4),
+        alpha_m=st.floats(0.5, 100.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_eq3_monotone_in_power_sum(self, w, alpha_m):
+        platform = make_platform(alpha_m=alpha_m)
+        base = balanced_partition_energy(w, platform)
+        bigger = balanced_partition_energy([x * 1.1 for x in w], platform)
+        assert bigger > base
+
+    def test_balanced_split_beats_skewed(self):
+        """The PARTITION connection: equal halves minimize Eq. (3)."""
+        platform = make_platform()
+        total = 2000.0
+        balanced = balanced_partition_energy([1000.0, 1000.0], platform)
+        for split in [0.6, 0.75, 0.9]:
+            skewed = balanced_partition_energy(
+                [total * split, total * (1 - split)], platform
+            )
+            assert balanced < skewed
+
+
+class TestPartitioners:
+    def test_exact_matches_enumeration_two_cores(self):
+        rng = random.Random(9)
+        for _ in range(10):
+            w = [rng.uniform(1, 100) for _ in range(rng.randint(1, 8))]
+            groups = partition_tasks(w, 2, method="exact")
+            cost = sum(sum(w[i] for i in g) ** 3 for g in groups)
+            best = min(
+                sum(w[i] for i in range(len(w)) if mask >> i & 1) ** 3
+                + sum(w[i] for i in range(len(w)) if not mask >> i & 1) ** 3
+                for mask in range(1 << len(w))
+            )
+            assert cost == pytest.approx(best, rel=1e-9)
+
+    def test_exact_matches_enumeration_three_cores(self):
+        rng = random.Random(15)
+        w = [rng.uniform(1, 100) for _ in range(6)]
+        groups = partition_tasks(w, 3, method="exact")
+        cost = sum(sum(w[i] for i in g) ** 3 for g in groups)
+        best = min(
+            sum(
+                sum(w[i] for i in range(6) if assign[i] == c) ** 3
+                for c in range(3)
+            )
+            for assign in itertools.product(range(3), repeat=6)
+        )
+        assert cost == pytest.approx(best, rel=1e-9)
+
+    def test_lpt_never_beats_exact(self):
+        rng = random.Random(21)
+        for _ in range(10):
+            w = [rng.uniform(1, 100) for _ in range(rng.randint(2, 10))]
+            exact_groups = partition_tasks(w, 2, method="exact")
+            lpt_groups = partition_tasks(w, 2, method="lpt")
+            cost = lambda gs: sum(sum(w[i] for i in g) ** 3 for g in gs)
+            assert cost(exact_groups) <= cost(lpt_groups) * (1.0 + 1e-12)
+
+    def test_lpt_suboptimal_on_crafted_instance(self):
+        """The NP-hardness bite: greedy misses the balanced partition.
+
+        Workloads {3, 3, 2, 2, 2}: LPT yields loads (3+2, 3+2, 2)=(5,5,2)
+        wait -- with 2 cores LPT gives (3,2,2)=7 vs (3,2)=5; the optimum is
+        (3,3)/(2,2,2) = 6/6.
+        """
+        w = [3.0, 3.0, 2.0, 2.0, 2.0]
+        lpt_groups = partition_tasks(w, 2, method="lpt")
+        exact_groups = partition_tasks(w, 2, method="exact")
+        cost = lambda gs: sum(sum(w[i] for i in g) ** 3 for g in gs)
+        assert cost(exact_groups) < cost(lpt_groups)
+        loads = sorted(sum(w[i] for i in g) for g in exact_groups)
+        assert loads == [6.0, 6.0]
+
+    def test_partition_covers_all_indices(self):
+        w = [5.0, 1.0, 2.0, 8.0]
+        groups = partition_tasks(w, 3, method="exact")
+        flat = sorted(i for g in groups for i in g)
+        assert flat == [0, 1, 2, 3]
+
+    def test_exact_guard_on_large_instances(self):
+        with pytest.raises(ValueError, match="exponential"):
+            partition_tasks([1.0] * 30, 2, method="exact")
+
+
+class TestBoundedSolver:
+    def test_requires_theorem1_model(self):
+        platform = make_platform()
+        staggered = TaskSet([Task(0, 10, 5), Task(0, 20, 5)])
+        with pytest.raises(ValueError, match="common"):
+            solve_bounded_common_deadline(staggered, platform)
+
+    def test_schedule_feasible_and_priced(self):
+        platform = make_platform(num_cores=2)
+        ts = TaskSet(
+            [Task(0.0, 50.0, w, f"t{k}") for k, w in enumerate([3000, 3000, 2000, 2000, 2000])]
+        )
+        sol = solve_bounded_common_deadline(ts, platform)
+        sched = sol.schedule()
+        validate_schedule(sched, ts, max_speed=1000.0, require_non_preemptive=True)
+        bd = account(sched, platform, horizon=(0.0, 50.0))
+        assert bd.total == pytest.approx(sol.predicted_energy, rel=1e-9)
+
+    def test_exact_beats_lpt_energy(self):
+        platform = make_platform(num_cores=2)
+        ts = TaskSet(
+            [Task(0.0, 50.0, w, f"t{k}") for k, w in enumerate([3000, 3000, 2000, 2000, 2000])]
+        )
+        exact = solve_bounded_common_deadline(ts, platform, method="exact")
+        lpt = solve_bounded_common_deadline(ts, platform, method="lpt")
+        assert exact.predicted_energy < lpt.predicted_energy
+
+    def test_busy_interval_clamped_to_deadline(self):
+        # Tiny alpha_m pushes Eq. (2) beyond the deadline; must clamp.
+        platform = make_platform(alpha_m=1e-9, num_cores=2)
+        ts = TaskSet([Task(0.0, 10.0, 1000.0), Task(0.0, 10.0, 900.0)])
+        sol = solve_bounded_common_deadline(ts, platform)
+        assert sol.busy_length == pytest.approx(10.0)
+
+    def test_busy_interval_clamped_to_speed_cap(self):
+        # Huge alpha_m pushes Eq. (2) toward zero; speed cap floors it.
+        platform = make_platform(alpha_m=1e9, num_cores=2)
+        ts = TaskSet([Task(0.0, 10.0, 1000.0), Task(0.0, 10.0, 900.0)])
+        sol = solve_bounded_common_deadline(ts, platform)
+        assert sol.busy_length == pytest.approx(1.0)  # 1000 kc / 1000 MHz

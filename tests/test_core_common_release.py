@@ -1,0 +1,236 @@
+"""Tests for the Section 4 optimal common-release schemes.
+
+The key assertions:
+
+* the scheme's closed-form energy equals the generic accountant's price of
+  the emitted schedule (internal consistency);
+* the scheme matches the slow numeric reference optimizer (optimality,
+  Theorems 2 and 3);
+* the binary-search variant (Lemma 1) agrees with the linear scan;
+* schedules are always feasible.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    solve_common_release,
+    solve_common_release_alpha_nonzero,
+    solve_common_release_alpha_zero,
+)
+from repro.core.reference import (
+    common_release_energy_at_delta,
+    reference_common_release,
+)
+from repro.energy import SleepPolicy, account
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+from repro.schedule import validate_schedule
+
+
+def random_common_release_tasks(rng: random.Random, n: int) -> TaskSet:
+    return TaskSet(
+        Task(0.0, rng.uniform(5.0, 120.0), rng.uniform(50.0, 5000.0))
+        for _ in range(n)
+    )
+
+
+@pytest.fixture
+def platform_zero():
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=0.0, s_up=1000.0),
+        MemoryModel(alpha_m=10.0),
+    )
+
+
+@pytest.fixture
+def platform_alpha():
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=2.0, s_up=1000.0),
+        MemoryModel(alpha_m=10.0),
+    )
+
+
+class TestAlphaZeroScheme:
+    def test_rejects_non_common_release(self, platform_zero):
+        ts = TaskSet([Task(0, 10, 5), Task(1, 20, 5)])
+        with pytest.raises(ValueError, match="common release"):
+            solve_common_release_alpha_zero(ts, platform_zero)
+
+    def test_rejects_infeasible_set(self, platform_zero):
+        ts = TaskSet([Task(0, 1.0, 5000.0)])  # needs 5000 MHz > 1000
+        with pytest.raises(ValueError, match="infeasible"):
+            solve_common_release_alpha_zero(ts, platform_zero)
+
+    def test_single_task_closed_form(self, platform_zero):
+        """One task: minimize alpha_m*(d-Delta) + beta w^3 (d-Delta)^-2.
+
+        Optimal busy length b* = (2 beta w^3 / alpha_m)^(1/3) (Eq. (4)).
+        """
+        w, d = 1000.0, 100.0
+        ts = TaskSet([Task(0.0, d, w)])
+        sol = solve_common_release_alpha_zero(ts, platform_zero)
+        beta, alpha_m = 1e-6, 10.0
+        busy_star = (2.0 * beta * w**3 / alpha_m) ** (1.0 / 3.0)
+        assert sol.memory_busy_length == pytest.approx(busy_star, rel=1e-9)
+        assert sol.delta == pytest.approx(d - busy_star, rel=1e-9)
+
+    def test_predicted_energy_matches_accountant(self, platform_zero):
+        ts = TaskSet(
+            [Task(0, 40, 800.0), Task(0, 70, 1500.0), Task(0, 100, 400.0)]
+        )
+        sol = solve_common_release_alpha_zero(ts, platform_zero)
+        sched = sol.schedule()
+        validate_schedule(sched, ts, max_speed=1000.0, require_non_preemptive=True)
+        bd = account(
+            sched,
+            platform_zero,
+            horizon=(0.0, ts.latest_deadline),
+            memory_policy=SleepPolicy.BREAK_EVEN,
+        )
+        assert bd.total == pytest.approx(sol.predicted_energy, rel=1e-9)
+        assert bd.memory_busy_time == pytest.approx(sol.memory_busy_length, rel=1e-9)
+
+    def test_matches_reference_optimizer(self, platform_zero):
+        rng = random.Random(7)
+        for _ in range(10):
+            ts = random_common_release_tasks(rng, rng.randint(1, 8))
+            sol = solve_common_release_alpha_zero(ts, platform_zero)
+            _, ref_energy = reference_common_release(ts, platform_zero)
+            assert sol.predicted_energy == pytest.approx(ref_energy, rel=1e-5)
+
+    def test_binary_matches_scan(self, platform_zero):
+        rng = random.Random(21)
+        for _ in range(30):
+            ts = random_common_release_tasks(rng, rng.randint(1, 12))
+            scan = solve_common_release_alpha_zero(ts, platform_zero, method="scan")
+            binary = solve_common_release_alpha_zero(ts, platform_zero, method="binary")
+            assert binary.predicted_energy == pytest.approx(
+                scan.predicted_energy, rel=1e-9
+            )
+            assert binary.delta == pytest.approx(scan.delta, abs=1e-7)
+
+    def test_huge_memory_power_forces_racing(self):
+        """alpha_m -> inf drives Delta toward its speed-capped maximum."""
+        core = CorePowerModel(beta=1e-6, lam=3.0, alpha=0.0, s_up=1000.0)
+        hungry = Platform(core, MemoryModel(alpha_m=1e9))
+        ts = TaskSet([Task(0, 100, 1000.0), Task(0, 50, 500.0)])
+        sol = solve_common_release_alpha_zero(ts, hungry)
+        # Busy length pinned at max w / s_up = 1 ms.
+        assert sol.memory_busy_length == pytest.approx(1.0, rel=1e-6)
+
+    def test_tiny_memory_power_prefers_filled_speeds(self):
+        """alpha_m -> 0 makes stretching every task to its deadline optimal."""
+        core = CorePowerModel(beta=1e-6, lam=3.0, alpha=0.0, s_up=1000.0)
+        frugal = Platform(core, MemoryModel(alpha_m=1e-12))
+        ts = TaskSet([Task(0, 100, 1000.0), Task(0, 50, 500.0)])
+        sol = solve_common_release_alpha_zero(ts, frugal)
+        assert sol.delta == pytest.approx(0.0, abs=1e-3)
+        for task in ts:
+            assert sol.speeds[task.name] == pytest.approx(
+                task.filled_speed, rel=1e-3
+            )
+
+    def test_energy_at_delta_is_minimal_at_solution(self, platform_zero):
+        ts = TaskSet([Task(0, 60, 900.0), Task(0, 90, 1200.0)])
+        sol = solve_common_release_alpha_zero(ts, platform_zero)
+        e_star = common_release_energy_at_delta(ts, platform_zero, sol.delta)
+        assert e_star == pytest.approx(sol.predicted_energy, rel=1e-9)
+        for probe in [0.0, 0.3, 0.7, 0.95]:
+            delta = probe * (ts.latest_deadline - 1.0)
+            assert (
+                common_release_energy_at_delta(ts, platform_zero, delta)
+                >= e_star - 1e-9
+            )
+
+
+class TestAlphaNonzeroScheme:
+    def test_rejects_alpha_zero_platform(self, platform_zero):
+        ts = TaskSet([Task(0, 10, 5)])
+        with pytest.raises(ValueError, match="alpha"):
+            solve_common_release_alpha_nonzero(ts, platform_zero)
+
+    def test_single_lazy_task_runs_at_critical_speed(self, platform_alpha):
+        """A task with huge slack runs at s_m; memory sleeps the rest."""
+        core = platform_alpha.core
+        ts = TaskSet([Task(0.0, 1000.0, 100.0)])
+        sol = solve_common_release_alpha_nonzero(ts, platform_alpha)
+        # With alpha_m >> alpha the memory term dominates and the single
+        # aligned task is pushed above s_0; its speed lies in [s_0, s_up].
+        speed = sol.speeds["T1"]
+        assert core.s0(ts[0]) - 1e-9 <= speed <= core.s_up + 1e-9
+
+    def test_predicted_energy_matches_accountant(self, platform_alpha):
+        ts = TaskSet(
+            [Task(0, 40, 800.0), Task(0, 70, 1500.0), Task(0, 100, 400.0)]
+        )
+        sol = solve_common_release_alpha_nonzero(ts, platform_alpha)
+        sched = sol.schedule()
+        validate_schedule(sched, ts, max_speed=1000.0, require_non_preemptive=True)
+        bd = account(
+            sched,
+            platform_alpha,
+            horizon=(0.0, ts.latest_deadline),
+        )
+        assert bd.total == pytest.approx(sol.predicted_energy, rel=1e-9)
+
+    def test_matches_reference_optimizer(self, platform_alpha):
+        rng = random.Random(13)
+        for _ in range(10):
+            ts = random_common_release_tasks(rng, rng.randint(1, 8))
+            sol = solve_common_release_alpha_nonzero(ts, platform_alpha)
+            _, ref_energy = reference_common_release(ts, platform_alpha)
+            assert sol.predicted_energy == pytest.approx(ref_energy, rel=1e-5)
+
+    def test_speeds_never_below_critical(self, platform_alpha):
+        rng = random.Random(99)
+        for _ in range(10):
+            ts = random_common_release_tasks(rng, rng.randint(2, 10))
+            sol = solve_common_release_alpha_nonzero(ts, platform_alpha)
+            for task in ts:
+                s0 = platform_alpha.core.s0(task)
+                assert sol.speeds[task.name] >= s0 - 1e-6
+
+    def test_common_deadline_special_case(self, platform_alpha):
+        """All tasks share release AND deadline: single case, Eq. (7)/(8)."""
+        ts = TaskSet([Task(0, 50, 700.0), Task(0, 50, 900.0), Task(0, 50, 400.0)])
+        sol = solve_common_release_alpha_nonzero(ts, platform_alpha)
+        _, ref_energy = reference_common_release(ts, platform_alpha)
+        assert sol.predicted_energy == pytest.approx(ref_energy, rel=1e-6)
+
+
+class TestDispatch:
+    def test_dispatch_selects_regime(self, platform_zero, platform_alpha):
+        ts = TaskSet([Task(0, 50, 700.0), Task(0, 80, 900.0)])
+        assert solve_common_release(ts, platform_zero).alpha_zero
+        assert not solve_common_release(ts, platform_alpha).alpha_zero
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    data=st.lists(
+        st.tuples(st.floats(5.0, 120.0), st.floats(50.0, 5000.0)),
+        min_size=1,
+        max_size=8,
+    ),
+    alpha=st.sampled_from([0.0, 0.5, 2.0, 20.0]),
+    alpha_m=st.floats(0.5, 100.0),
+)
+def test_property_scheme_beats_or_matches_reference(data, alpha, alpha_m):
+    """The closed-form scheme is never worse than the numeric reference.
+
+    (Allowing a hair of slack for the reference's grid resolution.)
+    """
+    ts = TaskSet(Task(0.0, d, w) for d, w in data)
+    platform = Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=alpha, s_up=2000.0),
+        MemoryModel(alpha_m=alpha_m),
+    )
+    sol = solve_common_release(ts, platform)
+    _, ref_energy = reference_common_release(ts, platform, grid=800)
+    assert sol.predicted_energy <= ref_energy * (1.0 + 1e-6) + 1e-9
+    # And the reference can never beat the scheme by more than grid error.
+    assert sol.predicted_energy >= ref_energy * (1.0 - 1e-3) - 1e-9

@@ -1,0 +1,123 @@
+"""Tests for the voltage-island extension (the paper's future work)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import solve_common_release
+from repro.core.islands import solve_islands_common_release
+from repro.energy import account
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+from repro.schedule import validate_schedule
+
+
+def make_platform(alpha=2.0, alpha_m=10.0, s_up=1000.0):
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=alpha, s_up=s_up),
+        MemoryModel(alpha_m=alpha_m),
+    )
+
+
+def random_common(rng, n):
+    return TaskSet(
+        Task(0.0, rng.uniform(20.0, 120.0), rng.uniform(500.0, 5000.0))
+        for _ in range(n)
+    )
+
+
+class TestGuards:
+    def test_requires_common_release(self):
+        ts = TaskSet([Task(0, 10, 5), Task(1, 20, 5)])
+        with pytest.raises(ValueError, match="common release"):
+            solve_islands_common_release(ts, make_platform(), [[0, 1]])
+
+    def test_assignment_must_cover_tasks(self):
+        ts = TaskSet([Task(0, 10, 5), Task(0, 20, 5)])
+        with pytest.raises(ValueError, match="exactly once"):
+            solve_islands_common_release(ts, make_platform(), [[0]])
+        with pytest.raises(ValueError, match="exactly once"):
+            solve_islands_common_release(ts, make_platform(), [[0, 1, 1]])
+
+
+class TestSingletonIslands:
+    @pytest.mark.parametrize("alpha", [0.0, 2.0])
+    def test_matches_section4_optimum(self, alpha):
+        """Islands of size one = independent per-core DVS = Section 4."""
+        rng = random.Random(5)
+        platform = make_platform(alpha=alpha)
+        for _ in range(6):
+            ts = random_common(rng, rng.randint(1, 6))
+            singleton = [[i] for i in range(len(ts))]
+            island = solve_islands_common_release(ts, platform, singleton)
+            section4 = solve_common_release(ts, platform)
+            assert island.predicted_energy == pytest.approx(
+                section4.predicted_energy, rel=1e-3
+            )
+
+
+class TestSharedIslands:
+    def test_sharing_never_beats_independent_rails(self):
+        """Coupling cores can only cost energy (fewer degrees of freedom)."""
+        rng = random.Random(9)
+        platform = make_platform()
+        for _ in range(6):
+            ts = random_common(rng, rng.randint(2, 6))
+            n = len(ts)
+            one_island = solve_islands_common_release(
+                ts, platform, [list(range(n))]
+            )
+            singleton = solve_islands_common_release(
+                ts, platform, [[i] for i in range(n)]
+            )
+            assert one_island.predicted_energy >= singleton.predicted_energy * (
+                1.0 - 1e-9
+            )
+
+    def test_identical_tasks_share_for_free(self):
+        """Identical tasks want identical speeds: sharing costs nothing."""
+        platform = make_platform()
+        ts = TaskSet([Task(0.0, 60.0, 2000.0, f"t{k}") for k in range(4)])
+        shared = solve_islands_common_release(ts, platform, [[0, 1, 2, 3]])
+        split = solve_islands_common_release(ts, platform, [[0], [1], [2], [3]])
+        assert shared.predicted_energy == pytest.approx(
+            split.predicted_energy, rel=1e-6
+        )
+
+    def test_schedule_feasible_and_consistent(self):
+        rng = random.Random(13)
+        platform = make_platform()
+        for _ in range(5):
+            ts = random_common(rng, 5)
+            sol = solve_islands_common_release(ts, platform, [[0, 1], [2, 3, 4]])
+            sched = sol.schedule()
+            validate_schedule(
+                sched, ts, max_speed=1000.0, require_non_preemptive=True
+            )
+            bd = account(sched, platform, horizon=(0.0, ts.latest_deadline))
+            assert bd.total == pytest.approx(sol.predicted_energy, rel=1e-6)
+
+    def test_island_speed_uniform_within_island(self):
+        platform = make_platform()
+        ts = TaskSet(
+            [Task(0.0, 60.0, 1000.0, "a"), Task(0.0, 80.0, 4000.0, "b"),
+             Task(0.0, 100.0, 2500.0, "c")]
+        )
+        sol = solve_islands_common_release(ts, platform, [[0, 1, 2]])
+        sched = sol.schedule()
+        speeds = {iv.speed for iv in sched.all_intervals()}
+        assert len(speeds) == 1
+
+    def test_heavy_task_drags_island_speed(self):
+        """An urgent heavy task forces the whole island to its pace."""
+        platform = make_platform(alpha=2.0, alpha_m=0.01)
+        ts = TaskSet(
+            [Task(0.0, 10.0, 8000.0, "urgent"), Task(0.0, 500.0, 100.0, "lazy")]
+        )
+        shared = solve_islands_common_release(ts, platform, [[0, 1]])
+        # The island runs at the urgent task's filled speed (>= 800 MHz),
+        # so the lazy task is dragged far above its own critical speed.
+        assert shared.island_speeds[0] >= 800.0 - 1e-6
+        split = solve_islands_common_release(ts, platform, [[0], [1]])
+        assert shared.predicted_energy > split.predicted_energy

@@ -1,0 +1,167 @@
+"""Tests for the bounded-core partitioned heuristic."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import solve_common_release, solve_partitioned_common_release
+from repro.core.reference import common_release_energy_at_delta
+from repro.energy import account
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+from repro.schedule import validate_schedule
+
+
+def make_platform(num_cores, alpha_m=10.0):
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=0.0, s_up=1000.0),
+        MemoryModel(alpha_m=alpha_m),
+        num_cores=num_cores,
+    )
+
+
+def random_common(rng, n):
+    return TaskSet(
+        Task(0.0, rng.uniform(10.0, 120.0), rng.uniform(200.0, 5000.0))
+        for _ in range(n)
+    )
+
+
+class TestGuards:
+    def test_needs_finite_cores(self):
+        ts = TaskSet([Task(0, 10, 5)])
+        with pytest.raises(ValueError, match="finite"):
+            solve_partitioned_common_release(ts, make_platform(None))
+
+    def test_needs_common_release(self):
+        ts = TaskSet([Task(0, 10, 5), Task(1, 20, 5)])
+        with pytest.raises(ValueError, match="common release"):
+            solve_partitioned_common_release(ts, make_platform(2))
+
+    def test_needs_alpha_zero(self):
+        platform = Platform(
+            CorePowerModel(beta=1e-6, lam=3.0, alpha=5.0, s_up=1000.0),
+            MemoryModel(alpha_m=10.0),
+            num_cores=2,
+        )
+        ts = TaskSet([Task(0, 10, 5)])
+        with pytest.raises(ValueError, match="alpha"):
+            solve_partitioned_common_release(ts, platform)
+
+
+class TestSolutionQuality:
+    def test_matches_unbounded_optimum_when_cores_suffice(self):
+        rng = random.Random(3)
+        for _ in range(6):
+            ts = random_common(rng, rng.randint(1, 5))
+            bounded = solve_partitioned_common_release(
+                ts, make_platform(len(ts)), method="lpt"
+            )
+            unbounded = solve_common_release(
+                ts, make_platform(None).with_num_cores(None)
+            )
+            assert bounded.predicted_energy == pytest.approx(
+                unbounded.predicted_energy, rel=1e-3
+            )
+
+    def test_feasible_and_priced_consistently(self):
+        rng = random.Random(7)
+        for _ in range(6):
+            ts = random_common(rng, rng.randint(3, 9))
+            platform = make_platform(2)
+            sol = solve_partitioned_common_release(ts, platform)
+            sched = sol.schedule()
+            validate_schedule(
+                sched, ts, max_speed=1000.0, require_non_preemptive=True
+            )
+            bd = account(sched, platform, horizon=(0.0, ts.latest_deadline))
+            # The heuristic charges the memory for [0, busy_end]; internal
+            # per-core gaps can only shrink the accountant's price.
+            assert bd.total <= sol.predicted_energy * (1.0 + 1e-9)
+
+    def test_respects_core_budget(self):
+        rng = random.Random(11)
+        ts = random_common(rng, 9)
+        sol = solve_partitioned_common_release(ts, make_platform(3))
+        assert sol.schedule().num_cores <= 3
+        assert len(sol.groups) == 3
+
+    def test_never_worse_than_stretch_everything(self):
+        """Upper-bound sanity: beat the naive 'filled speeds, memory on
+        through the horizon' schedule."""
+        rng = random.Random(13)
+        for _ in range(5):
+            ts = random_common(rng, rng.randint(4, 8))
+            platform = make_platform(2)
+            sol = solve_partitioned_common_release(ts, platform)
+            naive = common_release_energy_at_delta(ts, platform, 0.0)
+            # Different machine models (2 cores vs unbounded), but the
+            # naive bound only gets weaker with fewer cores.
+            assert sol.predicted_energy <= naive * 2.0
+
+    def test_exact_partition_not_worse_than_lpt(self):
+        rng = random.Random(17)
+        for _ in range(4):
+            ts = random_common(rng, rng.randint(4, 8))
+            platform = make_platform(2)
+            lpt = solve_partitioned_common_release(ts, platform, method="lpt")
+            exact = solve_partitioned_common_release(ts, platform, method="exact")
+            assert exact.predicted_energy <= lpt.predicted_energy * (1.0 + 1e-6)
+
+    def test_high_memory_power_compresses_busy_end(self):
+        rng = random.Random(19)
+        ts = random_common(rng, 6)
+        cheap = solve_partitioned_common_release(ts, make_platform(2, alpha_m=0.5))
+        costly = solve_partitioned_common_release(ts, make_platform(2, alpha_m=500.0))
+        assert costly.busy_end <= cheap.busy_end + 1e-6
+
+
+class TestQuantizedPolicy:
+    def test_quantized_sdem_on_close_to_continuous(self):
+        from repro.baselines import QuantizedPolicy
+        from repro.core import SdemOnlinePolicy
+        from repro.core.discrete import a57_levels
+        from repro.models import paper_platform
+        from repro.sim import simulate
+        from repro.workloads import synthetic_tasks
+
+        platform = paper_platform()
+        trace = synthetic_tasks(n=25, max_interarrival=300.0, seed=5)
+        horizon = (min(t.release for t in trace), max(t.deadline for t in trace))
+        continuous = simulate(
+            SdemOnlinePolicy(platform), trace, platform, horizon=horizon
+        )
+        quantized = simulate(
+            QuantizedPolicy(SdemOnlinePolicy(platform), a57_levels()),
+            trace,
+            platform,
+            horizon=horizon,
+        )
+        # "No big gap": within 5% here.
+        assert quantized.total_energy == pytest.approx(
+            continuous.total_energy, rel=0.05
+        )
+
+    def test_quantized_emits_only_grid_speeds(self):
+        from repro.baselines import QuantizedPolicy, mbkp
+        from repro.core.discrete import a57_levels
+        from repro.models import paper_platform
+        from repro.sim import simulate
+        from repro.workloads import synthetic_tasks
+
+        platform = paper_platform()
+        trace = synthetic_tasks(n=10, max_interarrival=300.0, seed=6)
+        levels = a57_levels()
+        result = simulate(
+            QuantizedPolicy(mbkp(platform), levels), trace, platform
+        )
+        for iv in result.schedule.all_intervals():
+            assert any(abs(iv.speed - lv) < 1e-6 for lv in levels)
+
+    def test_rejects_empty_grid(self):
+        from repro.baselines import QuantizedPolicy, mbkp
+        from repro.models import paper_platform
+
+        with pytest.raises(ValueError):
+            QuantizedPolicy(mbkp(paper_platform()), [])

@@ -1,0 +1,171 @@
+"""Tests for the Section 7 transition-overhead-aware scheme (Theorem 5)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    overhead_energy_at_delta,
+    solve_common_release,
+    solve_common_release_with_overhead,
+)
+from repro.energy import SleepPolicy, account
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+from repro.schedule import validate_schedule
+from repro.utils.solvers import golden_section_minimize
+
+
+def make_platform(alpha=2.0, alpha_m=10.0, xi=0.0, xi_m=0.0):
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=alpha, s_up=1000.0, xi=xi),
+        MemoryModel(alpha_m=alpha_m, xi_m=xi_m),
+    )
+
+
+def random_tasks(rng: random.Random, n: int) -> TaskSet:
+    return TaskSet(
+        Task(0.0, rng.uniform(10.0, 120.0), rng.uniform(100.0, 5000.0))
+        for _ in range(n)
+    )
+
+
+def reference_min(tasks, platform, grid=6000):
+    """Dense scan of the overhead-aware energy over Delta."""
+    core = platform.core
+    if core.alpha == 0.0:
+        horizon = tasks.latest_deadline - tasks[0].release
+    else:
+        outer = tasks.latest_deadline - tasks[0].release
+        horizon = max(t.workload / core.s_c(t, outer) for t in tasks)
+    best = float("inf")
+    for k in range(grid + 1):
+        delta = horizon * k / (grid + 1)
+        best = min(best, overhead_energy_at_delta(tasks, platform, delta))
+    return best
+
+
+class TestZeroOverheadConsistency:
+    """With xi = xi_m = 0 the scheme must reduce to the Section 4 optimum."""
+
+    @pytest.mark.parametrize("alpha", [0.0, 2.0])
+    def test_matches_section4(self, alpha):
+        platform = make_platform(alpha=alpha)
+        rng = random.Random(3)
+        for _ in range(8):
+            ts = random_tasks(rng, rng.randint(1, 7))
+            with_ov = solve_common_release_with_overhead(ts, platform)
+            plain = solve_common_release(ts, platform)
+            assert with_ov.predicted_energy == pytest.approx(
+                plain.predicted_energy, rel=1e-6
+            )
+
+
+class TestOverheadScheme:
+    @pytest.mark.parametrize(
+        "xi,xi_m", [(0.0, 5.0), (3.0, 0.0), (4.0, 8.0), (20.0, 30.0)]
+    )
+    def test_matches_dense_reference(self, xi, xi_m):
+        platform = make_platform(alpha=2.0, xi=xi, xi_m=xi_m)
+        rng = random.Random(7)
+        for _ in range(6):
+            ts = random_tasks(rng, rng.randint(1, 6))
+            sol = solve_common_release_with_overhead(ts, platform)
+            ref = reference_min(ts, platform)
+            assert sol.predicted_energy == pytest.approx(ref, rel=1e-4)
+            assert sol.predicted_energy <= ref * (1.0 + 1e-9)
+
+    def test_predicted_energy_matches_accountant(self):
+        platform = make_platform(alpha=2.0, xi=4.0, xi_m=8.0)
+        ts = TaskSet(
+            [Task(0.0, 40.0, 800.0), Task(0.0, 70.0, 1500.0), Task(0.0, 100.0, 400.0)]
+        )
+        sol = solve_common_release_with_overhead(ts, platform)
+        sched = sol.schedule()
+        validate_schedule(sched, ts, max_speed=1000.0)
+        bd = account(
+            sched,
+            platform,
+            horizon=(0.0, ts.latest_deadline),
+            memory_policy=SleepPolicy.BREAK_EVEN,
+            core_policy=SleepPolicy.BREAK_EVEN,
+        )
+        assert bd.total == pytest.approx(sol.predicted_energy, rel=1e-9)
+
+    def test_huge_break_even_forbids_sleep(self):
+        """xi_m larger than any possible gap: Delta -> 0 is optimal
+        (memory never sleeps; Table 3 bottom row)."""
+        platform = make_platform(alpha=2.0, xi=1e9, xi_m=1e9)
+        ts = TaskSet([Task(0.0, 100.0, 1000.0), Task(0.0, 80.0, 2000.0)])
+        sol = solve_common_release_with_overhead(ts, platform)
+        # With sleeping useless, the schedule should not compress tasks
+        # beyond their constrained critical speed s_c = s_f here.
+        for task in ts:
+            assert sol.speeds[task.name] == pytest.approx(
+                task.filled_speed, rel=1e-6
+            )
+
+    def test_small_break_even_behaves_like_free(self):
+        platform_free = make_platform(alpha=2.0, xi=0.0, xi_m=0.0)
+        platform_tiny = make_platform(alpha=2.0, xi=1e-7, xi_m=1e-7)
+        ts = TaskSet([Task(0.0, 100.0, 1000.0), Task(0.0, 80.0, 2000.0)])
+        free = solve_common_release(ts, platform_free)
+        tiny = solve_common_release_with_overhead(ts, platform_tiny)
+        assert tiny.predicted_energy == pytest.approx(
+            free.predicted_energy, rel=1e-4
+        )
+
+    def test_energy_monotone_in_break_even(self):
+        """A larger xi_m can never reduce the optimal energy."""
+        ts = TaskSet([Task(0.0, 60.0, 1500.0), Task(0.0, 90.0, 800.0)])
+        prev = -1.0
+        for xi_m in [0.0, 5.0, 10.0, 20.0, 40.0, 80.0]:
+            platform = make_platform(alpha=2.0, xi_m=xi_m)
+            energy = solve_common_release_with_overhead(ts, platform).predicted_energy
+            assert energy >= prev - 1e-9
+            prev = energy
+
+    def test_rejects_non_common_release(self):
+        platform = make_platform()
+        ts = TaskSet([Task(0, 10, 5), Task(1, 20, 5)])
+        with pytest.raises(ValueError, match="common release"):
+            solve_common_release_with_overhead(ts, platform)
+
+
+class TestTable3Regimes:
+    """Reconstruct the four rows of Table 3 with constructed instances."""
+
+    def _solve(self, xi, xi_m, alpha_m=10.0):
+        platform = make_platform(alpha=2.0, alpha_m=alpha_m, xi=xi, xi_m=xi_m)
+        ts = TaskSet([Task(0.0, 100.0, 2000.0), Task(0.0, 100.0, 1500.0)])
+        return solve_common_release_with_overhead(ts, platform), platform, ts
+
+    def test_row1_delta_above_both_break_evens_sleeps(self):
+        sol, platform, ts = self._solve(xi=1.0, xi_m=1.0)
+        assert sol.delta > max(platform.core.xi, platform.memory.xi_m)
+        free = solve_common_release(ts, make_platform(alpha=2.0))
+        # Small overheads barely move the optimum.
+        assert sol.delta == pytest.approx(free.delta, rel=0.2)
+
+    def test_row4_delta_below_both_break_evens_no_sleep(self):
+        sol, platform, ts = self._solve(xi=1e8, xi_m=1e8)
+        assert sol.delta == pytest.approx(0.0, abs=1e-6)
+
+    def test_row2_memory_break_even_dominates(self):
+        """xi <= Delta < xi_m: cores may sleep but the memory should not."""
+        sol, platform, ts = self._solve(xi=0.0, xi_m=1e8)
+        # Memory sleeping is hopeless -> stay awake -> Delta = 0 and tasks
+        # run at their (constrained) critical speeds.
+        assert sol.delta == pytest.approx(0.0, abs=1e-6)
+
+    def test_row3_core_break_even_dominates(self):
+        """xi_m <= Delta < xi: memory sleeps, cores idle awake.
+
+        The optimum then follows the Eq. (4)-style stationary point (only
+        alpha_m in the coefficient), not the Eq. (8) one.
+        """
+        sol, platform, ts = self._solve(xi=1e8, xi_m=0.0)
+        ref = reference_min(ts, platform)
+        assert sol.predicted_energy == pytest.approx(ref, rel=1e-5)
+        assert sol.delta > 0.0

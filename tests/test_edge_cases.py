@@ -1,0 +1,162 @@
+"""Edge-case tests across modules: degenerate instances, boundary
+parameters, and error paths the main suites do not reach.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    solve_agreeable,
+    solve_block,
+    solve_common_release,
+    solve_common_release_with_overhead,
+    solve_partitioned_common_release,
+)
+from repro.core.bounded import solve_bounded_common_deadline
+from repro.energy import account
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+from repro.schedule import validate_schedule
+
+
+def make_platform(alpha=0.0, alpha_m=10.0, s_up=1000.0, num_cores=None):
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=alpha, s_up=s_up),
+        MemoryModel(alpha_m=alpha_m),
+        num_cores=num_cores,
+    )
+
+
+class TestSingleTaskInstances:
+    @pytest.mark.parametrize("alpha", [0.0, 2.0])
+    def test_single_task_all_schemes_agree(self, alpha):
+        """One task: §4, §5 and the block solver must coincide."""
+        platform = make_platform(alpha=alpha)
+        ts = TaskSet([Task(0.0, 80.0, 3000.0, "only")])
+        cr = solve_common_release(ts, platform)
+        ag = solve_agreeable(ts, platform)
+        bl = solve_block(ts, platform)
+        assert cr.predicted_energy == pytest.approx(ag.predicted_energy, rel=1e-5)
+        assert cr.predicted_energy == pytest.approx(bl.energy, rel=1e-5)
+
+    def test_task_with_zero_slack(self):
+        """A task whose filled speed equals s_up: only one schedule."""
+        platform = make_platform(s_up=1000.0)
+        ts = TaskSet([Task(0.0, 5.0, 5000.0, "tight")])
+        sol = solve_common_release(ts, platform)
+        assert sol.speeds["tight"] == pytest.approx(1000.0)
+        assert sol.delta == pytest.approx(0.0, abs=1e-9)
+
+
+class TestIdenticalTasks:
+    def test_many_identical_tasks_share_one_alignment(self):
+        platform = make_platform(alpha=2.0)
+        ts = TaskSet([Task(0.0, 50.0, 1000.0, f"t{k}") for k in range(6)])
+        sol = solve_common_release(ts, platform)
+        speeds = set(round(s, 9) for s in sol.speeds.values())
+        assert len(speeds) == 1  # symmetric tasks, symmetric solution
+
+    def test_duplicate_deadline_breakpoints(self):
+        """Repeated deadlines create zero-width cases; must not crash."""
+        platform = make_platform()
+        ts = TaskSet(
+            [
+                Task(0.0, 30.0, 500.0),
+                Task(0.0, 30.0, 700.0),
+                Task(0.0, 30.0, 900.0),
+                Task(0.0, 60.0, 400.0),
+                Task(0.0, 60.0, 100.0),
+            ]
+        )
+        for method in ("scan", "binary"):
+            sol = solve_common_release(ts, platform, method=method)
+            validate_schedule(sol.schedule(), ts, max_speed=1000.0)
+
+
+class TestExtremePlatforms:
+    def test_zero_memory_power(self):
+        """alpha_m = 0: Delta is irrelevant; everything stretches."""
+        platform = make_platform(alpha=0.0, alpha_m=0.0)
+        ts = TaskSet([Task(0.0, 50.0, 1000.0), Task(0.0, 100.0, 2000.0)])
+        sol = solve_common_release(ts, platform)
+        for task in ts:
+            assert sol.speeds[task.name] == pytest.approx(
+                task.filled_speed, rel=1e-6
+            )
+
+    def test_enormous_exponent(self):
+        platform = Platform(
+            CorePowerModel(beta=1e-9, lam=6.0, alpha=0.0, s_up=1000.0),
+            MemoryModel(alpha_m=10.0),
+        )
+        ts = TaskSet([Task(0.0, 50.0, 1000.0), Task(0.0, 100.0, 2000.0)])
+        sol = solve_common_release(ts, platform)
+        bd = account(
+            sol.schedule(), platform, horizon=(0.0, 100.0)
+        )
+        assert bd.total == pytest.approx(sol.predicted_energy, rel=1e-9)
+
+    def test_near_unity_exponent(self):
+        platform = Platform(
+            CorePowerModel(beta=1e-4, lam=1.05, alpha=0.0, s_up=1000.0),
+            MemoryModel(alpha_m=10.0),
+        )
+        ts = TaskSet([Task(0.0, 50.0, 1000.0)])
+        sol = solve_common_release(ts, platform)
+        assert math.isfinite(sol.predicted_energy)
+
+
+class TestOverheadBoundaries:
+    def test_overhead_break_even_exactly_at_gap(self):
+        """xi_m exactly equal to the available gap: sleep and stay-awake
+        tie; either answer must price identically."""
+        platform = Platform(
+            CorePowerModel(beta=1e-6, lam=3.0, alpha=0.0, s_up=1000.0),
+            MemoryModel(alpha_m=10.0, xi_m=50.0),
+        )
+        ts = TaskSet([Task(0.0, 100.0, 50000.0, "t")])  # busy >= 50ms
+        sol = solve_common_release_with_overhead(ts, platform)
+        assert math.isfinite(sol.predicted_energy)
+
+    def test_zero_workload_horizon_edge(self):
+        """Tiny workload, huge deadline: sleep dominates everything."""
+        platform = Platform(
+            CorePowerModel(beta=1e-6, lam=3.0, alpha=310.0, s_up=1900.0, xi=5.0),
+            MemoryModel(alpha_m=4000.0, xi_m=40.0),
+        )
+        ts = TaskSet([Task(0.0, 10000.0, 1.0, "blip")])
+        sol = solve_common_release_with_overhead(ts, platform)
+        sched = sol.schedule()
+        bd = account(sched, platform, horizon=(0.0, 10000.0))
+        assert bd.total == pytest.approx(sol.predicted_energy, rel=1e-6)
+
+
+class TestPartitionedVsExactBounded:
+    def test_common_deadline_consistency(self):
+        """On common-deadline inputs the partitioned heuristic's chains
+        run at uniform speed, so it must match the Theorem 1 solver."""
+        rng = random.Random(23)
+        for _ in range(5):
+            n = rng.randint(3, 8)
+            ts = TaskSet(
+                [Task(0.0, 60.0, rng.uniform(500.0, 4000.0), f"t{k}") for k in range(n)]
+            )
+            platform = make_platform(num_cores=2, alpha_m=50.0)
+            exact = solve_bounded_common_deadline(ts, platform, method="exact")
+            part = solve_partitioned_common_release(ts, platform, method="exact")
+            assert part.predicted_energy == pytest.approx(
+                exact.predicted_energy, rel=1e-3
+            )
+
+
+class TestValidationTolerance:
+    def test_feasibility_tolerates_float_dust_at_sup(self):
+        ts = TaskSet([Task(0.0, 1.0, 1000.0 * (1.0 + 5e-10), "edge")])
+        assert ts.is_feasible_at(1000.0)
+
+    def test_feasibility_rejects_real_violations(self):
+        ts = TaskSet([Task(0.0, 1.0, 1001.0, "bad")])
+        assert not ts.is_feasible_at(1000.0)

@@ -1,0 +1,155 @@
+"""Tests for the system-wide energy accountant (the SDEM objective)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy import SleepPolicy, account
+from repro.models import CorePowerModel, MemoryModel, Platform
+from repro.schedule import ExecutionInterval, Schedule
+
+
+def iv(task, start, end, speed):
+    return ExecutionInterval(task, start, end, speed)
+
+
+@pytest.fixture
+def platform():
+    core = CorePowerModel(beta=1.0, lam=3.0, alpha=10.0, s_up=1000.0, xi=2.0)
+    memory = MemoryModel(alpha_m=50.0, xi_m=4.0)
+    return Platform(core, memory)
+
+
+class TestCoreEnergy:
+    def test_dynamic_energy_integrates_power(self, platform):
+        sched = Schedule.from_assignments([[iv("a", 0, 2, 3.0)]])
+        bd = account(sched, platform, horizon=(0.0, 2.0))
+        assert bd.core_dynamic == pytest.approx(27.0 * 2.0)
+        assert bd.core_static_active == pytest.approx(10.0 * 2.0)
+
+    def test_idle_core_break_even_policy(self, platform):
+        # One busy ms then a 9 ms gap: sleeping costs alpha*xi = 20 < 90.
+        sched = Schedule.from_assignments([[iv("a", 0, 1, 1.0)]])
+        bd = account(sched, platform, horizon=(0.0, 10.0))
+        assert bd.core_idle == pytest.approx(10.0 * 2.0)
+
+    def test_idle_core_short_gap_stays_awake(self, platform):
+        sched = Schedule.from_assignments([[iv("a", 0, 1, 1.0)]])
+        bd = account(sched, platform, horizon=(0.0, 2.0))
+        # 1 ms gap < xi=2: idling awake (10 uJ) beats a transition (20 uJ).
+        assert bd.core_idle == pytest.approx(10.0)
+
+    def test_never_policy_charges_full_gap(self, platform):
+        sched = Schedule.from_assignments([[iv("a", 0, 1, 1.0)]])
+        bd = account(
+            sched, platform, horizon=(0.0, 10.0), core_policy=SleepPolicy.NEVER
+        )
+        assert bd.core_idle == pytest.approx(10.0 * 9.0)
+
+    def test_unused_core_contributes_nothing(self, platform):
+        sched = Schedule.from_assignments([[iv("a", 0, 1, 1.0)], []])
+        one = account(sched, platform, horizon=(0.0, 10.0))
+        solo = account(
+            Schedule.from_assignments([[iv("a", 0, 1, 1.0)]]),
+            platform,
+            horizon=(0.0, 10.0),
+        )
+        assert one.total == pytest.approx(solo.total)
+
+    def test_zero_alpha_core_idle_is_free(self):
+        platform = Platform(
+            CorePowerModel(beta=1.0, lam=3.0, alpha=0.0),
+            MemoryModel(alpha_m=50.0),
+        )
+        sched = Schedule.from_assignments([[iv("a", 0, 1, 1.0)]])
+        bd = account(
+            sched, platform, horizon=(0.0, 100.0), core_policy=SleepPolicy.NEVER
+        )
+        assert bd.core_idle == 0.0
+
+
+class TestMemoryEnergy:
+    def test_memory_active_over_busy_union(self, platform):
+        sched = Schedule.from_assignments([[iv("a", 0, 4, 1.0)], [iv("b", 2, 6, 1.0)]])
+        bd = account(sched, platform, horizon=(0.0, 6.0))
+        assert bd.memory_busy_time == pytest.approx(6.0)
+        assert bd.memory_active == pytest.approx(300.0)
+        assert bd.memory_idle == 0.0
+
+    def test_memory_policies_on_long_gap(self, platform):
+        sched = Schedule.from_assignments([[iv("a", 0, 1, 1.0)]])
+        horizon = (0.0, 21.0)  # 20 ms gap, xi_m = 4 ms
+        never = account(
+            sched, platform, horizon=horizon, memory_policy=SleepPolicy.NEVER
+        )
+        always = account(
+            sched, platform, horizon=horizon, memory_policy=SleepPolicy.ALWAYS
+        )
+        smart = account(
+            sched, platform, horizon=horizon, memory_policy=SleepPolicy.BREAK_EVEN
+        )
+        assert never.memory_idle == pytest.approx(50.0 * 20.0)
+        assert always.memory_idle == pytest.approx(50.0 * 4.0)
+        assert smart.memory_idle == pytest.approx(50.0 * 4.0)
+        assert never.memory_sleep_time == 0.0
+        assert smart.memory_sleep_time == pytest.approx(20.0)
+
+    def test_always_policy_wastes_energy_on_short_gaps(self, platform):
+        # Two busy spans with a 1 ms gap; ALWAYS pays 4 ms of transition.
+        sched = Schedule.from_assignments([[iv("a", 0, 1, 1.0), iv("b", 2, 3, 1.0)]])
+        always = account(
+            sched, platform, horizon=(0.0, 3.0), memory_policy=SleepPolicy.ALWAYS
+        )
+        smart = account(
+            sched, platform, horizon=(0.0, 3.0), memory_policy=SleepPolicy.BREAK_EVEN
+        )
+        assert always.memory_idle == pytest.approx(200.0)
+        assert smart.memory_idle == pytest.approx(50.0)
+        assert always.total > smart.total
+
+    def test_aligned_idle_beats_scattered_idle(self, platform):
+        """The paper's central effect: common idle must be *aligned* to help.
+
+        Same per-core busy time; in the aligned schedule both cores work
+        [0, 4], in the scattered one they alternate so memory never rests.
+        """
+        aligned = Schedule.from_assignments(
+            [[iv("a", 0, 4, 1.0)], [iv("b", 0, 4, 1.0)]]
+        )
+        scattered = Schedule.from_assignments(
+            [[iv("a", 0, 4, 1.0)], [iv("b", 4, 8, 1.0)]]
+        )
+        h = (0.0, 12.0)
+        e_aligned = account(aligned, platform, horizon=h)
+        e_scattered = account(scattered, platform, horizon=h)
+        assert e_aligned.memory_total < e_scattered.memory_total
+        assert e_aligned.memory_sleep_time > e_scattered.memory_sleep_time
+
+
+class TestBreakdownArithmetic:
+    def test_totals_add_up(self, platform):
+        sched = Schedule.from_assignments([[iv("a", 0, 2, 5.0)], [iv("b", 1, 4, 2.0)]])
+        bd = account(sched, platform, horizon=(0.0, 10.0))
+        assert bd.total == pytest.approx(bd.core_total + bd.memory_total)
+        assert bd.core_total == pytest.approx(
+            bd.core_dynamic + bd.core_static_active + bd.core_idle
+        )
+
+    def test_breakdown_addition(self, platform):
+        sched = Schedule.from_assignments([[iv("a", 0, 2, 5.0)]])
+        bd = account(sched, platform, horizon=(0.0, 4.0))
+        doubled = bd + bd
+        assert doubled.total == pytest.approx(2.0 * bd.total)
+        assert doubled.memory_sleep_time == pytest.approx(2.0 * bd.memory_sleep_time)
+
+    @given(speed=st.floats(0.5, 100.0), duration=st.floats(0.1, 50.0))
+    def test_single_task_closed_form(self, speed, duration):
+        """account() must equal the paper's per-task energy expression."""
+        core = CorePowerModel(beta=2.0, lam=3.0, alpha=7.0)
+        memory = MemoryModel(alpha_m=11.0)
+        platform = Platform(core, memory)
+        sched = Schedule.from_assignments([[iv("t", 0.0, duration, speed)]])
+        bd = account(sched, platform, horizon=(0.0, duration))
+        expected = (2.0 * speed**3 + 7.0) * duration + 11.0 * duration
+        assert bd.total == pytest.approx(expected, rel=1e-9)

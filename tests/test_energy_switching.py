@@ -1,0 +1,104 @@
+"""Tests for the DVS frequency-switch overhead accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import count_speed_switches, switching_energy
+from repro.schedule import ExecutionInterval, Schedule
+
+
+def iv(task, start, end, speed):
+    return ExecutionInterval(task, start, end, speed)
+
+
+class TestCountSwitches:
+    def test_constant_speed_no_switches(self):
+        sched = Schedule.from_assignments(
+            [[iv("a", 0, 2, 100.0), iv("b", 2, 5, 100.0)]]
+        )
+        assert count_speed_switches(sched) == [0]
+
+    def test_back_to_back_speed_change(self):
+        sched = Schedule.from_assignments(
+            [[iv("a", 0, 2, 100.0), iv("b", 2, 5, 200.0)]]
+        )
+        assert count_speed_switches(sched) == [1]
+
+    def test_gap_same_speed_free_by_default(self):
+        sched = Schedule.from_assignments(
+            [[iv("a", 0, 2, 100.0), iv("b", 4, 6, 100.0)]]
+        )
+        assert count_speed_switches(sched) == [0]
+
+    def test_gap_different_speed_counts_once(self):
+        sched = Schedule.from_assignments(
+            [[iv("a", 0, 2, 100.0), iv("b", 4, 6, 300.0)]]
+        )
+        assert count_speed_switches(sched) == [1]
+
+    def test_idle_boundaries_pessimistic_mode(self):
+        sched = Schedule.from_assignments(
+            [[iv("a", 0, 2, 100.0), iv("b", 4, 6, 100.0)]]
+        )
+        assert count_speed_switches(sched, count_idle_boundaries=True) == [2]
+
+    def test_per_core_counts(self):
+        sched = Schedule.from_assignments(
+            [
+                [iv("a", 0, 1, 100.0), iv("b", 1, 2, 150.0), iv("c", 2, 3, 100.0)],
+                [iv("d", 0, 5, 800.0)],
+            ]
+        )
+        assert count_speed_switches(sched) == [2, 0]
+
+
+class TestSwitchingEnergy:
+    def test_total_energy(self):
+        sched = Schedule.from_assignments(
+            [[iv("a", 0, 1, 100.0), iv("b", 1, 2, 150.0)]]
+        )
+        report = switching_energy(sched, 25.0)
+        assert report.total_switches == 1
+        assert report.total_energy == pytest.approx(25.0)
+
+    def test_rejects_negative_cost(self):
+        sched = Schedule.from_assignments([[iv("a", 0, 1, 100.0)]])
+        with pytest.raises(ValueError):
+            switching_energy(sched, -1.0)
+
+    def test_offline_scheme_switches_rarely(self):
+        """The paper's claim: non-preemptive offline schemes keep each
+        task at one speed, so switches are at most one per task."""
+        from repro.core import solve_common_release
+        from repro.models import Task, TaskSet, paper_platform
+
+        platform = paper_platform(xi=0.0, xi_m=0.0)
+        tasks = TaskSet(
+            [Task(0.0, 40.0, 8000.0), Task(0.0, 70.0, 15000.0), Task(0.0, 100.0, 4000.0)]
+        )
+        sched = solve_common_release(tasks, platform).schedule()
+        # One task per core, one interval each: zero switches anywhere.
+        assert sum(count_speed_switches(sched)) == 0
+
+    def test_saving_survives_switch_overhead(self):
+        """SDEM-ON's win over MBKP survives charging every speed switch."""
+        from repro.baselines import mbkp
+        from repro.core import SdemOnlinePolicy
+        from repro.models import paper_platform
+        from repro.sim import simulate
+        from repro.workloads import synthetic_tasks
+
+        platform = paper_platform()
+        trace = synthetic_tasks(n=30, max_interarrival=300.0, seed=2)
+        horizon = (min(t.release for t in trace), max(t.deadline for t in trace))
+        on = simulate(SdemOnlinePolicy(platform), trace, platform, horizon=horizon)
+        kp = simulate(mbkp(platform), trace, platform, horizon=horizon)
+        per_switch = 100.0  # a generous 100 uJ per re-leveling
+        on_total = on.total_energy + switching_energy(
+            on.schedule, per_switch
+        ).total_energy
+        kp_total = kp.total_energy + switching_energy(
+            kp.schedule, per_switch
+        ).total_energy
+        assert on_total < kp_total

@@ -1,0 +1,49 @@
+"""Keep every example runnable: execute each script as a subprocess.
+
+Examples are user-facing documentation; a broken example is a broken
+README.  Each must exit 0 and print something sensible.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "SDEM optimal",
+    "race_or_stretch.py": "race to idle",
+    "dsp_pipeline.py": "saving vs MBKP",
+    "agreeable_frames.py": "block",
+    "transition_overhead_study.py": "sweep xi_m",
+    "server_burst_scheduling.py": "SDEM-ON",
+    "big_little_cluster.py": "A57",
+    "voltage_islands.py": "island",
+}
+
+
+def example_scripts():
+    return sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    )
+
+
+def test_every_example_has_a_marker():
+    assert set(example_scripts()) == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_MARKERS[script] in result.stdout
+    assert not result.stderr.strip()

@@ -1,0 +1,158 @@
+"""Integration tests for the experiment harness (Section 8 exhibits).
+
+These use reduced sizes (few seeds, short traces) -- the full-scale runs
+live in ``benchmarks/`` -- but assert the *shape* properties the paper
+reports, which must already be visible at small scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    run_fig6,
+    run_fig7a,
+    run_fig7b,
+    table1_rows,
+    table3_rows,
+    table4_rows,
+)
+from repro.experiments.runner import SeriesResult, render_ascii_chart, write_csv
+
+
+@pytest.fixture(scope="module")
+def fig6_fft():
+    return run_fig6("fft", u_values=[2, 5, 9], seeds=2, instances=24)
+
+
+class TestFig6:
+    def test_sdem_beats_mbkps_everywhere(self, fig6_fft):
+        for p in fig6_fft.points:
+            assert p.sdem_total < p.mbkps_total
+            assert p.sdem_total < p.mbkp_total
+
+    def test_memory_saving_grows_at_low_utilization(self, fig6_fft):
+        """Fig. 6a trend: more idle time -> more memory saving."""
+        savings = [p.sdem_memory_saving for p in fig6_fft.points]
+        assert savings[-1] > savings[0]
+
+    def test_mbkps_close_to_mbkp_at_high_utilization(self, fig6_fft):
+        """At U=2 MBKPS 'can barely idle the memory' (Section 8.2)."""
+        first = fig6_fft.points[0]
+        assert abs(first.mbkps_system_saving) < 25.0
+        assert first.mbkps_system_saving < fig6_fft.points[-1].mbkps_system_saving
+
+    def test_matmul_variant_runs(self):
+        series = run_fig6("matmul", u_values=[3], seeds=1, instances=16)
+        assert len(series.points) == 1
+        assert series.points[0].sdem_total < series.points[0].mbkp_total
+
+
+class TestFig7:
+    def test_fig7a_grid_and_headline(self):
+        series = run_fig7a(
+            alpha_m_values=[2000.0, 6000.0],
+            x_values=[200.0, 600.0],
+            seeds=2,
+            trace_length=25,
+        )
+        assert len(series.points) == 4
+        for p in series.points:
+            assert p.sdem_total < p.mbkps_total
+        # Paper: average SDEM-ON improvement over MBKPS ~ 9.74% (ours is
+        # larger; the shape requirement is strictly positive).
+        assert series.mean_improvement() > 0.0
+
+    def test_fig7b_mild_dependence_on_xi_m(self):
+        """'There is basically no difference with the varying of
+        break-even time' -- we observe a mild decline rather than total
+        flatness (see EXPERIMENTS.md), but the improvement must stay
+        positive and far from collapsing across the extreme xi_m values."""
+        series = run_fig7b(
+            xi_m_values=[15.0, 70.0], x_values=[400.0], seeds=2, trace_length=25
+        )
+        improvements = [p.sdem_vs_mbkps_improvement for p in series.points]
+        assert all(v > 0.0 for v in improvements)
+        assert abs(improvements[0] - improvements[1]) < 40.0
+
+    def test_mbkps_approaches_mbkp_as_x_shrinks(self):
+        series = run_fig7a(
+            alpha_m_values=[4000.0],
+            x_values=[100.0, 800.0],
+            seeds=2,
+            trace_length=25,
+        )
+        dense, sparse = series.points
+        assert abs(dense.mbkps_system_saving) < abs(sparse.mbkps_system_saving)
+
+
+class TestTables:
+    def test_table1_all_rows_execute(self):
+        rows = table1_rows(n=6)
+        assert len(rows) == 6
+        sections = [row["section"] for row in rows]
+        assert sections == ["4.1", "4.2", "5.1", "5.2", "6", "7"]
+        for row in rows:
+            assert float(row["measured_ms"]) >= 0.0
+
+    def test_table3_regimes(self):
+        rows = table3_rows()
+        assert len(rows) == 4
+        by_case = {row["case"]: row for row in rows}
+        # Rows 2 and 4: memory cannot amortize a sleep -> Delta = 0.
+        assert float(by_case["xi <= Delta < xi_m"]["delta_ms"]) == pytest.approx(
+            0.0, abs=1e-6
+        )
+        assert float(by_case["Delta < xi, xi_m"]["delta_ms"]) == pytest.approx(
+            0.0, abs=1e-6
+        )
+        # Row 1: free-ish transitions -> the memory sleeps.
+        assert float(by_case["Delta >= xi, xi_m"]["delta_ms"]) > 1.0
+
+    def test_table4_matches_paper_grid(self):
+        rows = table4_rows()
+        assert len(rows) == 8
+        assert [r["x_ms"] for r in rows] == [
+            "100", "200", "300", "400", "500", "600", "700", "800",
+        ]
+        assert rows[3]["alpha_m_w"] == "4"
+        assert rows[4]["xi_m_ms"] == "40"
+
+
+class TestRunnerHelpers:
+    def test_write_csv_roundtrip(self, fig6_fft, tmp_path):
+        path = os.path.join(tmp_path, "fig6a.csv")
+        write_csv(fig6_fft, path)
+        with open(path) as handle:
+            lines = handle.read().strip().splitlines()
+        assert len(lines) == 1 + len(fig6_fft.points)
+        assert "sdem_system_saving_pct" in lines[0]
+
+    def test_write_csv_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(SeriesResult(name="empty"), os.path.join(tmp_path, "x.csv"))
+
+    def test_ascii_chart_renders(self):
+        art = render_ascii_chart(
+            "demo", [("U=2", {"sdem": 40.0, "mbkps": 10.0})], width=20
+        )
+        assert "demo" in art and "U=2" in art and "#" in art
+        assert "40.00%" in art
+
+
+class TestConfidenceIntervals:
+    def test_rows_include_ci_halfwidth(self, fig6_fft):
+        rows = fig6_fft.rows()
+        assert all("sdem_saving_ci95_pct" in row for row in rows)
+        assert all(float(row["sdem_saving_ci95_pct"]) >= 0.0 for row in rows)
+
+    def test_saving_spread_statistics(self, fig6_fft):
+        for point in fig6_fft.points:
+            spread = point.saving_spread()
+            assert spread is not None
+            assert spread.n == len(point.sdem_saving_samples)
+            lo = spread.mean - spread.ci95_halfwidth
+            hi = spread.mean + spread.ci95_halfwidth
+            assert lo <= spread.mean <= hi

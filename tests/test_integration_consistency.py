@@ -1,0 +1,184 @@
+"""Cross-scheme integration tests.
+
+These tie the whole library together: different solvers attacking the same
+instance must relate in the ways the theory dictates --
+
+* the online heuristic can never beat the offline optimum (it *equals* it
+  on single-batch instances, because the relaxation is then exact);
+* the agreeable DP can never lose to the online heuristic on agreeable
+  traces (the DP is optimal among all schedules, online or not, in the
+  free-transition model);
+* every scheme's output is priced by the same accountant over the same
+  horizon, so the comparisons are apples to apples.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import mbkp, mbkps
+from repro.core import (
+    SdemOnlinePolicy,
+    solve_agreeable,
+    solve_common_release,
+)
+from repro.energy import SleepPolicy, account
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+from repro.sim import simulate
+
+
+def make_platform(alpha=0.0, alpha_m=20.0):
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=alpha, s_up=1500.0),
+        MemoryModel(alpha_m=alpha_m),
+        num_cores=None,
+    )
+
+
+def random_agreeable_trace(rng: random.Random, n: int) -> list:
+    releases = sorted(rng.uniform(0.0, 300.0) for _ in range(n))
+    tasks, last_d = [], 0.0
+    for k, r in enumerate(releases):
+        d = max(r + rng.uniform(15.0, 90.0), last_d + 0.5)
+        tasks.append(Task(r, d, rng.uniform(500.0, 4000.0), f"J{k}"))
+        last_d = d
+    return tasks
+
+
+class TestOnlineVsOffline:
+    @pytest.mark.parametrize("alpha", [0.0, 5.0])
+    def test_online_equals_offline_on_single_batch(self, alpha):
+        platform = make_platform(alpha=alpha)
+        rng = random.Random(1)
+        for _ in range(5):
+            tasks = [
+                Task(0.0, rng.uniform(20.0, 120.0), rng.uniform(500.0, 4000.0), f"J{k}")
+                for k in range(rng.randint(1, 6))
+            ]
+            horizon = (0.0, max(t.deadline for t in tasks))
+            online = simulate(
+                SdemOnlinePolicy(platform), tasks, platform, horizon=horizon
+            )
+            offline = solve_common_release(TaskSet(tasks), platform)
+            assert online.total_energy == pytest.approx(
+                offline.predicted_energy, rel=1e-6
+            )
+
+    @pytest.mark.parametrize("alpha", [0.0, 5.0])
+    def test_agreeable_dp_never_loses_to_online(self, alpha):
+        """Offline optimal <= online heuristic on agreeable traces."""
+        platform = make_platform(alpha=alpha)
+        rng = random.Random(7)
+        for _ in range(4):
+            trace = random_agreeable_trace(rng, rng.randint(2, 6))
+            ts = TaskSet(trace)
+            horizon = (0.0, ts.latest_deadline)
+            dp = solve_agreeable(ts, platform)
+            offline_cost = account(
+                dp.schedule(), platform, horizon=horizon
+            ).total
+            online = simulate(
+                SdemOnlinePolicy(platform), trace, platform, horizon=horizon
+            )
+            assert offline_cost <= online.total_energy * (1.0 + 1e-6)
+
+    def test_online_beats_baselines_on_agreeable_traces(self):
+        platform = Platform(
+            CorePowerModel(beta=1e-6, lam=3.0, alpha=5.0, s_up=1500.0),
+            MemoryModel(alpha_m=20.0),
+            num_cores=8,
+        )
+        rng = random.Random(11)
+        for _ in range(3):
+            trace = random_agreeable_trace(rng, 8)
+            horizon = (0.0, max(t.deadline for t in trace))
+            on = simulate(SdemOnlinePolicy(platform), trace, platform, horizon=horizon)
+            kp = simulate(mbkp(platform), trace, platform, horizon=horizon)
+            ks = simulate(mbkps(platform), trace, platform, horizon=horizon)
+            assert on.total_energy <= kp.total_energy
+            assert on.total_energy <= ks.total_energy
+
+
+class TestAccountantUniformity:
+    def test_same_schedule_same_price_for_all_policies(self):
+        """MBKP and MBKPS must emit byte-identical schedules; the entire
+        difference must be the memory accounting policy."""
+        platform = Platform(
+            CorePowerModel(beta=1e-6, lam=3.0, alpha=5.0, s_up=1500.0),
+            MemoryModel(alpha_m=20.0, xi_m=3.0),
+            num_cores=4,
+        )
+        rng = random.Random(13)
+        trace = random_agreeable_trace(rng, 7)
+        horizon = (0.0, max(t.deadline for t in trace))
+        r_kp = simulate(mbkp(platform), trace, platform, horizon=horizon)
+        r_ks = simulate(mbkps(platform), trace, platform, horizon=horizon)
+        iv_kp = sorted(
+            (iv.task, iv.start, iv.end, iv.speed)
+            for iv in r_kp.schedule.all_intervals()
+        )
+        iv_ks = sorted(
+            (iv.task, iv.start, iv.end, iv.speed)
+            for iv in r_ks.schedule.all_intervals()
+        )
+        assert iv_kp == iv_ks
+        assert r_kp.breakdown.core_total == pytest.approx(
+            r_ks.breakdown.core_total
+        )
+        assert r_kp.breakdown.memory_total != pytest.approx(
+            r_ks.breakdown.memory_total
+        )
+
+    def test_energy_monotone_in_alpha_m_for_fixed_schedule(self):
+        platform_small = make_platform(alpha_m=1.0)
+        platform_big = make_platform(alpha_m=50.0)
+        tasks = TaskSet([Task(0.0, 50.0, 2000.0), Task(0.0, 90.0, 1500.0)])
+        sched = solve_common_release(tasks, platform_small).schedule()
+        horizon = (0.0, 90.0)
+        small = account(sched, platform_small, horizon=horizon).total
+        big = account(sched, platform_big, horizon=horizon).total
+        assert big > small
+
+    def test_optimal_energy_monotone_in_alpha_m(self):
+        """The *optimal* energy is also monotone in memory power."""
+        tasks = TaskSet([Task(0.0, 50.0, 2000.0), Task(0.0, 90.0, 1500.0)])
+        previous = -1.0
+        for alpha_m in [0.5, 2.0, 8.0, 32.0, 128.0]:
+            sol = solve_common_release(tasks, make_platform(alpha_m=alpha_m))
+            assert sol.predicted_energy > previous
+            previous = sol.predicted_energy
+
+    def test_optimal_delta_monotone_in_alpha_m(self):
+        """Hungrier memory -> longer optimal sleep (never shorter)."""
+        tasks = TaskSet([Task(0.0, 50.0, 2000.0), Task(0.0, 90.0, 1500.0)])
+        previous = -1.0
+        for alpha_m in [0.5, 2.0, 8.0, 32.0, 128.0]:
+            sol = solve_common_release(tasks, make_platform(alpha_m=alpha_m))
+            assert sol.delta >= previous - 1e-9
+            previous = sol.delta
+
+
+class TestEndToEndPipeline:
+    def test_generate_solve_quantize_price(self):
+        """The README pipeline: generate -> solve -> discretize -> price."""
+        from repro.core.discrete import a57_levels, quantize_schedule
+        from repro.models import paper_platform
+        from repro.schedule import validate_schedule
+
+        platform = paper_platform(xi=0.0, xi_m=0.0)
+        tasks = TaskSet(
+            [Task(0.0, 40.0, 8000.0, "a"), Task(0.0, 70.0, 15000.0, "b")]
+        )
+        solution = solve_common_release(tasks, platform)
+        continuous = solution.schedule()
+        validate_schedule(continuous, tasks, max_speed=1900.0)
+        discrete = quantize_schedule(continuous, a57_levels())
+        validate_schedule(discrete, tasks, max_speed=1900.0)
+        horizon = (0.0, 70.0)
+        e_cont = account(continuous, platform, horizon=horizon).total
+        e_disc = account(discrete, platform, horizon=horizon).total
+        # Quantization costs a little dynamic energy but may shorten busy
+        # time (round-up); both effects are small.
+        assert e_disc == pytest.approx(e_cont, rel=0.05)

@@ -1,0 +1,82 @@
+"""Tests for the memory and platform models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import MemoryModel, Platform, paper_platform
+from repro.models.platform import arm_cortex_a57, dram_50nm
+
+
+class TestMemoryModel:
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            MemoryModel(alpha_m=-1.0)
+        with pytest.raises(ValueError):
+            MemoryModel(alpha_m=1.0, xi_m=-1.0)
+
+    def test_active_energy(self):
+        mem = MemoryModel(alpha_m=50.0)
+        assert mem.active_energy(4.0) == pytest.approx(200.0)
+        with pytest.raises(ValueError):
+            mem.active_energy(-1.0)
+
+    def test_transition_energy_is_alpha_m_times_xi_m(self):
+        mem = MemoryModel(alpha_m=50.0, xi_m=3.0)
+        assert mem.transition_energy() == pytest.approx(150.0)
+
+    def test_break_even_decision(self):
+        mem = MemoryModel(alpha_m=50.0, xi_m=3.0)
+        assert mem.should_sleep(3.0)
+        assert mem.should_sleep(10.0)
+        assert not mem.should_sleep(2.9)
+
+    def test_best_gap_energy_takes_minimum(self):
+        mem = MemoryModel(alpha_m=50.0, xi_m=3.0)
+        assert mem.best_gap_energy(2.0) == pytest.approx(100.0)  # stay awake
+        assert mem.best_gap_energy(10.0) == pytest.approx(150.0)  # sleep
+
+    def test_zero_xi_m_sleep_is_free(self):
+        mem = MemoryModel(alpha_m=50.0, xi_m=0.0)
+        assert mem.best_gap_energy(7.0) == 0.0
+
+    def test_copy_helpers(self):
+        mem = MemoryModel(alpha_m=50.0, xi_m=3.0)
+        assert mem.with_alpha_m(60.0).alpha_m == 60.0
+        assert mem.with_alpha_m(60.0).xi_m == 3.0
+        assert mem.with_xi_m(5.0).xi_m == 5.0
+
+
+class TestPlatform:
+    def test_unbounded_flag(self, simple_core, simple_memory):
+        assert Platform(simple_core, simple_memory).unbounded
+        assert not Platform(simple_core, simple_memory, num_cores=8).unbounded
+
+    def test_rejects_zero_cores(self, simple_core, simple_memory):
+        with pytest.raises(ValueError):
+            Platform(simple_core, simple_memory, num_cores=0)
+
+    def test_negligible_core_static(self, simple_platform):
+        zeroed = simple_platform.negligible_core_static()
+        assert zeroed.core.alpha == 0.0
+        assert zeroed.memory == simple_platform.memory
+
+    def test_zero_transition_overheads(self):
+        platform = paper_platform(xi=2.0, xi_m=40.0)
+        clean = platform.zero_transition_overheads()
+        assert clean.core.xi == 0.0
+        assert clean.memory.xi_m == 0.0
+        assert clean.core.alpha == platform.core.alpha
+
+    def test_paper_platform_defaults_match_table4_stars(self):
+        platform = paper_platform()
+        assert platform.num_cores == 8
+        assert platform.memory.alpha_m == pytest.approx(4000.0)  # 4 W
+        assert platform.memory.xi_m == pytest.approx(40.0)  # 40 ms
+        assert platform.core == arm_cortex_a57()
+        assert platform.memory == dram_50nm()
+
+    def test_with_helpers(self, simple_platform):
+        assert simple_platform.with_num_cores(4).num_cores == 4
+        new_mem = MemoryModel(alpha_m=1.0)
+        assert simple_platform.with_memory(new_mem).memory is new_mem

@@ -1,0 +1,150 @@
+"""Unit and property tests for the core power model (paper Eq. (1))."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models import CorePowerModel, Task
+from repro.models.platform import arm_cortex_a57
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beta": 0.0, "lam": 3.0},
+            {"beta": 1.0, "lam": 1.0},
+            {"beta": 1.0, "lam": 3.0, "alpha": -1.0},
+            {"beta": 1.0, "lam": 3.0, "s_up": 0.0},
+            {"beta": 1.0, "lam": 3.0, "s_up": 10.0, "s_min": 20.0},
+            {"beta": 1.0, "lam": 3.0, "xi": -0.1},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CorePowerModel(**kwargs)
+
+
+class TestPowerAndEnergy:
+    def test_dynamic_power_cubic(self, simple_core):
+        assert simple_core.dynamic_power(2.0) == pytest.approx(8.0)
+        assert simple_core.active_power(2.0) == pytest.approx(108.0)
+
+    def test_execution_energy_formula(self, simple_core):
+        # E = (alpha + beta s^3) w / s with w=10, s=5: (100+125)*2 = 450
+        assert simple_core.execution_energy(10.0, 5.0) == pytest.approx(450.0)
+
+    def test_zero_workload_costs_nothing(self, simple_core):
+        assert simple_core.execution_energy(0.0, 5.0) == 0.0
+
+    def test_stretch_energy_matches_execution_energy(self, simple_core):
+        w, duration = 10.0, 4.0
+        stretched = simple_core.stretch_energy(w, duration)
+        explicit = simple_core.execution_energy(w, w / duration)
+        assert stretched == pytest.approx(explicit)
+
+    def test_idle_and_transition_energy(self, simple_core):
+        core = simple_core.with_xi(3.0)
+        assert core.idle_energy(2.0) == pytest.approx(200.0)
+        assert core.sleep_transition_energy() == pytest.approx(300.0)
+
+    @given(speed=st.floats(1.0, 1000.0), workload=st.floats(0.1, 1e5))
+    def test_energy_positive_and_scales_linearly_in_workload(self, speed, workload):
+        core = CorePowerModel(beta=1e-6, lam=3.0, alpha=50.0, s_up=1000.0)
+        single = core.execution_energy(workload, speed)
+        double = core.execution_energy(2.0 * workload, speed)
+        assert single > 0.0
+        assert math.isclose(double, 2.0 * single, rel_tol=1e-9)
+
+
+class TestCriticalSpeeds:
+    def test_s_m_closed_form(self, simple_core):
+        # s_m = (alpha / (beta (lam-1)))^(1/lam) = (100/2)^(1/3)
+        assert simple_core.s_m == pytest.approx(50.0 ** (1.0 / 3.0))
+
+    def test_s_m_zero_without_static_power(self, zero_alpha_core):
+        assert zero_alpha_core.s_m == 0.0
+
+    def test_s_m_is_energy_minimizer(self, simple_core):
+        w = 100.0
+        best = simple_core.execution_energy(w, simple_core.s_m)
+        for speed in [0.5, 0.9, 1.1, 2.0]:
+            assert best <= simple_core.execution_energy(w, speed * simple_core.s_m) + 1e-9
+
+    def test_s_cm_exceeds_s_m(self, simple_core):
+        assert simple_core.s_cm(50.0) > simple_core.s_m
+        assert simple_core.s_cm(0.0) == pytest.approx(simple_core.s_m)
+        with pytest.raises(ValueError):
+            simple_core.s_cm(-1.0)
+
+    def test_s0_clamps_between_filled_and_sup(self, simple_core):
+        slow_task = Task(0.0, 100.0, 1.0)  # s_f = 0.01 << s_m
+        assert simple_core.s0(slow_task) == pytest.approx(simple_core.s_m)
+        urgent_task = Task(0.0, 1.0, 500.0)  # s_f = 500 >> s_m
+        assert simple_core.s0(urgent_task) == pytest.approx(500.0)
+        impossible = Task(0.0, 1.0, 5000.0)  # s_f = 5000 > s_up
+        assert simple_core.s0(impossible) == pytest.approx(simple_core.s_up)
+
+    def test_s1_ordering(self, simple_core):
+        task = Task(0.0, 100.0, 1.0)
+        assert simple_core.s1(task, 50.0) >= simple_core.s0(task)
+
+    def test_s0_always_deadline_feasible(self, simple_core):
+        task = Task(0.0, 2.0, 100.0)  # s_f = 50
+        assert simple_core.s0(task) >= task.filled_speed
+
+    @given(
+        alpha=st.floats(1.0, 1e4),
+        beta=st.floats(1e-8, 1.0),
+        lam=st.floats(1.5, 4.0),
+    )
+    def test_s_m_first_order_condition(self, alpha, beta, lam):
+        core = CorePowerModel(beta=beta, lam=lam, alpha=alpha)
+        s = core.s_m
+        # d/ds [(alpha + beta s^lam)/s] = 0  <=>  beta(lam-1)s^lam = alpha
+        assert math.isclose(beta * (lam - 1.0) * s ** lam, alpha, rel_tol=1e-9)
+
+
+class TestConstrainedCriticalSpeed:
+    def test_reverts_to_filled_speed_when_gap_too_small(self, simple_core):
+        core = simple_core.with_xi(50.0)
+        task = Task(0.0, 10.0, 10.0)  # c at s_m: 10/3.68 = 2.7ms -> gap 7.3 < 50
+        assert core.s_c(task, horizon=10.0) == pytest.approx(task.filled_speed)
+
+    def test_uses_critical_speed_when_gap_sufficient(self, simple_core):
+        core = simple_core.with_xi(1.0)
+        task = Task(0.0, 100.0, 10.0)
+        assert core.s_c(task, horizon=100.0) == pytest.approx(core.s0(task))
+
+    def test_zero_xi_equals_s0(self, simple_core):
+        task = Task(0.0, 30.0, 10.0)
+        assert simple_core.s_c(task, horizon=30.0) == pytest.approx(
+            simple_core.s0(task)
+        )
+
+
+class TestA57Preset:
+    def test_reference_parameters(self):
+        core = arm_cortex_a57()
+        assert core.beta == pytest.approx(2.53e-7)
+        assert core.lam == 3.0
+        assert core.alpha == pytest.approx(310.0)
+        assert core.s_up == 1900.0
+        assert core.s_min == 700.0
+
+    def test_dynamic_power_at_max_frequency_is_about_1_7w(self):
+        core = arm_cortex_a57()
+        assert core.dynamic_power(1900.0) == pytest.approx(1735.0, rel=0.01)
+
+    def test_critical_speed_inside_frequency_range(self):
+        core = arm_cortex_a57()
+        assert 700.0 < core.s_m < 1900.0
+
+    def test_memory_associated_speed_saturates_at_sup(self):
+        # With 4 W of DRAM leakage the unclamped s_cm exceeds 1.9 GHz:
+        # race-to-idle becomes optimal, the effect the title refers to.
+        core = arm_cortex_a57()
+        assert core.s_cm(4000.0) > core.s_up

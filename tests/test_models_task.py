@@ -1,0 +1,145 @@
+"""Unit and property tests for :mod:`repro.models.task`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models import Task, TaskSet
+
+
+def make_task(release=0.0, deadline=10.0, workload=5.0, name=""):
+    return Task(release, deadline, workload, name)
+
+
+class TestTask:
+    def test_rejects_empty_feasible_region(self):
+        with pytest.raises(ValueError):
+            Task(5.0, 5.0, 1.0)
+
+    def test_rejects_inverted_region(self):
+        with pytest.raises(ValueError):
+            Task(5.0, 4.0, 1.0)
+
+    def test_rejects_nonpositive_workload(self):
+        with pytest.raises(ValueError):
+            Task(0.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            Task(0.0, 1.0, -2.0)
+
+    def test_span_and_filled_speed(self):
+        task = make_task(2.0, 12.0, 50.0)
+        assert task.span == 10.0
+        assert task.filled_speed == pytest.approx(5.0)
+
+    def test_duration_at_speed(self):
+        task = make_task(workload=30.0)
+        assert task.duration_at(10.0) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            task.duration_at(0.0)
+
+    def test_shifted_keeps_deadline_and_workload(self):
+        task = make_task(0.0, 10.0, 5.0, "J")
+        moved = task.shifted(release=4.0)
+        assert moved.release == 4.0
+        assert moved.deadline == 10.0
+        assert moved.workload == 5.0
+        assert moved.name == "J"
+
+    def test_with_workload(self):
+        task = make_task(workload=5.0)
+        assert task.with_workload(2.5).workload == 2.5
+
+    @given(
+        release=st.floats(0, 1e3),
+        span=st.floats(1e-3, 1e3),
+        workload=st.floats(1e-3, 1e6),
+    )
+    def test_filled_speed_exactly_fills_region(self, release, span, workload):
+        task = Task(release, release + span, workload)
+        assert math.isclose(
+            task.duration_at(task.filled_speed), task.span, rel_tol=1e-9
+        )
+
+
+class TestTaskSet:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TaskSet([])
+
+    def test_sorted_by_deadline(self):
+        ts = TaskSet(
+            [make_task(0, 30, 1, "a"), make_task(0, 10, 1, "b"), make_task(0, 20, 1, "c")]
+        )
+        assert [t.deadline for t in ts] == [10, 20, 30]
+
+    def test_auto_names_follow_sorted_order(self):
+        ts = TaskSet([Task(0, 30, 1), Task(0, 10, 1)])
+        assert [t.name for t in ts] == ["T1", "T2"]
+        assert ts[0].deadline == 10
+
+    def test_common_release_predicate(self, common_release_tasks):
+        assert common_release_tasks.has_common_release()
+        mixed = TaskSet([make_task(0, 10, 1), make_task(1, 20, 1)])
+        assert not mixed.has_common_release()
+
+    def test_common_deadline_predicate(self):
+        ts = TaskSet([make_task(0, 10, 1), make_task(2, 10, 1)])
+        assert ts.has_common_deadline()
+        assert not ts.has_common_release()
+
+    def test_agreeable_predicate(self, agreeable_tasks):
+        assert agreeable_tasks.is_agreeable()
+        nested = TaskSet([Task(0, 30, 1, "outer"), Task(5, 10, 1, "inner")])
+        assert not nested.is_agreeable()
+
+    def test_common_release_sets_are_agreeable(self, common_release_tasks):
+        assert common_release_tasks.is_agreeable()
+
+    def test_aggregates(self, common_release_tasks):
+        assert common_release_tasks.earliest_release == 0.0
+        assert common_release_tasks.latest_deadline == 40.0
+        assert common_release_tasks.total_workload == pytest.approx(60.0)
+
+    def test_max_filled_speed_and_feasibility(self):
+        ts = TaskSet([make_task(0, 10, 100), make_task(0, 5, 20)])
+        assert ts.max_filled_speed == pytest.approx(10.0)
+        assert ts.is_feasible_at(10.0)
+        assert not ts.is_feasible_at(9.0)
+
+    def test_subset_slicing(self, common_release_tasks):
+        sub = common_release_tasks.subset(1, 3)
+        assert [t.name for t in sub] == ["T2", "T3"]
+        with pytest.raises(ValueError):
+            common_release_tasks.subset(2, 2)
+
+    def test_normalized_to_zero(self):
+        ts = TaskSet([make_task(5, 15, 1, "x"), make_task(7, 20, 2, "y")])
+        norm = ts.normalized_to_zero()
+        assert norm.earliest_release == 0.0
+        assert norm.latest_deadline == 15.0
+        assert [t.name for t in norm] == ["x", "y"]
+
+    def test_with_common_release(self):
+        ts = TaskSet([make_task(0, 15, 1), make_task(3, 20, 2)])
+        re_anchored = ts.with_common_release(5.0)
+        assert re_anchored.has_common_release()
+        assert all(t.release == 5.0 for t in re_anchored)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100), st.floats(0.5, 100), st.floats(0.1, 100)
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_sorted_invariant(self, triples):
+        tasks = [Task(r, r + span, w) for r, span, w in triples]
+        ts = TaskSet(tasks)
+        deadlines = ts.deadlines()
+        assert deadlines == sorted(deadlines)
+        assert len(ts) == len(tasks)

@@ -1,0 +1,288 @@
+"""Library-wide property-based tests (hypothesis).
+
+These hammer the central invariants with randomized instances and
+platforms; smaller targeted property tests live next to each module.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (
+    solve_agreeable,
+    solve_block,
+    solve_common_release,
+    solve_common_release_with_overhead,
+)
+from repro.core.reference import common_release_energy_at_delta
+from repro.energy import SleepPolicy, account
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+from repro.schedule import validate_schedule
+from repro.sim import simulate
+from repro.core.online import SdemOnlinePolicy
+
+
+# -- strategies ---------------------------------------------------------------
+
+platforms = st.builds(
+    lambda alpha, alpha_m, lam: Platform(
+        CorePowerModel(beta=1e-6, lam=lam, alpha=alpha, s_up=2000.0),
+        MemoryModel(alpha_m=alpha_m),
+    ),
+    alpha=st.sampled_from([0.0, 0.1, 2.0, 50.0]),
+    alpha_m=st.floats(0.1, 200.0),
+    lam=st.sampled_from([2.0, 2.5, 3.0]),
+)
+
+common_release_sets = st.lists(
+    st.tuples(st.floats(5.0, 150.0), st.floats(10.0, 5000.0)),
+    min_size=1,
+    max_size=7,
+).map(lambda pairs: TaskSet(Task(0.0, d, w) for d, w in pairs))
+
+
+@st.composite
+def agreeable_sets(draw):
+    n = draw(st.integers(1, 5))
+    releases = sorted(draw(st.floats(0.0, 100.0)) for _ in range(n))
+    tasks, last_d = [], 0.0
+    for r in releases:
+        d = max(r + draw(st.floats(8.0, 80.0)), last_d + 0.5)
+        tasks.append(Task(r, d, draw(st.floats(10.0, 3000.0))))
+        last_d = d
+    return TaskSet(tasks)
+
+
+@st.composite
+def sporadic_traces(draw):
+    n = draw(st.integers(1, 10))
+    t = 0.0
+    tasks = []
+    for k in range(n):
+        t += draw(st.floats(0.0, 80.0))
+        span = draw(st.floats(10.0, 120.0))
+        tasks.append(Task(t, t + span, draw(st.floats(100.0, 5000.0)), f"J{k}"))
+    return tasks
+
+
+_slow = settings(
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+# -- Section 4 invariants --------------------------------------------------------
+
+
+@_slow
+@given(tasks=common_release_sets, platform=platforms)
+def test_common_release_prediction_equals_accounting(tasks, platform):
+    solution = solve_common_release(tasks, platform)
+    schedule = solution.schedule()
+    validate_schedule(schedule, tasks, max_speed=platform.core.s_up)
+    breakdown = account(
+        schedule, platform, horizon=(0.0, tasks.latest_deadline)
+    )
+    assert breakdown.total == pytest.approx(solution.predicted_energy, rel=1e-6)
+
+
+@_slow
+@given(tasks=common_release_sets, platform=platforms)
+def test_common_release_optimal_among_delta_choices(tasks, platform):
+    """No sampled Delta beats the scheme's choice."""
+    solution = solve_common_release(tasks, platform)
+    horizon = (
+        tasks.latest_deadline
+        if platform.core.alpha == 0.0
+        else max(t.workload / platform.core.s0(t) for t in tasks)
+    )
+    for frac in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+        probe = frac * horizon
+        energy = common_release_energy_at_delta(tasks, platform, probe)
+        assert solution.predicted_energy <= energy + 1e-9 * max(1.0, energy)
+
+
+@_slow
+@given(tasks=common_release_sets, platform=platforms, scale=st.floats(1.1, 3.0))
+def test_energy_monotone_under_workload_scaling(tasks, platform, scale):
+    """Scaling every workload up can never reduce the optimal energy."""
+    heavier = TaskSet(
+        Task(t.release, t.deadline, t.workload * scale, t.name) for t in tasks
+    )
+    if not heavier.is_feasible_at(platform.core.s_up):
+        return  # scaled instance left the model's feasible domain
+    base = solve_common_release(tasks, platform).predicted_energy
+    more = solve_common_release(heavier, platform).predicted_energy
+    assert more >= base - 1e-9
+
+
+@_slow
+@given(tasks=common_release_sets, platform=platforms, slack=st.floats(1.1, 4.0))
+def test_energy_never_rises_with_extra_slack(tasks, platform, slack):
+    """Stretching every deadline (more slack) can never cost energy."""
+    relaxed = TaskSet(
+        Task(t.release, t.release + t.span * slack, t.workload, t.name)
+        for t in tasks
+    )
+    base = solve_common_release(tasks, platform).predicted_energy
+    loose = solve_common_release(relaxed, platform).predicted_energy
+    assert loose <= base + 1e-9 * max(1.0, base)
+
+
+@_slow
+@given(
+    tasks=common_release_sets,
+    platform=platforms,
+    xi=st.floats(0.0, 50.0),
+    xi_m=st.floats(0.0, 50.0),
+)
+def test_overhead_scheme_consistent_and_bounded(tasks, platform, xi, xi_m):
+    """Overhead-aware optimum: matches the accountant, never cheaper than
+    the free-transition optimum."""
+    overhead_platform = Platform(
+        platform.core.with_xi(xi),
+        platform.memory.with_xi_m(xi_m),
+        platform.num_cores,
+    )
+    solution = solve_common_release_with_overhead(tasks, overhead_platform)
+    schedule = solution.schedule()
+    validate_schedule(schedule, tasks, max_speed=platform.core.s_up)
+    breakdown = account(
+        schedule,
+        overhead_platform,
+        horizon=(0.0, tasks.latest_deadline),
+        memory_policy=SleepPolicy.BREAK_EVEN,
+        core_policy=SleepPolicy.BREAK_EVEN,
+    )
+    assert breakdown.total == pytest.approx(solution.predicted_energy, rel=1e-6)
+    free = solve_common_release(tasks, platform).predicted_energy
+    assert solution.predicted_energy >= free - 1e-9 * max(1.0, free)
+
+
+# -- Section 5 invariants --------------------------------------------------------
+
+
+@_slow
+@given(tasks=agreeable_sets(), platform=platforms)
+def test_block_solution_feasible_and_interior_optimal(tasks, platform):
+    block = solve_block(tasks, platform)
+    validate_schedule(
+        block.schedule(), tasks, max_speed=platform.core.s_up,
+        require_non_preemptive=True,
+    )
+    assert block.start <= block.end
+    # Perturbing the interval never helps (local optimality probe).
+    from repro.core.blocks import block_energy
+
+    for ds, de in ((0.5, 0.0), (-0.5, 0.0), (0.0, 0.5), (0.0, -0.5)):
+        probe = block_energy(
+            tasks, platform, block.start + ds, block.end + de
+        )
+        assert block.energy <= probe + 1e-6 * max(1.0, probe)
+
+
+@_slow
+@given(tasks=agreeable_sets(), platform=platforms)
+def test_agreeable_dp_dominates_all_prefix_splits(tasks, platform):
+    """DP optimum <= any single split into two consecutive blocks."""
+    solution = solve_agreeable(tasks, platform)
+    n = len(tasks)
+    for split in range(1, n):
+        left = solve_block(tasks.subset(0, split), platform)
+        right = solve_block(tasks.subset(split, n), platform)
+        assert solution.predicted_energy <= left.energy + right.energy + 1e-9
+
+
+# -- Online invariants --------------------------------------------------------------
+
+
+@_slow
+@given(trace=sporadic_traces(), platform=platforms)
+def test_online_schedule_always_feasible(trace, platform):
+    result = simulate(SdemOnlinePolicy(platform), trace, platform)
+    # simulate() validates internally; double-check conservation here.
+    done = result.schedule.executed_workloads()
+    for task in trace:
+        assert done[task.name] == pytest.approx(task.workload, rel=1e-6)
+
+
+@_slow
+@given(trace=sporadic_traces(), platform=platforms)
+def test_online_never_executes_before_release(trace, platform):
+    result = simulate(SdemOnlinePolicy(platform), trace, platform)
+    releases = {t.name: t.release for t in trace}
+    for iv in result.schedule.all_intervals():
+        assert iv.start >= releases[iv.task] - 1e-9
+
+
+# -- Method-agreement properties ---------------------------------------------------
+
+
+@_slow
+@given(tasks=common_release_sets, platform=platforms)
+def test_binary_search_always_matches_scan(tasks, platform):
+    """Lemma 1's search agrees with the exhaustive scan on any instance."""
+    from repro.core import solve_common_release_alpha_zero
+
+    zero = platform.negligible_core_static()
+    scan = solve_common_release_alpha_zero(tasks, zero, method="scan")
+    binary = solve_common_release_alpha_zero(tasks, zero, method="binary")
+    assert binary.predicted_energy == pytest.approx(
+        scan.predicted_energy, rel=1e-9
+    )
+
+
+@_slow
+@given(tasks=agreeable_sets(), platform=platforms)
+def test_block_pairs_and_descent_agree(tasks, platform):
+    """The paper's (i,j)-pair enumeration equals the convex descent."""
+    descent = solve_block(tasks, platform, method="descent")
+    pairs = solve_block(tasks, platform, method="pairs")
+    assert pairs.energy == pytest.approx(descent.energy, rel=1e-4)
+
+
+@_slow
+@given(tasks=common_release_sets, platform=platforms)
+def test_singleton_islands_match_section4(tasks, platform):
+    """Per-core voltage rails recover the Section 4 optimum."""
+    from repro.core.islands import solve_islands_common_release
+
+    island = solve_islands_common_release(
+        tasks, platform, [[i] for i in range(len(tasks))]
+    )
+    section4 = solve_common_release(tasks, platform)
+    assert island.predicted_energy == pytest.approx(
+        section4.predicted_energy, rel=2e-3
+    )
+
+
+@_slow
+@given(trace=sporadic_traces(), platform=platforms)
+def test_quantized_policy_conserves_workload(trace, platform):
+    from repro.baselines import QuantizedPolicy
+    from repro.core.discrete import a57_levels
+
+    levels = a57_levels(13)
+    if platform.core.s_up > levels[-1]:
+        # The policy may legitimately plan speeds above the grid's top
+        # level; cap the platform so the grid can emulate every plan.
+        platform = platform.with_core(
+            CorePowerModel(
+                platform.core.beta,
+                platform.core.lam,
+                platform.core.alpha,
+                s_up=levels[-1],
+            )
+        )
+    if any(t.filled_speed > levels[-1] for t in trace):
+        return  # outside the grid's reach
+    result = simulate(
+        QuantizedPolicy(SdemOnlinePolicy(platform), levels), trace, platform
+    )
+    done = result.schedule.executed_workloads()
+    for task in trace:
+        assert done[task.name] == pytest.approx(task.workload, rel=1e-6)

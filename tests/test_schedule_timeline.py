@@ -1,0 +1,152 @@
+"""Tests for schedule timelines, interval algebra and the memory view."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.schedule import (
+    CoreTimeline,
+    ExecutionInterval,
+    Schedule,
+    complement_within,
+    merge_intervals,
+    total_length,
+)
+
+
+def iv(task, start, end, speed=100.0):
+    return ExecutionInterval(task, start, end, speed)
+
+
+class TestExecutionInterval:
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            iv("t", 5.0, 5.0)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            ExecutionInterval("t", 0.0, 1.0, 0.0)
+
+    def test_duration_and_workload(self):
+        interval = iv("t", 2.0, 5.0, speed=10.0)
+        assert interval.duration == pytest.approx(3.0)
+        assert interval.workload == pytest.approx(30.0)
+
+
+class TestCoreTimeline:
+    def test_sorts_intervals(self):
+        tl = CoreTimeline([iv("b", 5, 8), iv("a", 0, 3)])
+        assert [x.task for x in tl] == ["a", "b"]
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            CoreTimeline([iv("a", 0, 5), iv("b", 4, 8)])
+
+    def test_busy_time_and_spans(self):
+        tl = CoreTimeline([iv("a", 0, 3), iv("b", 3, 5), iv("c", 10, 12)])
+        assert tl.busy_time == pytest.approx(7.0)
+        assert tl.busy_spans() == [(0, 5), (10, 12)]
+
+    def test_idle_gaps(self):
+        tl = CoreTimeline([iv("a", 2, 4)])
+        assert tl.idle_gaps((0.0, 10.0)) == [(0.0, 2.0), (4.0, 10.0)]
+
+    def test_empty_timeline(self):
+        tl = CoreTimeline()
+        assert tl.busy_time == 0.0
+        assert tl.span() is None
+        assert tl.idle_gaps((0.0, 5.0)) == [(0.0, 5.0)]
+
+
+class TestIntervalAlgebra:
+    def test_merge_coalesces_touching_spans(self):
+        assert merge_intervals([(0, 2), (2, 4), (5, 6)]) == [(0, 4), (5, 6)]
+
+    def test_merge_handles_containment(self):
+        assert merge_intervals([(0, 10), (2, 3), (4, 12)]) == [(0, 12)]
+
+    def test_merge_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            merge_intervals([(3, 3)])
+
+    def test_complement_basic(self):
+        gaps = complement_within([(2, 4), (6, 8)], (0, 10))
+        assert gaps == [(0, 2), (4, 6), (8, 10)]
+
+    def test_complement_clips_to_horizon(self):
+        gaps = complement_within([(0, 4)], (2, 3))
+        assert gaps == []
+
+    def test_complement_empty_busy(self):
+        assert complement_within([], (1, 5)) == [(1, 5)]
+
+    def test_total_length(self):
+        assert total_length([(0, 2), (5, 9)]) == pytest.approx(6.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0.1, 10)),
+            min_size=0,
+            max_size=15,
+        ),
+        st.floats(101, 200),
+    )
+    def test_busy_plus_idle_covers_horizon(self, raw, hi):
+        spans = [(s, s + d) for s, d in raw]
+        merged = merge_intervals(spans)
+        gaps = complement_within(merged, (0.0, hi))
+        clipped = [(max(a, 0.0), min(b, hi)) for a, b in merged if a < hi]
+        assert total_length(clipped) + total_length(gaps) == pytest.approx(
+            hi, rel=1e-6, abs=1e-6
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0.1, 10)),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_merged_spans_disjoint_and_sorted(self, raw):
+        merged = merge_intervals([(s, s + d) for s, d in raw])
+        for (a0, a1), (b0, b1) in zip(merged, merged[1:]):
+            assert a1 < b0
+            assert a0 < a1
+
+
+class TestSchedule:
+    def test_busy_union_across_cores(self):
+        sched = Schedule.from_assignments(
+            [[iv("a", 0, 4)], [iv("b", 2, 6)], [iv("c", 10, 11)]]
+        )
+        assert sched.busy_union() == [(0, 6), (10, 11)]
+        assert sched.memory_busy_time() == pytest.approx(7.0)
+
+    def test_common_idle_gaps_default_horizon(self):
+        sched = Schedule.from_assignments([[iv("a", 0, 4)], [iv("b", 6, 8)]])
+        assert sched.common_idle_gaps() == [(4, 6)]
+        assert sched.common_idle_time() == pytest.approx(2.0)
+
+    def test_common_idle_with_explicit_horizon(self):
+        sched = Schedule.from_assignments([[iv("a", 2, 4)]])
+        gaps = sched.common_idle_gaps((0.0, 10.0))
+        assert gaps == [(0.0, 2.0), (4.0, 10.0)]
+        assert sched.common_idle_time((0.0, 10.0)) == pytest.approx(8.0)
+
+    def test_one_task_per_core(self):
+        sched = Schedule.one_task_per_core([iv("a", 0, 1), iv("b", 0, 2)])
+        assert sched.num_cores == 2
+        assert all(len(core) == 1 for core in sched.cores)
+
+    def test_executed_workloads(self):
+        sched = Schedule.from_assignments(
+            [[iv("a", 0, 2, speed=10), iv("a", 3, 4, speed=20)], [iv("b", 0, 1, speed=5)]]
+        )
+        done = sched.executed_workloads()
+        assert done["a"] == pytest.approx(40.0)
+        assert done["b"] == pytest.approx(5.0)
+
+    def test_requires_at_least_one_core(self):
+        with pytest.raises(ValueError):
+            Schedule([])

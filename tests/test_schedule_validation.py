@@ -1,0 +1,105 @@
+"""Tests for the feasibility validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import Task, TaskSet
+from repro.schedule import (
+    ExecutionInterval,
+    FeasibilityError,
+    Schedule,
+    is_feasible,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def two_tasks():
+    return TaskSet([Task(0.0, 10.0, 100.0, "A"), Task(2.0, 20.0, 50.0, "B")])
+
+
+def sched(*interval_lists):
+    return Schedule.from_assignments(interval_lists)
+
+
+class TestValidateSchedule:
+    def test_accepts_valid_schedule(self, two_tasks):
+        ok = sched(
+            [ExecutionInterval("A", 0.0, 10.0, 10.0)],
+            [ExecutionInterval("B", 2.0, 12.0, 5.0)],
+        )
+        validate_schedule(ok, two_tasks, max_speed=100.0)
+        assert is_feasible(ok, two_tasks)
+
+    def test_rejects_unknown_task(self, two_tasks):
+        bad = sched([ExecutionInterval("Z", 0.0, 1.0, 1.0)])
+        with pytest.raises(FeasibilityError, match="unknown task"):
+            validate_schedule(bad, two_tasks)
+
+    def test_rejects_start_before_release(self, two_tasks):
+        bad = sched(
+            [ExecutionInterval("A", 0.0, 10.0, 10.0)],
+            [ExecutionInterval("B", 1.0, 11.0, 5.0)],
+        )
+        with pytest.raises(FeasibilityError, match="before"):
+            validate_schedule(bad, two_tasks)
+
+    def test_rejects_deadline_miss(self, two_tasks):
+        bad = sched(
+            [ExecutionInterval("A", 0.0, 12.0, 100.0 / 12.0)],
+            [ExecutionInterval("B", 2.0, 12.0, 5.0)],
+        )
+        with pytest.raises(FeasibilityError, match="after"):
+            validate_schedule(bad, two_tasks)
+
+    def test_rejects_overspeed(self, two_tasks):
+        bad = sched(
+            [ExecutionInterval("A", 0.0, 10.0, 10.0)],
+            [ExecutionInterval("B", 2.0, 12.0, 5.0)],
+        )
+        with pytest.raises(FeasibilityError, match="exceeds"):
+            validate_schedule(bad, two_tasks, max_speed=7.0)
+
+    def test_rejects_incomplete_workload(self, two_tasks):
+        bad = sched(
+            [ExecutionInterval("A", 0.0, 5.0, 10.0)],  # only 50 of 100 kc
+            [ExecutionInterval("B", 2.0, 12.0, 5.0)],
+        )
+        with pytest.raises(FeasibilityError, match="executed"):
+            validate_schedule(bad, two_tasks)
+
+    def test_rejects_overwork(self, two_tasks):
+        bad = sched(
+            [ExecutionInterval("A", 0.0, 10.0, 20.0)],  # 200 of 100 kc
+            [ExecutionInterval("B", 2.0, 12.0, 5.0)],
+        )
+        with pytest.raises(FeasibilityError):
+            validate_schedule(bad, two_tasks)
+
+    def test_preemption_allowed_by_default(self, two_tasks):
+        split = sched(
+            [
+                ExecutionInterval("A", 0.0, 5.0, 10.0),
+                ExecutionInterval("A", 6.0, 10.0, 12.5),
+            ],
+            [ExecutionInterval("B", 2.0, 12.0, 5.0)],
+        )
+        validate_schedule(split, two_tasks)
+
+    def test_non_preemptive_mode_rejects_split(self, two_tasks):
+        split = sched(
+            [
+                ExecutionInterval("A", 0.0, 5.0, 10.0),
+                ExecutionInterval("A", 6.0, 10.0, 12.5),
+            ],
+            [ExecutionInterval("B", 2.0, 12.0, 5.0)],
+        )
+        with pytest.raises(FeasibilityError, match="split"):
+            validate_schedule(split, two_tasks, require_non_preemptive=True)
+
+    def test_duplicate_task_names_rejected(self):
+        ts = TaskSet([Task(0, 1, 1, "X"), Task(0, 2, 1, "X")])
+        empty = sched([ExecutionInterval("X", 0.0, 1.0, 1.0)])
+        with pytest.raises(FeasibilityError, match="unique"):
+            validate_schedule(empty, ts)

@@ -1,0 +1,103 @@
+"""Round-trip tests for task/schedule serialization."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models import Task
+from repro.schedule import ExecutionInterval, Schedule
+from repro.serialization import (
+    schedule_from_json,
+    schedule_to_json,
+    tasks_from_csv,
+    tasks_from_json,
+    tasks_to_csv,
+    tasks_to_json,
+)
+
+
+TASKS = [
+    Task(0.0, 40.0, 8000.0, "a"),
+    Task(5.5, 70.25, 15000.5, "b"),
+    Task(10.0, 100.0, 4000.0, "c"),
+]
+
+
+class TestTasksJson:
+    def test_roundtrip(self):
+        restored = tasks_from_json(tasks_to_json(TASKS))
+        assert restored == TASKS
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="tasks"):
+            tasks_from_json("[1, 2, 3]")
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ValueError, match="missing"):
+            tasks_from_json('{"tasks": [{"release": 0, "deadline": 5}]}')
+
+    def test_unnamed_tasks_allowed(self):
+        restored = tasks_from_json(
+            '{"tasks": [{"release": 0, "deadline": 5, "workload": 2}]}'
+        )
+        assert restored[0].workload == 2.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100),
+                st.floats(0.1, 100),
+                st.floats(0.1, 1e6),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_roundtrip_property(self, triples):
+        tasks = [
+            Task(r, r + span, w, f"t{k}")
+            for k, (r, span, w) in enumerate(triples)
+        ]
+        assert tasks_from_json(tasks_to_json(tasks)) == tasks
+
+
+class TestTasksCsv:
+    def test_roundtrip(self):
+        buffer = io.StringIO()
+        tasks_to_csv(TASKS, buffer)
+        buffer.seek(0)
+        assert tasks_from_csv(buffer) == TASKS
+
+    def test_rejects_missing_columns(self):
+        with pytest.raises(ValueError, match="columns"):
+            tasks_from_csv(io.StringIO("name,release\nx,1\n"))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no rows"):
+            tasks_from_csv(io.StringIO("name,release,deadline,workload\n"))
+
+    def test_names_defaulted(self):
+        text = "release,deadline,workload\n0,10,5\n"
+        tasks = tasks_from_csv(io.StringIO(text))
+        assert tasks[0].name == "T1"
+
+
+class TestScheduleJson:
+    def test_roundtrip(self):
+        sched = Schedule.from_assignments(
+            [
+                [ExecutionInterval("a", 0.0, 4.0, 100.0)],
+                [ExecutionInterval("b", 2.0, 5.0, 250.5)],
+            ]
+        )
+        restored = schedule_from_json(schedule_to_json(sched))
+        assert restored.num_cores == 2
+        assert restored.busy_union() == sched.busy_union()
+        assert restored.executed_workloads() == sched.executed_workloads()
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="cores"):
+            schedule_from_json('{"nope": []}')

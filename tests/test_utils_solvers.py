@@ -1,0 +1,113 @@
+"""Tests for the numeric solver utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    bisect_increasing,
+    golden_section_minimize,
+    minimize_convex_1d,
+    minimize_convex_2d_box,
+)
+from repro.utils.solvers import weighted_power_sum
+
+
+class TestBisectIncreasing:
+    def test_finds_interior_root(self):
+        root = bisect_increasing(lambda x: x - 3.0, 0.0, 10.0)
+        assert root == pytest.approx(3.0, abs=1e-9)
+
+    def test_clamps_to_lower_bound(self):
+        assert bisect_increasing(lambda x: x + 1.0, 0.0, 10.0) == 0.0
+
+    def test_clamps_to_upper_bound(self):
+        assert bisect_increasing(lambda x: x - 20.0, 0.0, 10.0) == 10.0
+
+    def test_rejects_empty_bracket(self):
+        with pytest.raises(ValueError):
+            bisect_increasing(lambda x: x, 5.0, 4.0)
+
+    @given(root=st.floats(-50.0, 50.0), scale=st.floats(0.1, 10.0))
+    def test_recovers_affine_roots(self, root, scale):
+        found = bisect_increasing(lambda x: scale * (x - root), -100.0, 100.0)
+        assert found == pytest.approx(root, abs=1e-7)
+
+    def test_nonlinear_first_order_condition(self):
+        # The Section 5.1.1 condition: sum (w/(d - x))^lam = c, increasing in x.
+        w, d, lam, c = 10.0, 20.0, 3.0, 8.0
+        x = bisect_increasing(lambda t: (w / (d - t)) ** lam - c, 0.0, d - 1e-6)
+        assert (w / (d - x)) ** lam == pytest.approx(c, rel=1e-6)
+
+
+class TestGoldenSection:
+    def test_quadratic_minimum(self):
+        x, v = golden_section_minimize(lambda t: (t - 2.0) ** 2 + 1.0, 0.0, 10.0)
+        assert x == pytest.approx(2.0, abs=1e-6)
+        assert v == pytest.approx(1.0, abs=1e-9)
+
+    def test_boundary_minimum(self):
+        x, v = golden_section_minimize(lambda t: t, 3.0, 10.0)
+        assert x == pytest.approx(3.0)
+        assert v == pytest.approx(3.0)
+
+    def test_degenerate_interval(self):
+        x, v = golden_section_minimize(lambda t: t * t, 4.0, 4.0)
+        assert x == 4.0
+
+    @given(center=st.floats(-5.0, 5.0))
+    def test_convex_quartic(self, center):
+        x, _ = minimize_convex_1d(lambda t: (t - center) ** 4, -10.0, 10.0)
+        assert x == pytest.approx(center, abs=1e-3)
+
+
+class TestConvex2D:
+    def test_separable_quadratic(self):
+        x, y, v = minimize_convex_2d_box(
+            lambda a, b: (a - 1.0) ** 2 + (b - 2.0) ** 2,
+            (0.0, 5.0),
+            (0.0, 5.0),
+        )
+        assert x == pytest.approx(1.0, abs=1e-5)
+        assert y == pytest.approx(2.0, abs=1e-5)
+        assert v == pytest.approx(0.0, abs=1e-9)
+
+    def test_coupled_objective(self):
+        # min (x + y - 3)^2 + x^2 + y^2 -> x = y = 1 analytically.
+        x, y, v = minimize_convex_2d_box(
+            lambda a, b: (a + b - 3.0) ** 2 + a * a + b * b,
+            (0.0, 5.0),
+            (0.0, 5.0),
+        )
+        assert x == pytest.approx(1.0, abs=1e-4)
+        assert y == pytest.approx(1.0, abs=1e-4)
+        assert v == pytest.approx(3.0, abs=1e-6)
+
+    def test_boundary_solution(self):
+        x, y, _ = minimize_convex_2d_box(
+            lambda a, b: (a - 10.0) ** 2 + (b + 4.0) ** 2,
+            (0.0, 2.0),
+            (0.0, 2.0),
+        )
+        assert x == pytest.approx(2.0, abs=1e-6)
+        assert y == pytest.approx(0.0, abs=1e-6)
+
+    def test_rejects_empty_box(self):
+        with pytest.raises(ValueError):
+            minimize_convex_2d_box(lambda a, b: a + b, (1.0, 0.0), (0.0, 1.0))
+
+
+class TestWeightedPowerSum:
+    def test_matches_manual(self):
+        assert weighted_power_sum([1.0, 2.0, 3.0], 3.0) == pytest.approx(36.0)
+
+    @given(
+        st.lists(st.floats(0.1, 100.0), min_size=1, max_size=10),
+        st.floats(1.1, 4.0),
+    )
+    def test_positive_and_monotone_in_exponent_for_large_weights(self, ws, lam):
+        big = [w + 1.0 for w in ws]  # all > 1 so power sums grow with lam
+        assert weighted_power_sum(big, lam) <= weighted_power_sum(big, lam + 0.1)

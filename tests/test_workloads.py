@@ -1,0 +1,118 @@
+"""Tests for the workload generators (Section 8.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.models import TaskSet
+from repro.workloads import (
+    FFT_1024_KILOCYCLES,
+    REFERENCE_MHZ,
+    dspstone_trace,
+    fft_instance_kilocycles,
+    matmul_instance_kilocycles,
+    synthetic_tasks,
+    utilization_of,
+)
+from repro.workloads.synthetic import SPAN_RANGE_MS, WORKLOAD_RANGE_KC
+
+
+class TestSyntheticTasks:
+    def test_deterministic_by_seed(self):
+        a = synthetic_tasks(n=20, max_interarrival=400.0, seed=5)
+        b = synthetic_tasks(n=20, max_interarrival=400.0, seed=5)
+        assert [(t.release, t.deadline, t.workload) for t in a] == [
+            (t.release, t.deadline, t.workload) for t in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = synthetic_tasks(n=20, max_interarrival=400.0, seed=5)
+        b = synthetic_tasks(n=20, max_interarrival=400.0, seed=6)
+        assert [t.workload for t in a] != [t.workload for t in b]
+
+    def test_parameter_ranges_respected(self):
+        tasks = synthetic_tasks(n=200, max_interarrival=300.0, seed=1)
+        for t in tasks:
+            assert WORKLOAD_RANGE_KC[0] <= t.workload <= WORKLOAD_RANGE_KC[1]
+            assert SPAN_RANGE_MS[0] <= t.span <= SPAN_RANGE_MS[1]
+        gaps = [
+            b.release - a.release for a, b in zip(tasks, tasks[1:])
+        ]
+        assert all(0.0 <= g <= 300.0 + 1e-9 for g in gaps)
+
+    def test_releases_sorted(self):
+        tasks = synthetic_tasks(n=50, max_interarrival=100.0, seed=2)
+        releases = [t.release for t in tasks]
+        assert releases == sorted(releases)
+
+    def test_feasible_on_paper_platform(self):
+        """Every generated task must fit under 1900 MHz (paper assumption)."""
+        tasks = synthetic_tasks(n=300, max_interarrival=100.0, seed=3)
+        assert TaskSet(tasks).is_feasible_at(1900.0)
+
+    def test_smaller_x_means_higher_utilization(self):
+        dense = synthetic_tasks(n=100, max_interarrival=100.0, seed=7)
+        sparse = synthetic_tasks(n=100, max_interarrival=800.0, seed=7)
+        u_dense = utilization_of(dense, num_cores=8, speed=1000.0)
+        u_sparse = utilization_of(sparse, num_cores=8, speed=1000.0)
+        assert u_dense > u_sparse
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            synthetic_tasks(n=0, max_interarrival=100.0, seed=1)
+        with pytest.raises(ValueError):
+            synthetic_tasks(n=5, max_interarrival=0.0, seed=1)
+        with pytest.raises(ValueError):
+            synthetic_tasks(n=5, max_interarrival=10.0, seed=1, min_interarrival=20.0)
+
+
+class TestDspstone:
+    def test_fft_workload_near_model(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            w = fft_instance_kilocycles(rng)
+            assert 10 * FFT_1024_KILOCYCLES * 0.95 <= w <= 10 * FFT_1024_KILOCYCLES * 1.05
+
+    def test_matmul_workload_positive_and_varied(self):
+        rng = random.Random(0)
+        values = {round(matmul_instance_kilocycles(rng), 3) for _ in range(30)}
+        assert len(values) > 20
+        assert all(v > 0 for v in values)
+
+    def test_trace_span_equals_processing_time_at_reference_clock(self):
+        trace = dspstone_trace("fft", utilization_factor=3.0, n=10, seed=1)
+        for t in trace:
+            assert t.span == pytest.approx(t.workload / REFERENCE_MHZ, rel=1e-12)
+
+    def test_sporadic_period_scales_with_u(self):
+        """Per-stream inter-arrival must be at least span * U."""
+        for u in (2.0, 9.0):
+            trace = dspstone_trace(
+                "fft", utilization_factor=u, n=12, seed=4, streams=1
+            )
+            for a, b in zip(trace, trace[1:]):
+                assert b.release - a.release >= a.span * u * (1.0 - 1e-9)
+
+    def test_streams_interleave(self):
+        trace = dspstone_trace("matmul", utilization_factor=4.0, n=16, seed=9, streams=8)
+        starts = sorted(t.release for t in trace)
+        # Eight phase-shifted streams: the first eight releases all land
+        # within the initial phase window, well before one period elapses.
+        assert starts[7] - starts[0] < 15.0
+
+    def test_deterministic_by_seed(self):
+        a = dspstone_trace("fft", utilization_factor=2.0, n=10, seed=3)
+        b = dspstone_trace("fft", utilization_factor=2.0, n=10, seed=3)
+        assert [(t.release, t.workload) for t in a] == [
+            (t.release, t.workload) for t in b
+        ]
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            dspstone_trace("sobel", utilization_factor=2.0, n=4, seed=0)
+
+    def test_feasible_on_paper_platform(self):
+        trace = dspstone_trace("fft", utilization_factor=2.0, n=40, seed=2, streams=8)
+        assert TaskSet(trace).is_feasible_at(1900.0)

@@ -1,0 +1,129 @@
+"""Tests for the periodic task model and hyperperiod expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    PeriodicTask,
+    expand_periodic,
+    hyperperiod,
+    total_utilization,
+)
+
+
+class TestPeriodicTask:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PeriodicTask("x", period=0.0, workload=1.0)
+        with pytest.raises(ValueError):
+            PeriodicTask("x", period=10.0, workload=0.0)
+        with pytest.raises(ValueError):
+            PeriodicTask("x", period=10.0, workload=1.0, relative_deadline=0.0)
+        with pytest.raises(ValueError):
+            PeriodicTask("x", period=10.0, workload=1.0, phase=-1.0)
+
+    def test_implicit_deadline_defaults_to_period(self):
+        task = PeriodicTask("x", period=20.0, workload=5.0)
+        assert task.deadline_offset == 20.0
+
+    def test_density(self):
+        task = PeriodicTask("x", period=20.0, workload=100.0)
+        assert task.density(speed=10.0) == pytest.approx(0.5)
+
+
+class TestHyperperiod:
+    def test_integer_periods(self):
+        tasks = [
+            PeriodicTask("a", period=4.0, workload=1.0),
+            PeriodicTask("b", period=6.0, workload=1.0),
+        ]
+        assert hyperperiod(tasks) == pytest.approx(12.0)
+
+    def test_fractional_periods(self):
+        tasks = [
+            PeriodicTask("a", period=2.5, workload=1.0),
+            PeriodicTask("b", period=1.5, workload=1.0),
+        ]
+        assert hyperperiod(tasks) == pytest.approx(7.5)
+
+    def test_single_task(self):
+        assert hyperperiod([PeriodicTask("a", period=7.0, workload=1.0)]) == 7.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            hyperperiod([])
+
+
+class TestExpansion:
+    def test_counts_over_hyperperiod(self):
+        tasks = [
+            PeriodicTask("a", period=4.0, workload=1.0),
+            PeriodicTask("b", period=6.0, workload=2.0),
+        ]
+        jobs = expand_periodic(tasks, window=12.0)
+        names = [j.name for j in jobs]
+        assert names.count("a#0") == 1
+        assert sum(1 for n in names if n.startswith("a#")) == 3
+        assert sum(1 for n in names if n.startswith("b#")) == 2
+
+    def test_releases_and_deadlines(self):
+        task = PeriodicTask("a", period=10.0, workload=5.0, relative_deadline=8.0)
+        jobs = expand_periodic([task], window=25.0)
+        assert [j.release for j in jobs] == [0.0, 10.0, 20.0]
+        assert [j.deadline for j in jobs] == [8.0, 18.0, 28.0]
+
+    def test_phase_shifts_releases(self):
+        task = PeriodicTask("a", period=10.0, workload=5.0, phase=3.0)
+        jobs = expand_periodic([task], window=20.0)
+        assert [j.release for j in jobs] == [3.0, 13.0]
+
+    def test_jobs_sorted_by_release(self):
+        tasks = [
+            PeriodicTask("a", period=7.0, workload=1.0, phase=1.0),
+            PeriodicTask("b", period=5.0, workload=1.0),
+        ]
+        jobs = expand_periodic(tasks, window=35.0)
+        releases = [j.release for j in jobs]
+        assert releases == sorted(releases)
+
+    def test_default_window_is_hyperperiod(self):
+        tasks = [
+            PeriodicTask("a", period=4.0, workload=1.0),
+            PeriodicTask("b", period=6.0, workload=1.0),
+        ]
+        jobs = expand_periodic(tasks)
+        assert max(j.release for j in jobs) < 12.0
+
+    def test_rejects_degenerate_window(self):
+        task = PeriodicTask("a", period=10.0, workload=5.0, phase=5.0)
+        with pytest.raises(ValueError):
+            expand_periodic([task], window=2.0)
+
+
+class TestUtilization:
+    def test_sum_of_densities(self):
+        tasks = [
+            PeriodicTask("a", period=10.0, workload=100.0),  # 10 ms at 10 MHz... util 1
+            PeriodicTask("b", period=20.0, workload=100.0),  # util 0.5
+        ]
+        assert total_utilization(tasks, speed=10.0) == pytest.approx(1.5)
+
+
+class TestEndToEnd:
+    def test_periodic_stream_schedulable_online(self):
+        """Expand a periodic set and run SDEM-ON on it."""
+        from repro.core import SdemOnlinePolicy
+        from repro.models import paper_platform
+        from repro.sim import simulate
+
+        platform = paper_platform()
+        tasks = [
+            PeriodicTask("cam", period=40.0, workload=4000.0),
+            PeriodicTask("imu", period=20.0, workload=800.0),
+            PeriodicTask("net", period=60.0, workload=2500.0),
+        ]
+        jobs = expand_periodic(tasks, window=240.0)
+        result = simulate(SdemOnlinePolicy(platform), jobs, platform)
+        assert result.total_energy > 0.0
+        assert result.peak_concurrency <= 3
