@@ -15,7 +15,18 @@ Commands
 
 ``fig6`` / ``fig7a`` / ``fig7b`` / ``tables``
     Regenerate the paper's exhibits; write CSV (and ASCII charts) into
-    ``--out``.
+    ``--out``.  The figure sweeps accept ``--workers N`` (0 = every core)
+    to fan work units across processes and cache results on disk under
+    ``<out>/.cache`` (``--cache-dir`` overrides, ``--no-cache`` disables);
+    outputs are bit-identical for every setting.
+
+``bench``
+    Time the engine (serial cold vs parallel cold vs warm cache) on a
+    Fig. 6 FFT slice and write ``BENCH_experiments.json``; see
+    docs/PERFORMANCE.md for how to read the table.
+
+``cache``
+    ``stats`` / ``clear`` for the on-disk experiment result cache.
 
 All platform knobs (``--alpha-m``, ``--xi-m``, ``--cores``, ...) default
 to the paper's Table 4 stars.
@@ -38,6 +49,8 @@ from repro.core import (
 )
 from repro.energy import account
 from repro.experiments import (
+    ResultCache,
+    default_cache_root,
     run_fig6,
     run_fig7a,
     run_fig7b,
@@ -46,6 +59,7 @@ from repro.experiments import (
     table4_rows,
     write_csv,
 )
+from repro.experiments.bench import render_bench_table, run_bench, write_bench_json
 from repro.experiments.runner import render_ascii_chart
 from repro.models import Task, TaskSet, paper_platform
 from repro.serialization import tasks_from_csv, tasks_from_json
@@ -179,10 +193,35 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_workers_flag(workers: int):
+    """CLI convention: 0 = every core, N >= 1 = pool size."""
+    if workers < 0:
+        raise SystemExit(
+            f"--workers must be >= 0 (0 = every core), got {workers}"
+        )
+    return None if workers == 0 else workers
+
+
+def _engine_options(args: argparse.Namespace):
+    """``(max_workers, cache)`` from the shared sweep flags."""
+    workers = _resolve_workers_flag(args.workers)
+    if args.no_cache:
+        return workers, None
+    root = args.cache_dir or default_cache_root(args.out)
+    return workers, ResultCache(root)
+
+
 def _cmd_fig6(args: argparse.Namespace) -> int:
     os.makedirs(args.out, exist_ok=True)
+    workers, cache = _engine_options(args)
     for bench in ("fft", "matmul"):
-        series = run_fig6(bench, seeds=args.seeds, instances=args.n)
+        series = run_fig6(
+            bench,
+            seeds=args.seeds,
+            instances=args.n,
+            max_workers=workers,
+            cache=cache,
+        )
         write_csv(series, os.path.join(args.out, f"fig6_{bench}.csv"))
         chart = render_ascii_chart(
             f"Fig 6 ({bench}): energy saving vs MBKP (%)",
@@ -208,10 +247,14 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
 
 def _cmd_fig7(args: argparse.Namespace, which: str) -> int:
     os.makedirs(args.out, exist_ok=True)
-    if which == "a":
-        series = run_fig7a(seeds=args.seeds, trace_length=args.n)
-    else:
-        series = run_fig7b(seeds=args.seeds, trace_length=args.n)
+    workers, cache = _engine_options(args)
+    runner = run_fig7a if which == "a" else run_fig7b
+    series = runner(
+        seeds=args.seeds,
+        trace_length=args.n,
+        max_workers=workers,
+        cache=cache,
+    )
     write_csv(series, os.path.join(args.out, f"fig7{which}.csv"))
     for p in series.points:
         print(
@@ -229,7 +272,8 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     for row in table1_rows(n=args.n):
         print(
             f"  Sec {row['section']:<4s} {row['task_model']:<20s} "
-            f"{row['solution']:<44s} {row['measured_ms']} ms"
+            f"{row['solution']:<44s} {row['measured_ms']} ms "
+            f"({row['solver_calls']} solver call(s))"
         )
     print("\nTable 3 (overhead regimes):")
     for row in table3_rows():
@@ -244,6 +288,50 @@ def _cmd_tables(args: argparse.Namespace) -> int:
             f"alpha_m={row['alpha_m_w']} W, xi_m={row['xi_m_ms']} ms"
         )
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    cache_root = args.cache_dir or default_cache_root(
+        os.path.dirname(args.out) or "."
+    )
+    report = run_bench(
+        benchmark=args.benchmark,
+        seeds=args.seeds,
+        workers=_resolve_workers_flag(args.workers),
+        cache_root=cache_root,
+        quick=args.quick,
+    )
+    print(render_bench_table(report))
+    write_bench_json(report, args.out)
+    print(f"report written to {args.out}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir or default_cache_root())
+    if args.cache_command == "stats":
+        print(cache.stats().render())
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.root}")
+    return 0
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep (1 = in-process, 0 = every core)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", dest="no_cache",
+        help="skip the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", dest="cache_dir", default=None,
+        help="result cache directory (default <out>/.cache, "
+        "or $REPRO_CACHE_DIR)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -278,6 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     p6.add_argument("--seeds", type=int, default=10)
     p6.add_argument("--n", type=int, default=64, help="instances per trace")
     p6.add_argument("--out", default="benchmarks/results")
+    _add_engine_args(p6)
     p6.set_defaults(func=_cmd_fig6)
 
     for which in ("a", "b"):
@@ -285,11 +374,53 @@ def build_parser() -> argparse.ArgumentParser:
         p7.add_argument("--seeds", type=int, default=10)
         p7.add_argument("--n", type=int, default=50, help="tasks per trace")
         p7.add_argument("--out", default="benchmarks/results")
+        _add_engine_args(p7)
         p7.set_defaults(func=lambda a, w=which: _cmd_fig7(a, w))
 
     p_tab = sub.add_parser("tables", help="regenerate Tables 1, 3 and 4")
     p_tab.add_argument("--n", type=int, default=12, help="instance size for Table 1")
     p_tab.set_defaults(func=_cmd_tables)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the engine: serial vs parallel vs warm cache"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="small CI smoke slice instead of the full Fig 6 sweep",
+    )
+    p_bench.add_argument(
+        "--benchmark", choices=["fft", "matmul"], default="fft"
+    )
+    p_bench.add_argument(
+        "--seeds", type=int, default=None, help="seeds per point (default 5; 2 with --quick)"
+    )
+    p_bench.add_argument(
+        "--workers", type=int, default=0,
+        help="parallel-mode worker processes (0 = every core)",
+    )
+    p_bench.add_argument(
+        "--out", default="BENCH_experiments.json", help="report path"
+    )
+    p_bench.add_argument(
+        "--cache-dir", dest="cache_dir", default=None,
+        help="result cache directory for the warm run",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the experiment result cache"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "entry count, total size, session hit/miss"),
+        ("clear", "delete every cache entry"),
+    ):
+        p_cc = cache_sub.add_parser(name, help=help_text)
+        p_cc.add_argument(
+            "--dir", default=None,
+            help="cache directory (default $REPRO_CACHE_DIR or ./.cache)",
+        )
+        p_cc.set_defaults(func=_cmd_cache)
 
     return parser
 

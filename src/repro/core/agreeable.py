@@ -94,21 +94,46 @@ def solve_agreeable(
     )
     n = len(tasks)
 
-    # Price every consecutive block tau'[p:q].
+    # Gap pruning: when memory leakage is positive and sleeping is free
+    # (no per-block overhead), a block spanning a *feasibility gap* --
+    # task k+1 released strictly after task k's deadline -- is provably
+    # dominated: splitting the busy interval at the gap leaves every task
+    # window unchanged (deadline order bounds the left tasks' deadlines by
+    # the gap start, agreeable releases bound the right tasks' releases by
+    # the gap end) while shortening the memory-awake time by at least the
+    # gap, i.e. saving >= alpha_m * gap.  Skipping those blocks turns the
+    # O(n^2) block pricing into O(sum of per-cluster n_c^2) on clustered
+    # traces without changing the DP optimum.  With a positive overhead
+    # merging across a gap can amortize a sleep cycle, so no pruning then.
+    prune_gaps = platform.memory.alpha_m > 0.0 and overhead == 0.0
+    gap_after = [
+        tasks[k + 1].release > tasks[k].deadline + 1e-9 for k in range(n - 1)
+    ]
+
+    # Price every consecutive block tau'[p:q] that can appear in an optimum.
     block_solutions: Dict[Tuple[int, int], BlockSolution] = {}
     for p in range(n):
+        spans_gap = False
         for q in range(p + 1, n + 1):
+            if q >= p + 2 and gap_after[q - 2]:
+                spans_gap = True
+            if prune_gaps and spans_gap:
+                continue
             block_solutions[(p, q)] = solve_block(
                 tasks.subset(p, q), platform, method=block_method
             )
 
-    # DP over prefixes (Lemma 4 ordering).
+    # DP over prefixes (Lemma 4 ordering).  Singleton blocks are never
+    # pruned, so a finite-cost path always exists.
     best_cost = [math.inf] * (n + 1)
     best_prev: List[Optional[int]] = [None] * (n + 1)
     best_cost[0] = 0.0
     for q in range(1, n + 1):
         for p in range(q):
-            candidate = best_cost[p] + block_solutions[(p, q)].energy + overhead
+            solution = block_solutions.get((p, q))
+            if solution is None:
+                continue
+            candidate = best_cost[p] + solution.energy + overhead
             if candidate < best_cost[q]:
                 best_cost[q] = candidate
                 best_prev[q] = p

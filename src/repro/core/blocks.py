@@ -38,18 +38,64 @@ The test suite certifies both against a dense numeric reference.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Literal, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Literal, Optional, Sequence, Tuple
 
 from repro.models.platform import Platform
 from repro.models.task import Task, TaskSet
 from repro.schedule.timeline import ExecutionInterval, Schedule
-from repro.utils.solvers import bisect_increasing, golden_section_minimize
+from repro.utils.solvers import (
+    bisect_increasing,
+    golden_section_minimize,
+    record_solver_call,
+)
 
-__all__ = ["TaskPlacement", "BlockSolution", "solve_block", "block_energy"]
+__all__ = [
+    "TaskPlacement",
+    "BlockSolution",
+    "solve_block",
+    "block_energy",
+    "block_energy_cache_info",
+    "block_energy_cache_clear",
+]
 
 _INF = float("inf")
 _PENALTY = 1e30
+
+# ---------------------------------------------------------------------------
+# Memoization of the hot numeric layer (see docs/PERFORMANCE.md)
+#
+# The descent and pair solvers re-evaluate the block energy at *exactly*
+# repeated (start, end) points -- line searches re-probe their anchor and
+# bracket endpoints, and the O(n^2) agreeable DP prices overlapping subsets
+# -- so a content-keyed LRU pays for itself many times over.  Keys combine
+# the TaskSet's cached value signature with the (hashable, frozen) Platform
+# and the raw endpoint floats; values are plain floats, so cached and
+# uncached paths are bit-identical.
+# ---------------------------------------------------------------------------
+
+_ENERGY_CACHE: "OrderedDict[Tuple, float]" = OrderedDict()
+_ENERGY_CACHE_MAX = 1 << 17
+_SOLUTION_CACHE: "OrderedDict[Tuple, BlockSolution]" = OrderedDict()
+_SOLUTION_CACHE_MAX = 1 << 12
+_CACHE_STATS = {"energy_hits": 0, "energy_misses": 0, "solution_hits": 0, "solution_misses": 0}
+
+
+def block_energy_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters for the block-level memo caches."""
+    info = dict(_CACHE_STATS)
+    info["energy_entries"] = len(_ENERGY_CACHE)
+    info["solution_entries"] = len(_SOLUTION_CACHE)
+    return info
+
+
+def block_energy_cache_clear() -> None:
+    """Drop all memoized block energies and solutions (test isolation)."""
+    _ENERGY_CACHE.clear()
+    _SOLUTION_CACHE.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
 
 
 @dataclass(frozen=True)
@@ -110,6 +156,30 @@ def block_energy(
     tasks: TaskSet, platform: Platform, start: float, end: float
 ) -> float:
     """Block energy at busy interval ``[start, end]`` (inf if infeasible).
+
+    Memoized in a content-keyed LRU: the solvers re-probe repeated
+    endpoints constantly (see the module-level cache note), and the memo
+    returns the identical float the raw evaluation would.
+    """
+    key = (tasks.energy_signature(), platform, start, end)
+    cached = _ENERGY_CACHE.get(key)
+    if cached is not None:
+        _ENERGY_CACHE.move_to_end(key)
+        _CACHE_STATS["energy_hits"] += 1
+        return cached
+    value = _block_energy_uncached(tasks, platform, start, end)
+    _CACHE_STATS["energy_misses"] += 1
+    record_solver_call("block_energy")
+    _ENERGY_CACHE[key] = value
+    if len(_ENERGY_CACHE) > _ENERGY_CACHE_MAX:
+        _ENERGY_CACHE.popitem(last=False)
+    return value
+
+
+def _block_energy_uncached(
+    tasks: TaskSet, platform: Platform, start: float, end: float
+) -> float:
+    """The raw evaluation behind :func:`block_energy`.
 
     Infeasibility (empty window or forced overspeed) is reported as a large
     *graded* penalty so convex descent is steered back into the feasible
@@ -538,11 +608,29 @@ def solve_block(
 
     Requires an agreeable subset (Section 5 model).  See the module
     docstring for the two methods.
+
+    Solutions are memoized by (task signature, platform, method):
+    :class:`BlockSolution` is immutable, and the agreeable DP plus repeated
+    sweeps over the same instances (ablations, online replanning) re-request
+    identical blocks.
     """
     if not tasks.is_agreeable():
         raise ValueError("block solving requires agreeable deadlines")
+    if method not in ("descent", "pairs"):
+        raise ValueError(f"unknown method {method!r}")
+    key = (tasks.signature(), platform, method)
+    cached = _SOLUTION_CACHE.get(key)
+    if cached is not None:
+        _SOLUTION_CACHE.move_to_end(key)
+        _CACHE_STATS["solution_hits"] += 1
+        return cached
+    _CACHE_STATS["solution_misses"] += 1
+    record_solver_call("solve_block")
     if method == "descent":
-        return _solve_block_descent(tasks, platform)
-    if method == "pairs":
-        return _solve_block_pairs(tasks, platform)
-    raise ValueError(f"unknown method {method!r}")
+        solution = _solve_block_descent(tasks, platform)
+    else:
+        solution = _solve_block_pairs(tasks, platform)
+    _SOLUTION_CACHE[key] = solution
+    if len(_SOLUTION_CACHE) > _SOLUTION_CACHE_MAX:
+        _SOLUTION_CACHE.popitem(last=False)
+    return solution

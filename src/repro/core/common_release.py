@@ -40,6 +40,7 @@ from typing import Dict, List, Literal, Optional, Tuple
 from repro.models.platform import Platform
 from repro.models.task import Task, TaskSet
 from repro.schedule.timeline import ExecutionInterval, Schedule
+from repro.utils.solvers import record_solver_call
 
 __all__ = [
     "CommonReleaseSolution",
@@ -137,6 +138,7 @@ def solve_common_release_alpha_zero(
     valid / just-fit / invalid classification.  Both return the same
     solution; the scan is the test suite's reference for the search.
     """
+    record_solver_call("common_release")
     core = platform.core
     alpha_m = platform.memory.alpha_m
     release = _prepare_common_release(tasks)
@@ -331,6 +333,7 @@ def solve_common_release_alpha_nonzero(
     contributed by the critical-speed tasks, which must be added back when
     comparing across cases.
     """
+    record_solver_call("common_release")
     core = platform.core
     if core.alpha <= 0.0:
         raise ValueError("alpha must be positive; use the alpha=0 scheme")

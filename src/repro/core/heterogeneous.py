@@ -121,11 +121,18 @@ def solve_common_release_heterogeneous(
         task.workload / core.s_up for task, core in pairs
     )
     best_delta, best_energy = 0.0, energy_at(0.0)
+    prev_argmin: float | None = None
     for lo, hi in zip(breakpoints, breakpoints[1:] + [max(cap, 0.0)]):
         hi = min(hi, cap)
         if hi < lo:
             continue
-        delta, energy = minimize_convex_1d(energy_at, lo, hi)
+        # Warm-start each segment from the previous one's argmin: once the
+        # global minimum has been passed, every later segment is increasing
+        # and the clamped guess confirms the left-edge minimum in a handful
+        # of probes instead of a full golden-section sweep.
+        guess = None if prev_argmin is None else min(max(prev_argmin, lo), hi)
+        delta, energy = minimize_convex_1d(energy_at, lo, hi, guess=guess)
+        prev_argmin = delta
         if energy < best_energy - 1e-12:
             best_delta, best_energy = delta, energy
 

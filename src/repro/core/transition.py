@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.common_release import CommonReleaseSolution
 from repro.models.platform import Platform
 from repro.models.task import TaskSet
+from repro.utils.solvers import record_solver_call
 
 __all__ = [
     "solve_common_release_with_overhead",
@@ -146,6 +147,7 @@ def solve_common_release_with_overhead(
     emitted schedule over ``[release, horizon_end]`` with
     ``SleepPolicy.BREAK_EVEN``.
     """
+    record_solver_call("overhead_delta")
     core = platform.core
     memory = platform.memory
     if not tasks.has_common_release():

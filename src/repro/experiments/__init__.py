@@ -3,11 +3,25 @@
 One module per exhibit; each returns structured results and can emit CSV
 plus an ASCII rendering (matplotlib is unavailable offline).  The mapping
 from exhibits to modules lives in DESIGN.md's per-experiment index.
+
+Execution goes through the parallel, cache-aware engine in
+:mod:`repro.experiments.parallel`; every exhibit accepts ``max_workers``
+and ``cache`` and produces bit-identical results for any setting (see
+docs/PERFORMANCE.md).
 """
 
+from repro.experiments.cache import (
+    CODE_SALT,
+    CacheStats,
+    ResultCache,
+    default_cache_root,
+    platform_fingerprint,
+    unit_key,
+)
 from repro.experiments.config import (
     ALPHA_M_SWEEP_MW,
     DEFAULT_ALPHA_M_MW,
+    DEFAULT_MAX_WORKERS,
     DEFAULT_SEEDS,
     DEFAULT_X_MS,
     DEFAULT_XI_M_MS,
@@ -19,17 +33,29 @@ from repro.experiments.config import (
 from repro.experiments.runner import (
     ComparisonPoint,
     SeriesResult,
+    UnitResult,
     compare_policies,
+    reduce_units,
     render_ascii_chart,
+    simulate_unit,
     write_csv,
 )
-from repro.experiments.fig6 import run_fig6
-from repro.experiments.fig7 import run_fig7a, run_fig7b
+from repro.experiments.parallel import (
+    DspstoneTraceSpec,
+    PointSpec,
+    SyntheticTraceSpec,
+    resolve_workers,
+    run_series,
+    run_unit,
+)
+from repro.experiments.fig6 import fig6_specs, run_fig6
+from repro.experiments.fig7 import fig7_grid_specs, run_fig7a, run_fig7b
 from repro.experiments.tables import table1_rows, table3_rows, table4_rows
 
 __all__ = [
     "ALPHA_M_SWEEP_MW",
     "DEFAULT_ALPHA_M_MW",
+    "DEFAULT_MAX_WORKERS",
     "DEFAULT_SEEDS",
     "DEFAULT_X_MS",
     "DEFAULT_XI_M_MS",
@@ -37,12 +63,29 @@ __all__ = [
     "X_SWEEP_MS",
     "XI_M_SWEEP_MS",
     "experiment_platform",
+    "CODE_SALT",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_root",
+    "platform_fingerprint",
+    "unit_key",
     "ComparisonPoint",
     "SeriesResult",
+    "UnitResult",
     "compare_policies",
+    "reduce_units",
     "render_ascii_chart",
+    "simulate_unit",
     "write_csv",
+    "DspstoneTraceSpec",
+    "PointSpec",
+    "SyntheticTraceSpec",
+    "resolve_workers",
+    "run_series",
+    "run_unit",
+    "fig6_specs",
     "run_fig6",
+    "fig7_grid_specs",
     "run_fig7a",
     "run_fig7b",
     "table1_rows",

@@ -1,0 +1,199 @@
+"""``repro bench``: measure the experiment engine on a Fig. 6 slice.
+
+Three timed runs of the same Fig. 6 FFT slice, in a fixed order:
+
+1. **serial cold** -- ``max_workers=1``, no result cache, in-process
+   memoization cleared: the pre-engine baseline;
+2. **parallel cold** -- ``max_workers=N`` through the process pool,
+   populating a fresh on-disk result cache as it goes;
+3. **warm cache** -- ``max_workers=1`` again, every unit served from the
+   cache populated by run 2.
+
+The three runs must produce identical ``SeriesResult.rows()`` output --
+:func:`run_bench` asserts it -- so the speedup table never advertises a
+fast-but-different engine.  Results are printed as a table and written to
+``BENCH_experiments.json`` for CI artifact upload.  Interpretation notes
+live in docs/PERFORMANCE.md; in particular the parallel speedup is bounded
+by the machine's core count, so on a single-core container run 2 shows
+only pool overhead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.core.blocks import block_energy_cache_clear
+from repro.experiments.cache import ResultCache
+from repro.experiments.fig6 import fig6_specs
+from repro.experiments.parallel import resolve_workers, run_series
+from repro.experiments.runner import SeriesResult
+from repro.utils.solvers import reset_solver_counts, solver_call_total
+
+__all__ = ["run_bench", "render_bench_table", "write_bench_json"]
+
+#: Default Fig. 6 slice: the full U sweep at a moderate seed count.
+BENCH_U_VALUES: List[int] = [2, 3, 4, 5, 6, 7, 8, 9]
+BENCH_SEEDS = 5
+BENCH_INSTANCES = 48
+
+#: ``--quick`` slice for CI smoke: a few seconds end to end.
+QUICK_U_VALUES: List[int] = [2, 3]
+QUICK_SEEDS = 2
+QUICK_INSTANCES = 24
+
+
+def _timed_run(
+    name: str,
+    specs,
+    *,
+    seeds: int,
+    max_workers: Optional[int],
+    cache: Optional[ResultCache],
+) -> Dict[str, object]:
+    """One bench mode: cold in-process state, wall-clock + counters."""
+    block_energy_cache_clear()
+    reset_solver_counts()
+    start = time.perf_counter()
+    series = run_series(
+        name, specs, seeds=seeds, max_workers=max_workers, cache=cache
+    )
+    seconds = time.perf_counter() - start
+    return {
+        "series": series,
+        "seconds": seconds,
+        # Pool workers count in their own processes; use the per-unit
+        # counters shipped back in the results, not this process's tally.
+        "solver_calls": sum(p.solver_calls for p in series.points),
+        "cached_units": sum(p.cached_units for p in series.points),
+        "local_solver_calls": solver_call_total(),
+    }
+
+
+def run_bench(
+    *,
+    benchmark: str = "fft",
+    u_values: Optional[List[int]] = None,
+    seeds: Optional[int] = None,
+    instances: Optional[int] = None,
+    workers: Optional[int] = None,
+    cache_root: str,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Run the three-mode benchmark and return the report dict.
+
+    ``workers=None`` uses every core for the parallel mode.  ``cache_root``
+    hosts the run's result cache; it is cleared first so the "cold" modes
+    are honestly cold.
+    """
+    if quick:
+        u_values = u_values if u_values is not None else QUICK_U_VALUES
+        seeds = seeds if seeds is not None else QUICK_SEEDS
+        instances = instances if instances is not None else QUICK_INSTANCES
+    else:
+        u_values = u_values if u_values is not None else BENCH_U_VALUES
+        seeds = seeds if seeds is not None else BENCH_SEEDS
+        instances = instances if instances is not None else BENCH_INSTANCES
+    pool_workers = resolve_workers(workers)
+
+    specs = fig6_specs(benchmark, u_values=u_values, instances=instances)
+    cache = ResultCache(cache_root)
+    cache.clear()
+
+    serial = _timed_run(
+        "bench-serial", specs, seeds=seeds, max_workers=1, cache=None
+    )
+    parallel = _timed_run(
+        "bench-parallel", specs, seeds=seeds, max_workers=pool_workers, cache=cache
+    )
+    warm = _timed_run(
+        "bench-warm", specs, seeds=seeds, max_workers=1, cache=cache
+    )
+
+    rows = [mode["series"].rows() for mode in (serial, parallel, warm)]
+    identical = rows[0] == rows[1] == rows[2]
+    assert identical, "bench modes disagree -- engine determinism is broken"
+
+    def mode_report(mode: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "seconds": round(mode["seconds"], 4),
+            "solver_calls": mode["solver_calls"],
+            "cached_units": mode["cached_units"],
+        }
+
+    serial_s = serial["seconds"]
+    report: Dict[str, object] = {
+        "slice": {
+            "benchmark": benchmark,
+            "u_values": u_values,
+            "seeds": seeds,
+            "instances": instances,
+            "units": len(u_values) * seeds,
+        },
+        "workers": pool_workers,
+        "cpu_count": os.cpu_count(),
+        "modes": {
+            "serial_cold": mode_report(serial),
+            "parallel_cold": mode_report(parallel),
+            "warm_cache": mode_report(warm),
+        },
+        "speedup": {
+            "parallel_vs_serial": round(serial_s / parallel["seconds"], 3)
+            if parallel["seconds"] > 0
+            else None,
+            "warm_vs_serial": round(serial_s / warm["seconds"], 3)
+            if warm["seconds"] > 0
+            else None,
+            "warm_fraction_of_serial": round(warm["seconds"] / serial_s, 4)
+            if serial_s > 0
+            else None,
+        },
+        "rows_identical": identical,
+        "cache_entries": cache.stats().entries,
+    }
+    return report
+
+
+def render_bench_table(report: Dict[str, object]) -> str:
+    """Human-readable speedup table for one :func:`run_bench` report."""
+    sl = report["slice"]
+    modes = report["modes"]
+    speed = report["speedup"]
+    serial_s = modes["serial_cold"]["seconds"]
+    lines = [
+        f"bench slice: fig6-{sl['benchmark']} U={sl['u_values']} "
+        f"seeds={sl['seeds']} n={sl['instances']} "
+        f"({sl['units']} work units; {report['workers']} worker(s), "
+        f"{report['cpu_count']} cpu(s))",
+        f"{'mode':<14s} {'seconds':>9s} {'speedup':>9s} "
+        f"{'solver calls':>13s} {'cached units':>13s}",
+    ]
+    for label, key in (
+        ("serial cold", "serial_cold"),
+        ("parallel cold", "parallel_cold"),
+        ("warm cache", "warm_cache"),
+    ):
+        mode = modes[key]
+        speedup = serial_s / mode["seconds"] if mode["seconds"] > 0 else 0.0
+        lines.append(
+            f"{label:<14s} {mode['seconds']:>9.3f} {speedup:>8.2f}x "
+            f"{mode['solver_calls']:>13d} {mode['cached_units']:>13d}"
+        )
+    lines.append(
+        f"rows identical across modes: {report['rows_identical']}; "
+        f"warm run took {speed['warm_fraction_of_serial'] * 100.0:.1f}% "
+        f"of cold serial"
+    )
+    return "\n".join(lines)
+
+
+def write_bench_json(report: Dict[str, object], path: str) -> None:
+    """Persist the report where CI uploads it as an artifact."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,232 @@
+"""Content-addressed on-disk cache for experiment work units.
+
+One cache entry = one policy's priced simulation of one work unit (one
+seed of one parameter point).  The key is a SHA-256 over the canonical
+JSON of everything that determines the result:
+
+* the platform fingerprint (every core/memory parameter + core count);
+* the trace-factory configuration (kind + generation parameters + the
+  seed mapping -- see ``trace_config`` on the specs in
+  :mod:`repro.experiments.parallel`);
+* the seed index;
+* the policy name;
+* a code-version salt (:data:`CODE_SALT`), bumped whenever the numeric
+  semantics of the simulator or policies change, which invalidates every
+  stale entry at once.
+
+Entries are tiny JSON files sharded by the first two hex digits of the
+key, written atomically (temp file + ``os.replace``) so concurrent
+worker processes never observe torn entries.  Values round-trip floats
+exactly (``json`` uses shortest-repr), so warm-cache reruns reproduce
+byte-identical CSV rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.models.platform import Platform
+
+__all__ = [
+    "CODE_SALT",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_root",
+    "platform_fingerprint",
+    "unit_key",
+]
+
+#: Bump when simulator/policy numerics change: every key changes, so stale
+#: results can never be served after a semantic code change.
+CODE_SALT = "sdem-experiments-v1"
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root(out_dir: Optional[str] = None) -> str:
+    """The default cache directory.
+
+    ``$REPRO_CACHE_DIR`` wins when set; otherwise the cache nests inside
+    the experiment output directory (or the CWD) as ``.cache`` so that CSVs
+    and the cells that produced them travel together.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    return os.path.join(out_dir if out_dir else os.getcwd(), ".cache")
+
+
+def platform_fingerprint(platform: Platform) -> Dict[str, object]:
+    """Every parameter that affects a priced simulation on ``platform``."""
+    core, memory = platform.core, platform.memory
+    return {
+        "beta": core.beta,
+        "lam": core.lam,
+        "alpha": core.alpha,
+        "s_up": core.s_up,
+        "s_min": core.s_min,
+        "xi": core.xi,
+        "alpha_m": memory.alpha_m,
+        "xi_m": memory.xi_m,
+        "num_cores": platform.num_cores,
+    }
+
+
+def unit_key(
+    platform: Platform,
+    trace_config: Dict[str, object],
+    seed: int,
+    policy: str,
+    *,
+    salt: str = CODE_SALT,
+) -> str:
+    """SHA-256 hex key for one (platform, trace, seed, policy) cell."""
+    payload = {
+        "platform": platform_fingerprint(platform),
+        "trace": trace_config,
+        "seed": seed,
+        "policy": policy,
+        "salt": salt,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Disk-level cache statistics plus this process's hit/miss tally."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+
+    def render(self) -> str:
+        return (
+            f"cache root: {self.root}\n"
+            f"entries:    {self.entries}\n"
+            f"size:       {self.total_bytes / 1024.0:.1f} KiB\n"
+            f"session:    {self.hits} hit(s), {self.misses} miss(es)"
+        )
+
+
+class ResultCache:
+    """File-per-entry result cache rooted at ``root``.
+
+    Instances are picklable and cheap; worker processes of the parallel
+    engine each carry a copy and read/write the shared directory directly.
+    Hit/miss counters are therefore per-process -- the authoritative view
+    is :meth:`stats`, which counts entries on disk.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying ---------------------------------------------------------------
+
+    def unit_key(
+        self,
+        platform: Platform,
+        trace_config: Dict[str, object],
+        seed: int,
+        policy: str,
+    ) -> str:
+        return unit_key(platform, trace_config, seed, policy)
+
+    # -- storage --------------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key[2:] + ".json")
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored value for ``key``, or ``None`` on a miss.
+
+        Unreadable/corrupt entries (interrupted writers predating the
+        atomic-replace scheme, disk trouble) count as misses.
+        """
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                value = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Dict[str, object]) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(value, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _entry_paths(self):
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json") and not name.startswith(".tmp-"):
+                    yield os.path.join(shard_dir, name)
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        total_bytes = 0
+        for path in self._entry_paths():
+            try:
+                total_bytes += os.path.getsize(path)
+            except OSError:
+                continue
+            entries += 1
+        return CacheStats(
+            root=self.root,
+            entries=entries,
+            total_bytes=total_bytes,
+            hits=self.hits,
+            misses=self.misses,
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    # -- pickling (worker processes share only the root path) -----------------
+
+    def __getstate__(self):
+        return {"root": self.root}
+
+    def __setstate__(self, state):
+        self.root = state["root"]
+        self.hits = 0
+        self.misses = 0

@@ -7,7 +7,7 @@ DRAM (see :func:`repro.models.platform.paper_platform`).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.models.platform import Platform, paper_platform
 
@@ -22,6 +22,7 @@ __all__ = [
     "DEFAULT_SEEDS",
     "DEFAULT_NUM_CORES",
     "DEFAULT_TRACE_LENGTH",
+    "DEFAULT_MAX_WORKERS",
     "experiment_platform",
 ]
 
@@ -50,6 +51,10 @@ DEFAULT_NUM_CORES: int = 8
 #: Tasks per synthetic trace (long enough that edge effects average out;
 #: the paper does not state its trace length).
 DEFAULT_TRACE_LENGTH: int = 50
+
+#: Default experiment-engine fan-out: 1 = in-process serial loop (safe
+#: everywhere, bit-identical to any other setting); ``None`` = every core.
+DEFAULT_MAX_WORKERS: Optional[int] = 1
 
 
 def experiment_platform(

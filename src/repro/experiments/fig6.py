@@ -9,22 +9,55 @@ Memory parameters are the Table 4 stars (``alpha_m = 4 W``,
 SDEM-ON saves on average 10.02% more *memory* energy than MBKPS (6a) and
 23.45% more *system* energy (6b); SDEM-ON's memory saving grows as
 utilization falls while its system saving grows as utilization rises.
+
+Each U point is a :class:`DspstoneTraceSpec` with the historical seed
+mapping ``seed * 1009 + U``, so results are unchanged from the old
+per-point lambdas while remaining picklable for the parallel engine and
+hashable for the result cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Literal
+from typing import List, Literal, Optional
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import (
     DEFAULT_NUM_CORES,
     DEFAULT_SEEDS,
     U_SWEEP,
     experiment_platform,
 )
-from repro.experiments.runner import ComparisonPoint, SeriesResult, compare_policies
-from repro.workloads.dspstone import dspstone_trace
+from repro.experiments.parallel import DspstoneTraceSpec, PointSpec, run_series
+from repro.experiments.runner import SeriesResult
 
-__all__ = ["run_fig6"]
+__all__ = ["fig6_specs", "run_fig6"]
+
+
+def fig6_specs(
+    benchmark: Literal["fft", "matmul"],
+    *,
+    u_values: List[int] | None = None,
+    instances: int = 48,
+    streams: int = DEFAULT_NUM_CORES,
+) -> List[PointSpec]:
+    """The Figure 6 parameter points for one benchmark, as work specs."""
+    u_values = u_values if u_values is not None else U_SWEEP
+    platform = experiment_platform()
+    return [
+        PointSpec(
+            label=f"U={u}",
+            trace_factory=DspstoneTraceSpec(
+                benchmark=benchmark,
+                utilization_factor=float(u),
+                n=instances,
+                streams=streams,
+                seed_stride=1009,
+                seed_offset=u,
+            ),
+            platform=platform,
+        )
+        for u in u_values
+    ]
 
 
 def run_fig6(
@@ -34,27 +67,22 @@ def run_fig6(
     seeds: int = DEFAULT_SEEDS,
     instances: int = 48,
     streams: int = DEFAULT_NUM_CORES,
+    max_workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> SeriesResult:
     """Run the Figure 6 comparison for one benchmark.
 
     Returns a :class:`SeriesResult` whose points carry both the memory
     saving (Fig. 6a) and the system saving (Fig. 6b) for each U.
+    Results are bit-identical for every ``max_workers``/``cache`` setting.
     """
-    u_values = u_values if u_values is not None else U_SWEEP
-    platform = experiment_platform()
-    series = SeriesResult(name=f"fig6-{benchmark}")
-    for u in u_values:
-        point = compare_policies(
-            label=f"U={u}",
-            trace_factory=lambda seed, u=u: dspstone_trace(
-                benchmark,
-                utilization_factor=float(u),
-                n=instances,
-                seed=seed * 1009 + u,
-                streams=streams,
-            ),
-            platform=platform,
-            seeds=seeds,
-        )
-        series.points.append(point)
-    return series
+    specs = fig6_specs(
+        benchmark, u_values=u_values, instances=instances, streams=streams
+    )
+    return run_series(
+        f"fig6-{benchmark}",
+        specs,
+        seeds=seeds,
+        max_workers=max_workers,
+        cache=cache,
+    )

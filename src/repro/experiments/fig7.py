@@ -9,12 +9,18 @@
 Reported paper numbers: SDEM-ON improves on MBKPS by 9.74% on average in
 7a and 10.52% in 7b; the improvement is essentially flat in ``xi_m`` and
 MBKPS degenerates to MBKP as utilization rises (``x -> 100 ms``).
+
+Each grid cell is a :class:`SyntheticTraceSpec` with the historical seed
+mapping ``seed * 7919 + int(x)``, so results are unchanged from the old
+per-cell lambdas while remaining picklable for the parallel engine and
+hashable for the result cache.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.config import (
     ALPHA_M_SWEEP_MW,
     DEFAULT_ALPHA_M_MW,
@@ -25,10 +31,43 @@ from repro.experiments.config import (
     XI_M_SWEEP_MS,
     experiment_platform,
 )
-from repro.experiments.runner import SeriesResult, compare_policies
-from repro.workloads.synthetic import synthetic_tasks
+from repro.experiments.parallel import PointSpec, SyntheticTraceSpec, run_series
+from repro.experiments.runner import SeriesResult
 
-__all__ = ["run_fig7a", "run_fig7b"]
+__all__ = ["fig7_grid_specs", "run_fig7a", "run_fig7b"]
+
+
+def fig7_grid_specs(
+    memory_points: List[tuple[float, float]],
+    x_values: List[float],
+    *,
+    trace_length: int,
+) -> List[PointSpec]:
+    """The Fig. 7 grid as work specs.
+
+    ``memory_points`` are ``(alpha_m, xi_m)`` pairs; every pair is crossed
+    with every ``x``.
+    """
+    specs: List[PointSpec] = []
+    for alpha_m, xi_m in memory_points:
+        platform = experiment_platform(alpha_m=alpha_m, xi_m=xi_m)
+        for x in x_values:
+            specs.append(
+                PointSpec(
+                    label=(
+                        f"alpha_m={alpha_m / 1000.0:g}W "
+                        f"xi_m={xi_m:g}ms x={x:g}ms"
+                    ),
+                    trace_factory=SyntheticTraceSpec(
+                        n=trace_length,
+                        max_interarrival=x,
+                        seed_stride=7919,
+                        seed_offset=int(x),
+                    ),
+                    platform=platform,
+                )
+            )
+    return specs
 
 
 def _grid_run(
@@ -38,28 +77,14 @@ def _grid_run(
     *,
     seeds: int,
     trace_length: int,
+    max_workers: Optional[int],
+    cache: Optional[ResultCache],
 ) -> SeriesResult:
-    """Shared Fig. 7 grid sweep.
-
-    ``memory_points`` are ``(alpha_m, xi_m)`` pairs; every pair is crossed
-    with every ``x``.
-    """
-    series = SeriesResult(name=name)
-    for alpha_m, xi_m in memory_points:
-        platform = experiment_platform(alpha_m=alpha_m, xi_m=xi_m)
-        for x in x_values:
-            point = compare_policies(
-                label=f"alpha_m={alpha_m / 1000.0:g}W xi_m={xi_m:g}ms x={x:g}ms",
-                trace_factory=lambda seed, x=x: synthetic_tasks(
-                    n=trace_length,
-                    max_interarrival=x,
-                    seed=seed * 7919 + int(x),
-                ),
-                platform=platform,
-                seeds=seeds,
-            )
-            series.points.append(point)
-    return series
+    """Shared Fig. 7 grid sweep."""
+    specs = fig7_grid_specs(memory_points, x_values, trace_length=trace_length)
+    return run_series(
+        name, specs, seeds=seeds, max_workers=max_workers, cache=cache
+    )
 
 
 def run_fig7a(
@@ -68,6 +93,8 @@ def run_fig7a(
     x_values: List[float] | None = None,
     seeds: int = DEFAULT_SEEDS,
     trace_length: int = DEFAULT_TRACE_LENGTH,
+    max_workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> SeriesResult:
     """Fig. 7a: sweep memory static power x utilization."""
     alpha_m_values = (
@@ -80,6 +107,8 @@ def run_fig7a(
         x_values,
         seeds=seeds,
         trace_length=trace_length,
+        max_workers=max_workers,
+        cache=cache,
     )
 
 
@@ -89,6 +118,8 @@ def run_fig7b(
     x_values: List[float] | None = None,
     seeds: int = DEFAULT_SEEDS,
     trace_length: int = DEFAULT_TRACE_LENGTH,
+    max_workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> SeriesResult:
     """Fig. 7b: sweep memory transition overhead x utilization."""
     xi_m_values = xi_m_values if xi_m_values is not None else XI_M_SWEEP_MS
@@ -99,4 +130,6 @@ def run_fig7b(
         x_values,
         seeds=seeds,
         trace_length=trace_length,
+        max_workers=max_workers,
+        cache=cache,
     )

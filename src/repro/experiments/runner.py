@@ -3,28 +3,56 @@
 Every Section 8 exhibit reduces to the same inner loop -- simulate a trace
 under SDEM-ON, MBKPS and MBKP over an identical horizon, average savings
 across seeds -- so it lives here once.
+
+The loop is decomposed into *work units*: one unit = one seed of one
+parameter point, priced under all three policies (:func:`simulate_unit`).
+Units are embarrassingly parallel; the engine in
+:mod:`repro.experiments.parallel` fans them across worker processes and
+:func:`reduce_units` folds them back **in seed order**, so serial,
+parallel and warm-cache runs produce bit-identical
+:class:`ComparisonPoint` aggregates (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import mbkp, mbkps
 from repro.core.online import SdemOnlinePolicy
 from repro.models.platform import Platform
 from repro.models.task import Task
 from repro.sim.engine import SimulationResult, simulate
+from repro.utils.solvers import solver_call_total
 
 __all__ = [
+    "POLICY_ORDER",
     "ComparisonPoint",
     "SeriesResult",
+    "UnitResult",
     "compare_policies",
+    "reduce_units",
+    "simulate_unit",
     "write_csv",
     "render_ascii_chart",
 ]
+
+#: Fixed policy evaluation/aggregation order; cache entries and
+#: :class:`UnitResult` tuples index into it.
+POLICY_ORDER: Tuple[str, str, str] = ("sdem", "mbkps", "mbkp")
+
+
+def _build_policy(name: str, platform: Platform):
+    if name == "sdem":
+        return SdemOnlinePolicy(platform)
+    if name == "mbkps":
+        return mbkps(platform)
+    if name == "mbkp":
+        return mbkp(platform)
+    raise ValueError(f"unknown policy {name!r}")
 
 
 @dataclass(frozen=True)
@@ -35,6 +63,11 @@ class ComparisonPoint:
     ``saving = (1 - E_algo / E_mbkp) * 100`` (percent).
     ``sdem_saving_samples`` carries the per-seed system savings so reports
     can state the spread (the paper reports means only).
+
+    ``wall_ms``/``solver_calls``/``cached_units`` are engine telemetry
+    summed over the point's work units; they are *not* part of the CSV
+    rows by default so that serial, parallel and warm-cache runs stay
+    byte-identical.
     """
 
     label: str
@@ -45,6 +78,9 @@ class ComparisonPoint:
     mbkps_memory: float
     mbkp_memory: float
     sdem_saving_samples: Tuple[float, ...] = ()
+    wall_ms: float = 0.0
+    solver_calls: int = 0
+    cached_units: int = 0
 
     @property
     def sdem_system_saving(self) -> float:
@@ -87,7 +123,14 @@ class SeriesResult:
     name: str
     points: List[ComparisonPoint] = field(default_factory=list)
 
-    def rows(self) -> List[Dict[str, float | str]]:
+    def rows(self, *, include_timing: bool = False) -> List[Dict[str, float | str]]:
+        """Tabular rows, one per point.
+
+        ``include_timing`` appends the engine telemetry columns
+        (wall-clock, solver calls, cached units).  They are off by default
+        because they vary run to run while every other column is
+        deterministic across serial/parallel/warm-cache executions.
+        """
         out: List[Dict[str, float | str]] = []
         for p in self.points:
             row: Dict[str, float | str] = {
@@ -105,6 +148,10 @@ class SeriesResult:
             row["sdem_saving_ci95_pct"] = (
                 round(spread.ci95_halfwidth, 3) if spread is not None else ""
             )
+            if include_timing:
+                row["wall_ms"] = round(p.wall_ms, 1)
+                row["solver_calls"] = p.solver_calls
+                row["cached_units"] = p.cached_units
             out.append(row)
         return out
 
@@ -116,6 +163,115 @@ class SeriesResult:
             self.points
         )
 
+    def total_wall_ms(self) -> float:
+        """Summed per-unit wall-clock across every point (telemetry)."""
+        return sum(p.wall_ms for p in self.points)
+
+
+# ---------------------------------------------------------------------------
+# Work units
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """One seed of one parameter point, priced under all three policies.
+
+    ``totals``/``memory`` are indexed by :data:`POLICY_ORDER`.  The tuple
+    form keeps units picklable and compact for the process pool.
+    """
+
+    seed: int
+    totals: Tuple[float, float, float]
+    memory: Tuple[float, float, float]
+    wall_ms: float = 0.0
+    solver_calls: int = 0
+    from_cache: bool = False
+
+
+def simulate_unit(
+    trace_factory: Callable[[int], Sequence[Task]],
+    platform: Platform,
+    seed: int,
+    *,
+    label: str = "",
+    horizon: Optional[Tuple[float, float]] = None,
+) -> UnitResult:
+    """Simulate one seed under every policy over an identical horizon.
+
+    ``trace_factory(seed)`` must return a fresh, non-empty trace; all
+    three policies see the *same* trace and horizon.  ``horizon``
+    overrides the default ``[min release, max deadline]`` window (a
+    single-task trace degenerates to that task's own feasible region,
+    which is still a valid window).
+    """
+    trace = list(trace_factory(seed))
+    if not trace:
+        where = f" at point {label!r}" if label else ""
+        raise ValueError(
+            f"trace_factory(seed={seed}) returned an empty trace{where}: "
+            "compare_policies needs at least one task per seed to define "
+            "a comparison horizon; pass an explicit horizon=(start, end) "
+            "or fix the generator"
+        )
+    if horizon is None:
+        horizon = (
+            min(t.release for t in trace),
+            max(t.deadline for t in trace),
+        )
+    start = time.perf_counter()
+    calls_before = solver_call_total()
+    totals: List[float] = []
+    memories: List[float] = []
+    for policy_name in POLICY_ORDER:
+        result: SimulationResult = simulate(
+            _build_policy(policy_name, platform), trace, platform, horizon=horizon
+        )
+        totals.append(result.breakdown.total)
+        memories.append(result.breakdown.memory_total)
+    return UnitResult(
+        seed=seed,
+        totals=(totals[0], totals[1], totals[2]),
+        memory=(memories[0], memories[1], memories[2]),
+        wall_ms=(time.perf_counter() - start) * 1000.0,
+        solver_calls=solver_call_total() - calls_before,
+    )
+
+
+def reduce_units(label: str, units: Sequence[UnitResult]) -> ComparisonPoint:
+    """Fold per-seed units into one averaged point, **in seed order**.
+
+    The accumulation order is fixed so the floating-point sums -- and
+    therefore every derived percentage -- are bit-identical no matter
+    which engine (serial loop, process pool, warm cache) produced the
+    units.
+    """
+    if not units:
+        raise ValueError(f"point {label!r} has no work units to reduce")
+    ordered = sorted(units, key=lambda u: u.seed)
+    sums = [0.0, 0.0, 0.0]
+    mems = [0.0, 0.0, 0.0]
+    saving_samples: List[float] = []
+    for unit in ordered:
+        for index in range(3):
+            sums[index] += unit.totals[index]
+            mems[index] += unit.memory[index]
+        saving_samples.append((1.0 - unit.totals[0] / unit.totals[2]) * 100.0)
+    seeds = len(ordered)
+    return ComparisonPoint(
+        label=label,
+        sdem_total=sums[0] / seeds,
+        mbkps_total=sums[1] / seeds,
+        mbkp_total=sums[2] / seeds,
+        sdem_memory=mems[0] / seeds,
+        mbkps_memory=mems[1] / seeds,
+        mbkp_memory=mems[2] / seeds,
+        sdem_saving_samples=tuple(saving_samples),
+        wall_ms=sum(u.wall_ms for u in ordered),
+        solver_calls=sum(u.solver_calls for u in ordered),
+        cached_units=sum(1 for u in ordered if u.from_cache),
+    )
+
 
 def compare_policies(
     label: str,
@@ -123,45 +279,38 @@ def compare_policies(
     platform: Platform,
     *,
     seeds: int,
+    max_workers: Optional[int] = 1,
+    cache=None,
+    horizon: Optional[Tuple[float, float]] = None,
 ) -> ComparisonPoint:
     """Average SDEM-ON / MBKPS / MBKP over ``seeds`` traces.
 
     ``trace_factory(seed)`` must return a fresh trace; all three policies
     see the *same* trace and horizon per seed.
+
+    ``max_workers=1`` (the default) runs the in-process serial loop;
+    ``None`` uses every core and ``N`` caps the process pool
+    (:mod:`repro.experiments.parallel`).  ``cache`` is an optional
+    :class:`repro.experiments.cache.ResultCache`; cached cells skip
+    simulation entirely.  Results are identical in all configurations.
     """
-    sums = {"sdem": 0.0, "mbkps": 0.0, "mbkp": 0.0}
-    mems = {"sdem": 0.0, "mbkps": 0.0, "mbkp": 0.0}
-    saving_samples = []
-    for seed in range(seeds):
-        trace = list(trace_factory(seed))
-        horizon = (
-            min(t.release for t in trace),
-            max(t.deadline for t in trace),
-        )
-        runs = {
-            "sdem": simulate(
-                SdemOnlinePolicy(platform), trace, platform, horizon=horizon
-            ),
-            "mbkps": simulate(mbkps(platform), trace, platform, horizon=horizon),
-            "mbkp": simulate(mbkp(platform), trace, platform, horizon=horizon),
-        }
-        for key, result in runs.items():
-            sums[key] += result.breakdown.total
-            mems[key] += result.breakdown.memory_total
-        saving_samples.append(
-            (1.0 - runs["sdem"].breakdown.total / runs["mbkp"].breakdown.total)
-            * 100.0
-        )
-    return ComparisonPoint(
-        label=label,
-        sdem_total=sums["sdem"] / seeds,
-        mbkps_total=sums["mbkps"] / seeds,
-        mbkp_total=sums["mbkp"] / seeds,
-        sdem_memory=mems["sdem"] / seeds,
-        mbkps_memory=mems["mbkps"] / seeds,
-        mbkp_memory=mems["mbkp"] / seeds,
-        sdem_saving_samples=tuple(saving_samples),
+    if max_workers == 1 and cache is None:
+        units = [
+            simulate_unit(trace_factory, platform, seed, label=label, horizon=horizon)
+            for seed in range(seeds)
+        ]
+        return reduce_units(label, units)
+    from repro.experiments.parallel import PointSpec, run_series
+
+    series = run_series(
+        label,
+        [PointSpec(label=label, trace_factory=trace_factory, platform=platform)],
+        seeds=seeds,
+        max_workers=max_workers,
+        cache=cache,
+        horizon=horizon,
     )
+    return series.points[0]
 
 
 def write_csv(series: SeriesResult, path: str) -> None:
@@ -169,7 +318,7 @@ def write_csv(series: SeriesResult, path: str) -> None:
     rows = series.rows()
     if not rows:
         raise ValueError(f"series {series.name!r} has no points")
-    with open(path, "w", newline="") as handle:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
         writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
         writer.writeheader()
         writer.writerows(rows)
@@ -184,12 +333,24 @@ def render_ascii_chart(
     """Render grouped horizontal bars (one group per x-axis point).
 
     ``points`` is ``[(label, {series: value}), ...]``; values are percent
-    savings, clamped at 0 for display.
+    savings, clamped at 0 for display.  When every value is (numerically)
+    zero or negative there is nothing to scale the bars against, so the
+    rows state that explicitly instead of normalizing against a floor and
+    drawing misleading full-width bars.
     """
     out = io.StringIO()
     out.write(f"{title}\n")
     all_values = [v for _, series in points for v in series.values()]
-    top = max(max(all_values, default=1.0), 1e-9)
+    top = max(all_values, default=0.0)
+    if top <= 1e-9:
+        for label, series in points:
+            out.write(f"  {label}\n")
+            for name, value in series.items():
+                out.write(
+                    f"    {name:<10s} |{' ' * width}| "
+                    f"{value:7.2f}% (all values ~0)\n"
+                )
+        return out.getvalue()
     for label, series in points:
         out.write(f"  {label}\n")
         for name, value in series.items():

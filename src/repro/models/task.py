@@ -117,6 +117,8 @@ class TaskSet:
             else:
                 named.append(Task(task.release, task.deadline, task.workload, f"T{index + 1}"))
         self._tasks: Tuple[Task, ...] = tuple(named)
+        self._energy_signature: Optional[Tuple[Tuple[float, float, float], ...]] = None
+        self._signature: Optional[Tuple[Tuple[float, float, float, str], ...]] = None
 
     # -- container protocol -------------------------------------------------
 
@@ -136,6 +138,34 @@ class TaskSet:
     def tasks(self) -> Tuple[Task, ...]:
         """Deadline-sorted tuple of tasks."""
         return self._tasks
+
+    # -- content signatures (memoization keys) --------------------------------
+
+    def energy_signature(self) -> Tuple[Tuple[float, float, float], ...]:
+        """Hashable ``(release, deadline, workload)`` tuple per task.
+
+        Names are excluded: two sets that differ only in naming have
+        identical energy landscapes.  Computed once and cached -- the
+        block-energy LRU in :mod:`repro.core.blocks` keys on this tuple for
+        every evaluation, so it must be O(1) after the first call.
+        """
+        if self._energy_signature is None:
+            self._energy_signature = tuple(
+                (t.release, t.deadline, t.workload) for t in self._tasks
+            )
+        return self._energy_signature
+
+    def signature(self) -> Tuple[Tuple[float, float, float, str], ...]:
+        """Like :meth:`energy_signature` but name-qualified.
+
+        Used where cached artifacts carry task identities (e.g. memoized
+        :class:`repro.core.blocks.BlockSolution` placements).
+        """
+        if self._signature is None:
+            self._signature = tuple(
+                (t.release, t.deadline, t.workload, t.name) for t in self._tasks
+            )
+        return self._signature
 
     # -- aggregate properties ------------------------------------------------
 

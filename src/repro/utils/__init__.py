@@ -12,6 +12,10 @@ from repro.utils.solvers import (
     golden_section_minimize,
     minimize_convex_1d,
     minimize_convex_2d_box,
+    record_solver_call,
+    reset_solver_counts,
+    solver_call_counts,
+    solver_call_total,
 )
 
 __all__ = [
@@ -19,4 +23,8 @@ __all__ = [
     "golden_section_minimize",
     "minimize_convex_1d",
     "minimize_convex_2d_box",
+    "record_solver_call",
+    "reset_solver_counts",
+    "solver_call_counts",
+    "solver_call_total",
 ]

@@ -14,15 +14,48 @@ primitives:
   ``Delta_2`` together -- :func:`minimize_convex_2d_box`.
 
 All solvers are deterministic and allocation-light; they are called inside
-O(n^4)/O(n^5) dynamic programs, so constant factors matter.
+O(n^4)/O(n^5) dynamic programs, so constant factors matter.  Every solver
+invocation is counted in a per-process tally (:func:`solver_call_counts`)
+so the experiment engine can report how much numeric work each simulation
+unit performed (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 _GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
+
+# ---------------------------------------------------------------------------
+# Solver-call accounting
+# ---------------------------------------------------------------------------
+
+#: Per-process tally of numeric-solver invocations.  Worker processes of the
+#: parallel experiment engine each carry their own copy; the engine snapshots
+#: the totals around every work unit and ships the delta back with the
+#: result, so counts aggregate correctly across processes.
+_CALL_COUNTS: Dict[str, int] = {}
+
+
+def record_solver_call(name: str, by: int = 1) -> None:
+    """Add ``by`` to the named counter (shared with :mod:`repro.core.blocks`)."""
+    _CALL_COUNTS[name] = _CALL_COUNTS.get(name, 0) + by
+
+
+def solver_call_counts() -> Dict[str, int]:
+    """A copy of the per-counter tallies accumulated in this process."""
+    return dict(_CALL_COUNTS)
+
+
+def solver_call_total() -> int:
+    """Total solver invocations recorded in this process."""
+    return sum(_CALL_COUNTS.values())
+
+
+def reset_solver_counts() -> None:
+    """Zero every counter (test isolation / benchmark baselines)."""
+    _CALL_COUNTS.clear()
 
 
 def bisect_increasing(
@@ -55,6 +88,7 @@ def bisect_increasing(
     """
     if lo > hi:
         raise ValueError(f"empty bracket: lo={lo} > hi={hi}")
+    record_solver_call("bisect")
     flo = func(lo)
     if flo >= 0.0:
         return lo
@@ -90,6 +124,7 @@ def golden_section_minimize(
     """
     if lo > hi:
         raise ValueError(f"empty interval: lo={lo} > hi={hi}")
+    record_solver_call("golden_section")
     if hi - lo <= tol:
         x = 0.5 * (lo + hi)
         return x, func(x)
@@ -131,13 +166,39 @@ def minimize_convex_1d(
     hi: float,
     *,
     tol: float = 1e-10,
+    guess: Optional[float] = None,
+    guess_radius: Optional[float] = None,
 ) -> Tuple[float, float]:
     """Minimize a convex function on ``[lo, hi]``; returns ``(argmin, value)``.
 
     Thin wrapper over :func:`golden_section_minimize` (convex implies
     unimodal) kept as a separate name so call sites document their convexity
     assumption.
+
+    When ``guess`` is given, a narrow bracket of half-width ``guess_radius``
+    (default 5% of the interval) around the guess is searched first.  For a
+    convex function the narrow result is provably the global argmin whenever
+    it lands strictly inside the narrow bracket -- or on a bracket edge that
+    coincides with the domain boundary; otherwise the full interval is
+    searched.  Call sites that scan adjacent ``Delta`` breakpoint segments
+    (e.g. :func:`repro.core.heterogeneous.solve_common_release_heterogeneous`)
+    pass the previous segment's argmin, collapsing most segments to a handful
+    of evaluations once the minimum has been bracketed.
     """
+    if guess is not None and hi > lo:
+        radius = 0.05 * (hi - lo) if guess_radius is None else guess_radius
+        g_lo = max(lo, guess - radius)
+        g_hi = min(hi, guess + radius)
+        if g_hi - g_lo > tol and (g_hi - g_lo) < 0.5 * (hi - lo):
+            x, value = golden_section_minimize(func, g_lo, g_hi, tol=tol)
+            margin = max(10.0 * tol, 1e-3 * (g_hi - g_lo))
+            # An argmin on a narrow-bracket edge that is *not* the domain
+            # boundary means the true minimum may lie outside the bracket.
+            left_ok = g_lo <= lo + margin or x > g_lo + margin
+            right_ok = g_hi >= hi - margin or x < g_hi - margin
+            if left_ok and right_ok:
+                record_solver_call("warm_start_hit")
+                return x, value
     return golden_section_minimize(func, lo, hi, tol=tol)
 
 

@@ -153,3 +153,74 @@ class TestExhibits:
         assert main(["tables", "--n", "6"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "Table 3" in out and "Table 4" in out
+
+    def test_fig6_with_workers_and_cache_matches_default(self, capsys, tmp_path):
+        plain_dir = os.path.join(tmp_path, "plain")
+        engine_dir = os.path.join(tmp_path, "engine")
+        assert (
+            main(["fig6", "--seeds", "1", "--n", "16", "--out", plain_dir, "--no-cache"])
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "fig6", "--seeds", "1", "--n", "16", "--out", engine_dir,
+                    "--workers", "2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        for name in ("fig6_fft.csv", "fig6_matmul.csv"):
+            with open(os.path.join(plain_dir, name), "rb") as a, open(
+                os.path.join(engine_dir, name), "rb"
+            ) as b:
+                assert a.read() == b.read()
+        # The default cache landed inside the out directory.
+        assert os.path.isdir(os.path.join(engine_dir, ".cache"))
+        assert not os.path.exists(os.path.join(plain_dir, ".cache"))
+
+
+class TestBenchAndCache:
+    def test_bench_quick_writes_report(self, capsys, tmp_path):
+        report_path = os.path.join(tmp_path, "BENCH_experiments.json")
+        cache_dir = os.path.join(tmp_path, "cache")
+        assert (
+            main(
+                [
+                    "bench", "--quick", "--workers", "2",
+                    "--out", report_path, "--cache-dir", cache_dir,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "serial cold" in out and "warm cache" in out
+        import json as json_module
+
+        with open(report_path, encoding="utf-8") as handle:
+            report = json_module.load(handle)
+        assert report["rows_identical"] is True
+        assert set(report["modes"]) == {"serial_cold", "parallel_cold", "warm_cache"}
+        assert report["modes"]["warm_cache"]["cached_units"] == report["slice"]["units"]
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = os.path.join(tmp_path, "cache")
+        report_path = os.path.join(tmp_path, "bench.json")
+        assert (
+            main(
+                [
+                    "bench", "--quick",
+                    "--out", report_path, "--cache-dir", cache_dir,
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["cache", "stats", "--dir", cache_dir]) == 0
+        stats_out = capsys.readouterr().out
+        assert "entries" in stats_out
+        assert main(["cache", "clear", "--dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--dir", cache_dir]) == 0
+        assert "entries:    0" in capsys.readouterr().out

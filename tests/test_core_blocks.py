@@ -180,3 +180,53 @@ class TestSolveBlockAlphaNonzero:
             platform = make_platform(alpha=2.0, alpha_m=alpha_m)
             lengths.append(solve_block(ts, platform).length)
         assert all(a >= b - 1e-6 for a, b in zip(lengths, lengths[1:]))
+
+
+class TestBlockMemoization:
+    def test_block_energy_cache_hit_returns_same_value(self):
+        from repro.core.blocks import (
+            block_energy_cache_clear,
+            block_energy_cache_info,
+        )
+
+        block_energy_cache_clear()
+        platform = make_platform(2.0)
+        ts = TaskSet([Task(0, 20, 500.0), Task(5, 30, 800.0)])
+        first = block_energy(ts, platform, 0.0, 30.0)
+        info_after_miss = block_energy_cache_info()
+        second = block_energy(ts, platform, 0.0, 30.0)
+        info_after_hit = block_energy_cache_info()
+        assert second == first
+        assert info_after_hit["energy_hits"] == info_after_miss["energy_hits"] + 1
+
+    def test_equal_content_different_identity_hits(self):
+        # Two distinct TaskSet objects with identical windows/workloads
+        # share cache entries (keys are content signatures, not ids).
+        from repro.core.blocks import block_energy_cache_clear, block_energy_cache_info
+
+        block_energy_cache_clear()
+        platform = make_platform(0.0)
+        a = TaskSet([Task(0, 20, 500.0)])
+        b = TaskSet([Task(0, 20, 500.0)])
+        assert block_energy(a, platform, 0.0, 20.0) == block_energy(
+            b, platform, 0.0, 20.0
+        )
+        assert block_energy_cache_info()["energy_hits"] >= 1
+
+    def test_solve_block_memoized_solution_identical(self):
+        from repro.core.blocks import block_energy_cache_clear
+
+        block_energy_cache_clear()
+        platform = make_platform(2.0)
+        ts = TaskSet([Task(0, 20, 500.0), Task(5, 30, 800.0)])
+        first = solve_block(ts, platform)
+        second = solve_block(ts, platform)
+        assert second.energy == first.energy
+        assert second.start == first.start
+        assert second.end == first.end
+
+    def test_invalid_method_still_rejected(self):
+        platform = make_platform(2.0)
+        ts = TaskSet([Task(0, 20, 500.0)])
+        with pytest.raises(ValueError):
+            solve_block(ts, platform, method="nope")

@@ -19,7 +19,12 @@ from repro.experiments import (
     table3_rows,
     table4_rows,
 )
-from repro.experiments.runner import SeriesResult, render_ascii_chart, write_csv
+from repro.experiments.runner import (
+    ComparisonPoint,
+    SeriesResult,
+    render_ascii_chart,
+    write_csv,
+)
 
 
 @pytest.fixture(scope="module")
@@ -140,6 +145,33 @@ class TestRunnerHelpers:
         )
         assert "demo" in art and "U=2" in art and "#" in art
         assert "40.00%" in art
+
+    def test_ascii_chart_all_zero_rows_not_full_width(self):
+        # A series of zeros must not normalize by the 1e-9 floor into
+        # misleading full-width bars.
+        art = render_ascii_chart(
+            "flat", [("U=2", {"sdem": 0.0, "mbkps": 0.0})], width=20
+        )
+        assert "#" not in art
+        assert "all values ~0" in art
+
+    def test_write_csv_uses_utf8(self, tmp_path):
+        series = SeriesResult(name="unicode")
+        series.points.append(
+            ComparisonPoint(
+                label="ξ_m=40ms",
+                sdem_total=1.0,
+                mbkps_total=2.0,
+                mbkp_total=3.0,
+                sdem_memory=1.0,
+                mbkps_memory=2.0,
+                mbkp_memory=3.0,
+            )
+        )
+        path = os.path.join(tmp_path, "unicode.csv")
+        write_csv(series, path)
+        with open(path, encoding="utf-8") as handle:
+            assert "ξ_m=40ms" in handle.read()
 
 
 class TestConfidenceIntervals:

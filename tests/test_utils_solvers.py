@@ -111,3 +111,52 @@ class TestWeightedPowerSum:
     def test_positive_and_monotone_in_exponent_for_large_weights(self, ws, lam):
         big = [w + 1.0 for w in ws]  # all > 1 so power sums grow with lam
         assert weighted_power_sum(big, lam) <= weighted_power_sum(big, lam + 0.1)
+
+
+class TestWarmStartBracketing:
+    def test_interior_guess_accepted(self):
+        # Guess lands on the true minimum: the narrow bracket suffices.
+        x, v = minimize_convex_1d(
+            lambda t: (t - 4.0) ** 2, 0.0, 100.0, guess=4.0
+        )
+        assert x == pytest.approx(4.0, abs=1e-5)
+        assert v == pytest.approx(0.0, abs=1e-9)
+
+    def test_misleading_guess_falls_back_to_full_bracket(self):
+        # Guess far from the minimum: the sub-bracket argmin pins to an
+        # edge, which must trigger the full golden-section fallback.
+        x, _ = minimize_convex_1d(
+            lambda t: (t - 90.0) ** 2, 0.0, 100.0, guess=5.0
+        )
+        assert x == pytest.approx(90.0, abs=1e-4)
+
+    def test_guess_at_domain_boundary(self):
+        # Monotone objective, minimum at the lower domain edge; a guess on
+        # that edge is legitimate even though the sub-bracket pins there.
+        x, _ = minimize_convex_1d(lambda t: t, 0.0, 10.0, guess=0.0)
+        assert x == pytest.approx(0.0, abs=1e-4)
+
+    @given(center=st.floats(-5.0, 5.0), offset=st.floats(-0.2, 0.2))
+    def test_near_guess_matches_unguided(self, center, offset):
+        func = lambda t: (t - center) ** 4
+        guided, _ = minimize_convex_1d(
+            func, -10.0, 10.0, guess=center + offset
+        )
+        unguided, _ = minimize_convex_1d(func, -10.0, 10.0)
+        assert func(guided) <= func(unguided) + 1e-9
+
+    def test_counters_record_warm_start(self):
+        from repro.utils.solvers import (
+            reset_solver_counts,
+            solver_call_counts,
+            solver_call_total,
+        )
+
+        reset_solver_counts()
+        minimize_convex_1d(lambda t: (t - 4.0) ** 2, 0.0, 100.0, guess=4.0)
+        counts = solver_call_counts()
+        assert counts.get("warm_start_hit") == 1
+        assert counts.get("golden_section", 0) >= 1
+        assert solver_call_total() == sum(counts.values())
+        reset_solver_counts()
+        assert solver_call_total() == 0
