@@ -47,6 +47,7 @@ from repro.core import (
     solve_common_release,
     solve_common_release_with_overhead,
 )
+from repro.core import vectorized
 from repro.energy import account
 from repro.experiments import (
     ResultCache,
@@ -318,7 +319,29 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_numeric_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--numeric", choices=["scalar", "numpy"], default=None,
+        help="numeric backend for the solver hot paths "
+        "(default: $REPRO_NUMERIC, else numpy when importable)",
+    )
+
+
+def _apply_numeric_flag(args: argparse.Namespace) -> None:
+    """Pin the numeric backend process-wide before any command runs.
+
+    Also exported through the environment so pool workers inherit the
+    choice under both fork and spawn start methods.
+    """
+    backend = getattr(args, "numeric", None)
+    if backend is None:
+        return
+    os.environ[vectorized.BACKEND_ENV] = backend
+    vectorized.set_backend(backend)
+
+
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    _add_numeric_arg(parser)
     parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for the sweep (1 = in-process, 0 = every core)",
@@ -346,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--demo", action="store_true", help="use built-in demo tasks")
     p_solve.add_argument("--width", type=int, default=72, help="gantt width")
     _add_platform_args(p_solve)
+    _add_numeric_arg(p_solve)
     p_solve.set_defaults(func=_cmd_solve)
 
     p_sim = sub.add_parser("simulate", help="replay a trace under a policy")
@@ -360,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--gantt", action="store_true", help="print a gantt chart")
     p_sim.add_argument("--width", type=int, default=72)
     _add_platform_args(p_sim)
+    _add_numeric_arg(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p6 = sub.add_parser("fig6", help="regenerate Figure 6 (both benchmarks)")
@@ -405,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", dest="cache_dir", default=None,
         help="result cache directory for the warm run",
     )
+    _add_numeric_arg(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
     p_cache = sub.add_parser(
@@ -428,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _apply_numeric_flag(args)
     return args.func(args)
 
 

@@ -13,7 +13,9 @@ Modules map one-to-one onto the paper's sections:
 * :mod:`repro.core.bounded` -- Section 3's bounded-core analysis
   (Theorem 1 closed forms and exact/heuristic partitioners);
 * :mod:`repro.core.reference` -- slow, brutally simple reference
-  optimizers the test-suite certifies the fast schemes against.
+  optimizers the test-suite certifies the fast schemes against;
+* :mod:`repro.core.vectorized` -- the batched NumPy numeric core behind
+  the block / case-scan hot paths (``REPRO_NUMERIC`` selects the backend).
 """
 
 from repro.core.common_release import (
@@ -51,8 +53,16 @@ from repro.core.partitioned import (
     solve_partitioned_common_release,
 )
 from repro.core.islands import IslandSolution, solve_islands_common_release
+from repro.core.vectorized import (
+    available_backends,
+    get_backend,
+    set_backend,
+)
 
 __all__ = [
+    "available_backends",
+    "get_backend",
+    "set_backend",
     "CommonReleaseSolution",
     "solve_common_release",
     "solve_common_release_alpha_zero",

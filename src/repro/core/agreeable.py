@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Literal, Optional, Tuple
 
+from repro.core import vectorized
 from repro.core.blocks import BlockSolution, solve_block
 from repro.models.platform import Platform
 from repro.models.task import TaskSet
@@ -111,6 +112,10 @@ def solve_agreeable(
     ]
 
     # Price every consecutive block tau'[p:q] that can appear in an optimum.
+    # Under the numpy backend every subset's BlockArrays is a slice of the
+    # parent's (deadline order is preserved by slicing), so pre-seeding the
+    # arrays cache skips O(n^2) per-subset tuple unpacking.
+    use_numpy = vectorized.use_numpy()
     block_solutions: Dict[Tuple[int, int], BlockSolution] = {}
     for p in range(n):
         spans_gap = False
@@ -119,6 +124,8 @@ def solve_agreeable(
                 spans_gap = True
             if prune_gaps and spans_gap:
                 continue
+            if use_numpy:
+                vectorized.register_subset_arrays(tasks, p, q)
             block_solutions[(p, q)] = solve_block(
                 tasks.subset(p, q), platform, method=block_method
             )

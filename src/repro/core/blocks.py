@@ -42,12 +42,15 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Literal, Optional, Sequence, Tuple
 
+from repro.core import vectorized
 from repro.models.platform import Platform
 from repro.models.task import Task, TaskSet
 from repro.schedule.timeline import ExecutionInterval, Schedule
 from repro.utils.solvers import (
     bisect_increasing,
+    bisect_increasing_batch,
     golden_section_minimize,
+    golden_section_minimize_batch,
     record_solver_call,
 )
 
@@ -161,7 +164,7 @@ def block_energy(
     endpoints constantly (see the module-level cache note), and the memo
     returns the identical float the raw evaluation would.
     """
-    key = (tasks.energy_signature(), platform, start, end)
+    key = (vectorized.get_backend(), tasks.energy_signature(), platform, start, end)
     cached = _ENERGY_CACHE.get(key)
     if cached is not None:
         _ENERGY_CACHE.move_to_end(key)
@@ -180,6 +183,22 @@ def _block_energy_uncached(
     tasks: TaskSet, platform: Platform, start: float, end: float
 ) -> float:
     """The raw evaluation behind :func:`block_energy`.
+
+    Dispatches on the numeric backend: :func:`_block_energy_scalar` below
+    is the reference loop; the numpy path evaluates the same expression via
+    :func:`repro.core.vectorized.block_energy_batch` (a batch of one).
+    """
+    if vectorized.use_numpy():
+        return float(
+            vectorized.block_energy_batch(tasks, platform, (start,), (end,))[0]
+        )
+    return _block_energy_scalar(tasks, platform, start, end)
+
+
+def _block_energy_scalar(
+    tasks: TaskSet, platform: Platform, start: float, end: float
+) -> float:
+    """Reference scalar block energy.
 
     Infeasibility (empty window or forced overspeed) is reported as a large
     *graded* penalty so convex descent is steered back into the feasible
@@ -214,6 +233,16 @@ def _placements_at(
     Type-II / stretched tasks fill their window; Type-I tasks (``alpha !=
     0`` with slack) run at critical speed from the start of their window.
     """
+    if vectorized.use_numpy():
+        los, durations, speeds = vectorized.placement_arrays(
+            tasks, platform, start, end
+        )
+        return tuple(
+            TaskPlacement(task.name, lo, lo + duration, speed)
+            for task, lo, duration, speed in zip(
+                tasks, los.tolist(), durations.tolist(), speeds.tolist()
+            )
+        )
     placements: List[TaskPlacement] = []
     for task in tasks:
         lo, hi = _window(task, start, end)
@@ -291,6 +320,94 @@ def _minimize_2d(
     return best
 
 
+def _minimize_2d_batch(
+    tasks: TaskSet,
+    platform: Platform,
+    x_bounds: Sequence[Tuple[float, float]],
+    y_bounds: Sequence[Tuple[float, float]],
+    starts: Sequence[Tuple[float, float]],
+    *,
+    tol: float = 1e-9,
+    max_rounds: int = 80,
+) -> Tuple[List[float], List[float], List[float]]:
+    """Batched :func:`_minimize_2d`: K independent descents advance together.
+
+    Element ``k`` runs the same coordinate + diagonal rounds as the scalar
+    descent over its own box from its own start, but every golden-section
+    iteration evaluates all still-active elements' probes in a single
+    :func:`repro.core.vectorized.block_energy_batch` call.  Used for the
+    multi-start descent (one element per start) and the coupled Eq. (13)
+    pair cells (one element per cell).
+    """
+    np = vectorized.np
+    x_lo = np.asarray([b[0] for b in x_bounds], dtype=np.float64)
+    x_hi = np.asarray([b[1] for b in x_bounds], dtype=np.float64)
+    y_lo = np.asarray([b[0] for b in y_bounds], dtype=np.float64)
+    y_hi = np.asarray([b[1] for b in y_bounds], dtype=np.float64)
+    x = np.minimum(
+        np.maximum(np.asarray([s[0] for s in starts], dtype=np.float64), x_lo), x_hi
+    )
+    y = np.minimum(
+        np.maximum(np.asarray([s[1] for s in starts], dtype=np.float64), y_lo), y_hi
+    )
+
+    def energy(xs: "vectorized.np.ndarray", ys: "vectorized.np.ndarray"):
+        return vectorized.block_energy_batch(tasks, platform, xs, ys)
+
+    def line(idx: "vectorized.np.ndarray", dx: float, dy: float):
+        """Advance elements ``idx`` along ``(dx, dy)``; return their values."""
+        xi, yi = x[idx], y[idx]
+        t_lo = np.full(idx.shape[0], -_INF)
+        t_hi = np.full(idx.shape[0], _INF)
+        for lo_b, hi_b, v, dv in (
+            (x_lo[idx], x_hi[idx], xi, dx),
+            (y_lo[idx], y_hi[idx], yi, dy),
+        ):
+            if dv > 0:
+                t_lo = np.maximum(t_lo, (lo_b - v) / dv)
+                t_hi = np.minimum(t_hi, (hi_b - v) / dv)
+            elif dv < 0:
+                t_lo = np.maximum(t_lo, (hi_b - v) / dv)
+                t_hi = np.minimum(t_hi, (lo_b - v) / dv)
+        here = energy(xi, yi)
+        movable = np.flatnonzero(t_hi > t_lo)
+        if movable.shape[0] == 0:
+            return here
+
+        def along(ts, owners):
+            o = movable[owners]
+            return energy(xi[o] + ts * dx, yi[o] + ts * dy)
+
+        t_best, t_val = golden_section_minimize_batch(
+            along, t_lo[movable], t_hi[movable], tol=tol
+        )
+        # Same stay-guard as the scalar `line`: never step to a point worse
+        # than where we stand.
+        move = t_val < here[movable]
+        m = movable[move]
+        x[idx[m]] = xi[m] + t_best[move] * dx
+        y[idx[m]] = yi[m] + t_best[move] * dy
+        out = here.copy()
+        out[m] = t_val[move]
+        return out
+
+    value = energy(x, y)
+    active = np.ones(x.shape[0], dtype=bool)
+    for _ in range(max_rounds):
+        idx = np.flatnonzero(active)
+        if idx.shape[0] == 0:
+            break
+        line(idx, 1.0, 0.0)
+        line(idx, 0.0, 1.0)
+        line(idx, 1.0, 1.0)
+        new_value = line(idx, -1.0, 1.0)
+        old = value[idx]
+        done = old - new_value <= np.maximum(tol, tol * np.abs(old))
+        value[idx] = np.where(done, np.minimum(old, new_value), new_value)
+        active[idx[done]] = False
+    return x.tolist(), y.tolist(), value.tolist()
+
+
 def _solve_block_descent(tasks: TaskSet, platform: Platform) -> BlockSolution:
     first, last = tasks[0], tasks[-1]
     s_lo, s_hi = tasks.earliest_release, first.deadline
@@ -301,12 +418,27 @@ def _solve_block_descent(tasks: TaskSet, platform: Platform) -> BlockSolution:
         (s_lo, e_lo if e_lo > s_lo else e_hi),
         (s_hi, e_hi),
     ]
-    start, end, energy = _minimize_2d(
-        lambda s, e: block_energy(tasks, platform, s, e),
-        (s_lo, s_hi),
-        (e_lo, e_hi),
-        starts,
-    )
+    if vectorized.use_numpy():
+        xs, ys, values = _minimize_2d_batch(
+            tasks,
+            platform,
+            [(s_lo, s_hi)] * len(starts),
+            [(e_lo, e_hi)] * len(starts),
+            starts,
+        )
+        best: Optional[Tuple[float, float, float]] = None
+        for x, y, value in zip(xs, ys, values):
+            if best is None or value < best[2]:
+                best = (x, y, value)
+        assert best is not None
+        start, end, energy = best
+    else:
+        start, end, energy = _minimize_2d(
+            lambda s, e: block_energy(tasks, platform, s, e),
+            (s_lo, s_hi),
+            (e_lo, e_hi),
+            starts,
+        )
     if energy >= _PENALTY:
         raise ValueError("block infeasible: some task cannot meet its deadline")
     return BlockSolution(
@@ -568,21 +700,153 @@ def _solve_cell_alpha_nonzero(
     return s_cur, e_cur, value
 
 
+def _sweep_cells_alpha_zero_numpy(
+    tasks: TaskSet,
+    platform: Platform,
+    s_cells: List[Tuple[float, float]],
+    e_cells: List[Tuple[float, float]],
+) -> Optional[Tuple[float, float, float]]:
+    """Lemma 3's (i, j) sweep with every cell advanced in batch (alpha = 0).
+
+    Mirrors :func:`_solve_cell_alpha_zero` cell by cell: coupled cells run
+    the batched 2-D descent, uncoupled cells solve their two decoupled
+    first-order conditions -- and because the s'-condition depends only on
+    the s-cell and the e'-condition only on the e-cell, the S*E cells need
+    just S + E monotone root finds, each advanced together by
+    :func:`repro.utils.solvers.bisect_increasing_batch`.
+    """
+    np = vectorized.np
+    arr = vectorized.block_arrays(tasks)
+    core = platform.core
+    lam, beta = core.lam, core.beta
+    alpha_m = platform.memory.alpha_m
+    target = alpha_m / (beta * (lam - 1.0))
+    releases, deadlines, workloads = arr.releases, arr.deadlines, arr.workloads
+    min_duration = workloads / core.s_up
+
+    s_lo = np.asarray([c[0] for c in s_cells], dtype=np.float64)
+    s_hi = np.asarray([c[1] for c in s_cells], dtype=np.float64)
+    e_lo = np.asarray([c[0] for c in e_cells], dtype=np.float64)
+    e_hi = np.asarray([c[1] for c in e_cells], dtype=np.float64)
+    mid_s = 0.5 * (s_lo + s_hi)
+    mid_e = 0.5 * (e_lo + e_hi)
+    head_mask = releases[None, :] <= mid_s[:, None]  # (S, n)
+    tail_mask = deadlines[None, :] >= mid_e[:, None]  # (E, n)
+    coupled = (
+        head_mask.astype(np.float64) @ tail_mask.astype(np.float64).T
+    ) > 0.5  # (S, E): some task is both head and tail
+
+    # Speed caps tighten the admissible endpoint ranges (same defaults as
+    # the scalar cell solver: inf/-inf collapse to s_hi/e_lo).
+    s_cap = np.where(
+        head_mask, deadlines[None, :] - min_duration[None, :], _INF
+    ).min(axis=1)
+    e_cap = np.where(
+        tail_mask, releases[None, :] + min_duration[None, :], -_INF
+    ).max(axis=1)
+    s_hi_eff = np.minimum(s_hi, s_cap)
+    e_lo_eff = np.maximum(e_lo, e_cap)
+    s_ok = s_hi_eff >= s_lo
+    e_ok = e_lo_eff <= e_hi
+
+    s_star = s_hi_eff.copy()  # no head task: larger s' only shrinks memory time
+    s_rows = np.flatnonzero(s_ok & head_mask.any(axis=1))
+    if s_rows.shape[0]:
+
+        def head_slope(xs, idx):
+            mask = head_mask[s_rows[idx]]
+            lens = deadlines[None, :] - xs[:, None]
+            bad = (mask & (lens <= 0.0)).any(axis=1)
+            with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                powed = np.where(
+                    mask & (lens > 0.0),
+                    (workloads[None, :] / lens) ** lam,
+                    0.0,
+                )
+            return np.where(bad, _INF, powed.sum(axis=1) - target)
+
+        s_star[s_rows] = bisect_increasing_batch(
+            head_slope, s_lo[s_rows], s_hi_eff[s_rows]
+        )
+
+    e_star = e_lo_eff.copy()
+    e_rows = np.flatnonzero(e_ok & tail_mask.any(axis=1))
+    if e_rows.shape[0]:
+
+        def tail_condition(xs, idx):
+            mask = tail_mask[e_rows[idx]]
+            lens = xs[:, None] - releases[None, :]
+            bad = (mask & (lens <= 0.0)).any(axis=1)
+            with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                powed = np.where(
+                    mask & (lens > 0.0),
+                    (workloads[None, :] / lens) ** lam,
+                    0.0,
+                )
+            return np.where(bad, -_INF, target - powed.sum(axis=1))
+
+        e_star[e_rows] = bisect_increasing_batch(
+            tail_condition, e_lo_eff[e_rows], e_hi[e_rows]
+        )
+
+    num_s, num_e = s_lo.shape[0], e_lo.shape[0]
+    consider = e_hi[None, :] > s_lo[:, None]  # the scalar empty-interval skip
+    feasible = s_ok[:, None] & e_ok[None, :]
+    px = np.where(feasible, s_star[:, None], s_lo[:, None])
+    py = np.where(feasible, e_star[None, :], e_hi[None, :])
+    values = np.full((num_s, num_e), _INF)
+    ui, uj = np.nonzero(consider & feasible & ~coupled)
+    if ui.shape[0]:
+        values[ui, uj] = vectorized.block_energy_batch(
+            tasks, platform, s_star[ui], e_star[uj]
+        )
+    ci, cj = np.nonzero(consider & coupled)
+    if ci.shape[0]:
+        xs, ys, cv = _minimize_2d_batch(
+            tasks,
+            platform,
+            list(zip(s_lo[ci].tolist(), s_hi[ci].tolist())),
+            list(zip(e_lo[cj].tolist(), e_hi[cj].tolist())),
+            list(zip(mid_s[ci].tolist(), mid_e[cj].tolist())),
+        )
+        values[ci, cj] = cv
+        px[ci, cj] = xs
+        py[ci, cj] = ys
+
+    # Same selection order as the scalar nested loop (first strict win).
+    best: Optional[Tuple[float, float, float]] = None
+    values_l, px_l, py_l = values.tolist(), px.tolist(), py.tolist()
+    consider_l = consider.tolist()
+    for si in range(num_s):
+        for ej in range(num_e):
+            if not consider_l[si][ej]:
+                continue
+            value = values_l[si][ej]
+            if best is None or value < best[2]:
+                best = (px_l[si][ej], py_l[si][ej], value)
+    return best
+
+
 def _solve_block_pairs(tasks: TaskSet, platform: Platform) -> BlockSolution:
     s_cells, e_cells = _pair_cells(tasks)
-    solve_cell = (
-        _solve_cell_alpha_zero
-        if platform.core.alpha == 0.0
-        else _solve_cell_alpha_nonzero
-    )
-    best: Optional[Tuple[float, float, float]] = None
-    for s_cell in s_cells:
-        for e_cell in e_cells:
-            if e_cell[1] <= s_cell[0]:
-                continue  # empty busy interval everywhere in this cell
-            start, end, value = solve_cell(tasks, platform, s_cell, e_cell)
-            if best is None or value < best[2]:
-                best = (start, end, value)
+    if platform.core.alpha == 0.0 and vectorized.use_numpy():
+        best = _sweep_cells_alpha_zero_numpy(tasks, platform, s_cells, e_cells)
+    else:
+        # alpha != 0 runs Algorithm 1's eviction loops, whose data-dependent
+        # control flow stays scalar under every backend.
+        solve_cell = (
+            _solve_cell_alpha_zero
+            if platform.core.alpha == 0.0
+            else _solve_cell_alpha_nonzero
+        )
+        best = None
+        for s_cell in s_cells:
+            for e_cell in e_cells:
+                if e_cell[1] <= s_cell[0]:
+                    continue  # empty busy interval everywhere in this cell
+                start, end, value = solve_cell(tasks, platform, s_cell, e_cell)
+                if best is None or value < best[2]:
+                    best = (start, end, value)
     if best is None or best[2] >= _PENALTY:
         raise ValueError("block infeasible: some task cannot meet its deadline")
     start, end, energy = best
@@ -618,7 +882,7 @@ def solve_block(
         raise ValueError("block solving requires agreeable deadlines")
     if method not in ("descent", "pairs"):
         raise ValueError(f"unknown method {method!r}")
-    key = (tasks.signature(), platform, method)
+    key = (vectorized.get_backend(), tasks.signature(), platform, method)
     cached = _SOLUTION_CACHE.get(key)
     if cached is not None:
         _SOLUTION_CACHE.move_to_end(key)

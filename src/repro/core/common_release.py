@@ -37,6 +37,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Literal, Optional, Tuple
 
+from repro.core import vectorized
 from repro.models.platform import Platform
 from repro.models.task import Task, TaskSet
 from repro.schedule.timeline import ExecutionInterval, Schedule
@@ -151,6 +152,14 @@ def solve_common_release_alpha_zero(
     workloads = [t.workload for t in tasks]
     horizon = deadlines[-1]  # |I| = d_n
 
+    if method == "scan" and vectorized.use_numpy():
+        delta_opt, energy_opt, case_idx = _scan_alpha_zero_numpy(
+            deadlines, workloads, horizon, core, alpha_m
+        )
+        return _build_alpha_zero_solution(
+            tasks, platform, release, horizon, delta_opt, energy_opt, case_idx
+        )
+
     # delta_i = d_n - d_i for i in 1..n (1-based); delta_0 = +inf.
     delta_bp = [_INF] + [horizon - d for d in deadlines]
     lam = core.lam
@@ -228,6 +237,59 @@ def solve_common_release_alpha_zero(
     return _build_alpha_zero_solution(
         tasks, platform, release, horizon, delta_opt, energy_opt, case_idx
     )
+
+
+def _scan_alpha_zero_numpy(
+    deadlines: List[float],
+    workloads: List[float],
+    horizon: float,
+    core,
+    alpha_m: float,
+) -> Tuple[float, float, int]:
+    """Theorem 2's case scan with every per-case quantity batched.
+
+    Array transcription of the scalar scan: the prefix/suffix accumulation
+    order matches (``cumsum`` is sequential), each case's energy/extreme
+    expression is written in the same operation order, and the selection
+    rule is the same first-strict-win walk -- so both backends return the
+    same case away from 1e-12-degenerate ties.
+    """
+    np = vectorized.np
+    lam, beta = core.lam, core.beta
+    n = len(workloads)
+    d = np.asarray(deadlines, dtype=np.float64)
+    w = np.asarray(workloads, dtype=np.float64)
+    wlam = w ** lam
+    # prefix[i] at index i (0..n); suffix/suffix_max at index i-1 (i = 1..n).
+    prefix = np.concatenate(([0.0], np.cumsum(wlam * d ** (1.0 - lam))))
+    suffix = np.cumsum(wlam[::-1])[::-1]
+    suffix_max_w = np.maximum.accumulate(w[::-1])[::-1]
+    delta_bp = horizon - d
+    lo = delta_bp
+    hi = np.minimum(
+        np.concatenate(([_INF], delta_bp[:-1])),
+        horizon - suffix_max_w / core.s_up,
+    )
+    if alpha_m == 0.0:
+        extreme = np.full(n, -_INF)
+    else:
+        extreme = horizon - (beta * (lam - 1.0) * suffix / alpha_m) ** (1.0 / lam)
+    delta = np.minimum(np.maximum(extreme, lo), hi)
+    busy = horizon - delta
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        energy = (
+            alpha_m * busy + beta * prefix[:-1] + beta * suffix * busy ** (1.0 - lam)
+        )
+    best: Optional[Tuple[float, float, int]] = None
+    rows = zip((hi >= lo).tolist(), delta.tolist(), energy.tolist())
+    for index, (feasible, delta_i, energy_i) in enumerate(rows):
+        if not feasible:
+            continue
+        if best is None or energy_i < best[1] - 1e-12:
+            best = (delta_i, energy_i, index + 1)
+    if best is None:  # pragma: no cover - guarded by feasibility check
+        raise RuntimeError("no feasible case found")
+    return best
 
 
 def _binary_search_cases(
@@ -344,6 +406,9 @@ def solve_common_release_alpha_nonzero(
     if not tasks.is_feasible_at(core.s_up):
         raise ValueError("task set infeasible even at s_up")
 
+    if vectorized.use_numpy():
+        return _solve_alpha_nonzero_numpy(tasks, platform, release)
+
     # Sort by completion time at critical speed (paper's indexing).
     order = sorted(tasks, key=lambda t: t.workload / core.s0(t))
     n = len(order)
@@ -402,6 +467,88 @@ def solve_common_release_alpha_nonzero(
     finish: Dict[str, float] = {}
     speeds: Dict[str, float] = {}
     for task, c, s in zip(order, completion, s0):
+        if c <= busy_end_rel + 1e-12:
+            finish[task.name] = release + c
+            speeds[task.name] = s
+        else:
+            finish[task.name] = release + busy_end_rel
+            speeds[task.name] = task.workload / busy_end_rel
+    return CommonReleaseSolution(
+        tasks=tasks,
+        release=release,
+        interval_end=release + horizon,
+        delta=delta_opt,
+        case_index=case_idx,
+        finish_times=finish,
+        speeds=speeds,
+        predicted_energy=energy_opt,
+        alpha_zero=False,
+    )
+
+
+def _solve_alpha_nonzero_numpy(
+    tasks: TaskSet, platform: Platform, release: float
+) -> CommonReleaseSolution:
+    """Theorem 3's case scan, batched over all ``n`` cases at once.
+
+    Same transcription discipline as :func:`_scan_alpha_zero_numpy`: the
+    critical speeds, completion order (stable argsort matches the scalar
+    stable sort), prefix/suffix accumulations and per-case expressions all
+    reproduce the scalar operation order.
+    """
+    np = vectorized.np
+    core = platform.core
+    alpha, alpha_m = core.alpha, platform.memory.alpha_m
+    lam, beta = core.lam, core.beta
+    arr = vectorized.block_arrays(tasks)
+    s0_all = vectorized.critical_speeds(arr, platform)
+    completion_all = arr.workloads / s0_all
+    perm = np.argsort(completion_all, kind="stable")
+    completion = completion_all[perm]
+    s0 = s0_all[perm]
+    w = arr.workloads[perm]
+    n = int(w.shape[0])
+    horizon = float(completion[-1])  # |I|^(alpha) = c_n
+
+    delta_bp = horizon - completion
+    prefix_fixed = np.concatenate(
+        ([0.0], np.cumsum((beta * s0 ** lam + alpha) * completion))
+    )
+    suffix_wlam = np.cumsum((w ** lam)[::-1])[::-1]
+    suffix_max_w = np.maximum.accumulate(w[::-1])[::-1]
+    aligned = np.arange(n, 0, -1, dtype=np.float64)  # n - i + 1 for i = 1..n
+
+    lo = delta_bp
+    hi = np.minimum(
+        np.concatenate(([_INF], delta_bp[:-1])),
+        horizon - suffix_max_w / core.s_up,
+    )
+    static = aligned * alpha + alpha_m
+    extreme = horizon - (beta * (lam - 1.0) * suffix_wlam / static) ** (1.0 / lam)
+    delta = np.minimum(np.maximum(extreme, lo), hi)
+    busy = horizon - delta
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        energy = (
+            static * busy
+            + beta * suffix_wlam * busy ** (1.0 - lam)
+            + prefix_fixed[:-1]
+        )
+    best: Optional[Tuple[float, float, int]] = None
+    rows = zip((hi >= lo).tolist(), delta.tolist(), energy.tolist())
+    for index, (feasible, delta_i, energy_i) in enumerate(rows):
+        if not feasible:
+            continue
+        if best is None or energy_i < best[1] - 1e-12:
+            best = (delta_i, energy_i, index + 1)
+    if best is None:  # pragma: no cover - guarded by feasibility check
+        raise RuntimeError("no feasible case found")
+    delta_opt, energy_opt, case_idx = best
+
+    busy_end_rel = horizon - delta_opt
+    order = [tasks[int(k)] for k in perm.tolist()]
+    finish: Dict[str, float] = {}
+    speeds: Dict[str, float] = {}
+    for task, c, s in zip(order, completion.tolist(), s0.tolist()):
         if c <= busy_end_rel + 1e-12:
             finish[task.name] = release + c
             speeds[task.name] = s

@@ -33,6 +33,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
+from repro.core import vectorized
 from repro.core.common_release import CommonReleaseSolution
 from repro.models.platform import Platform
 from repro.models.task import TaskSet
@@ -157,56 +158,97 @@ def solve_common_release_with_overhead(
 
     release = tasks[0].release
     lam, beta = core.lam, core.beta
-    horizon, ends, workloads, order = _schedule_geometry(tasks, platform)
-    n = len(order)
+    use_numpy = vectorized.use_numpy()
     rel_end = (
         tasks.latest_deadline - release
         if horizon_end is None
         else horizon_end - release
     )
+    if use_numpy:
+        # One geometry + prefix-scan build per solve prices every candidate
+        # in O(log n): the scalar path recomputes the geometry inside each
+        # `overhead_energy_at_delta` call, which profiling shows dominates
+        # the Section 8 sweeps (see docs/PERFORMANCE.md).
+        scan = vectorized.overhead_scan(tasks, platform, rel_end)
+        horizon = scan.horizon
+        ends = scan.ends
+        workloads = scan.workloads
+        order = [tasks[k] for k in scan.order]
+        if rel_end < horizon - 1e-9:
+            # The scalar path raises this from its first per-candidate call.
+            raise ValueError(
+                f"horizon_end {horizon_end} precedes the schedule end "
+                f"{release + horizon}"
+            )
+    else:
+        horizon, ends, workloads, order = _schedule_geometry(tasks, platform)
+    n = len(order)
     # Gap lengths exceed the in-|I| sleep by this trailing allowance, which
     # shifts the break-even kink positions on the Delta axis.
     shift = rel_end - horizon
 
     delta_bp = [_INF] + [horizon - c for c in ends]
-    suffix_wlam = [0.0] * (n + 2)
-    suffix_max_w = [0.0] * (n + 2)
-    for j in range(n, 0, -1):
-        suffix_wlam[j] = suffix_wlam[j + 1] + workloads[j - 1] ** lam
-        suffix_max_w[j] = max(suffix_max_w[j + 1], workloads[j - 1])
+    if use_numpy:
+        # The scan already built the same right-to-left accumulations
+        # (identical op order, hence identical floats); re-index them to
+        # this loop's 1-based convention instead of rebuilding.
+        suffix_wlam = [0.0, *scan.suffix_wlam]
+        suffix_max_w = [0.0, *scan.suffix_max_w]
+    else:
+        suffix_wlam = [0.0] * (n + 2)
+        suffix_max_w = [0.0] * (n + 2)
+        for j in range(n, 0, -1):
+            suffix_wlam[j] = suffix_wlam[j + 1] + workloads[j - 1] ** lam
+            suffix_max_w[j] = max(suffix_max_w[j + 1], workloads[j - 1])
+
+    beta_lam = beta * (lam - 1.0)
+    inv_lam = 1.0 / lam
+    alpha, alpha_m = core.alpha, memory.alpha_m
+    s_up, core_xi, mem_xi = core.s_up, core.xi, memory.xi_m
 
     def stationary(i: int, effective_static: float) -> Optional[float]:
         """Eq. (8)-type stationary point with a chosen static coefficient."""
         if effective_static <= 0.0:
             return None
         return horizon - (
-            beta * (lam - 1.0) * suffix_wlam[i] / effective_static
-        ) ** (1.0 / lam)
+            beta_lam * suffix_wlam[i] / effective_static
+        ) ** inv_lam
 
     best: Optional[Tuple[float, float, int]] = None
+    pending: List[Tuple[float, int]] = []
     for i in range(1, n + 1):
         lo = delta_bp[i]
-        cap = horizon - suffix_max_w[i] / core.s_up
+        cap = horizon - suffix_max_w[i] / s_up
         hi = min(delta_bp[i - 1], cap, horizon)
         if hi < lo:
             continue
         aligned = n - i + 1
         candidates = {lo, hi if math.isfinite(hi) else lo}
         for coeff in (
-            aligned * core.alpha + memory.alpha_m,  # both sleep
-            memory.alpha_m,  # cores idle awake
-            aligned * core.alpha,  # memory stays awake
+            aligned * alpha + alpha_m,  # both sleep
+            alpha_m,  # cores idle awake
+            aligned * alpha,  # memory stays awake
         ):
             point = stationary(i, coeff)
             if point is not None:
                 candidates.add(min(max(point, lo), hi))
-        for kink in (0.0, core.xi - shift, memory.xi_m - shift):
+        for kink in (0.0, core_xi - shift, mem_xi - shift):
             if lo <= kink <= hi:
                 candidates.add(kink)
+        if use_numpy:
+            pending.extend((delta, i) for delta in candidates)
+            continue
         for delta in candidates:
             energy = overhead_energy_at_delta(
                 tasks, platform, delta, horizon_end=horizon_end
             )
+            if best is None or energy < best[1] - 1e-12:
+                best = (delta, energy, i)
+    if use_numpy and pending:
+        energies = vectorized.overhead_energy_batch(
+            scan, platform, rel_end, [p[0] for p in pending]
+        )
+        for (delta, i), energy in zip(pending, energies):
             if best is None or energy < best[1] - 1e-12:
                 best = (delta, energy, i)
     if best is None:  # pragma: no cover - guarded by feasibility check

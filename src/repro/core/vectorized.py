@@ -1,0 +1,662 @@
+"""Vectorized NumPy numeric core for the block / case-scan hot paths.
+
+The scalar solvers in :mod:`repro.core.blocks`,
+:mod:`repro.core.common_release` and :mod:`repro.core.transition` are the
+*reference* implementations: they follow the paper's per-task loops
+line by line and every fidelity test pins them against the closed forms.
+Profiling (see docs/PERFORMANCE.md) shows the dominant cost of a Section 8
+sweep is exactly those loops, re-entered thousands of times by the
+golden-section / coordinate-descent probes of the O(n^4)/O(n^5) DPs.
+
+This module provides the batched counterparts:
+
+* :class:`BlockArrays` -- a task set's releases / deadlines / workloads as
+  ndarrays (deadline-sorted, matching ``TaskSet`` order) plus workload
+  prefix sums, built once per content signature and LRU-cached;
+* :func:`block_energy_batch` -- the graded-penalty block energy of
+  ``repro.core.blocks._block_energy_uncached`` evaluated at a whole array
+  of ``(start, end)`` candidates in one shot;
+* :func:`placement_arrays` -- the per-task best-response placement vectors
+  behind ``_placements_at``;
+* :func:`overhead_energy_batch` -- the Section 7 break-even-aware energy of
+  ``repro.core.transition.overhead_energy_at_delta`` over an array of
+  sleep-length candidates;
+* :func:`schedule_geometry_arrays` -- the vectorized constrained-critical-
+  speed geometry (natural finish times) behind ``_schedule_geometry``.
+
+Backend selection is process-wide: ``REPRO_NUMERIC=scalar|numpy`` in the
+environment, or :func:`set_backend` for programmatic control (the CLI's
+``--numeric`` flag).  When unset, the numpy backend is used whenever numpy
+imports; the scalar path needs nothing beyond the standard library.  The
+property tests in ``tests/test_numeric_backends.py`` assert the two
+backends agree to 1e-9 on randomized task sets, so paper-fidelity tests
+keep pinning the closed forms no matter which backend runs them.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on numpy-less CI legs
+    np = None  # type: ignore[assignment]
+
+from repro.models.platform import Platform
+from repro.models.task import TaskSet
+
+__all__ = [
+    "HAS_NUMPY",
+    "BACKEND_ENV",
+    "available_backends",
+    "get_backend",
+    "get_backend_override",
+    "set_backend",
+    "use_numpy",
+    "BlockArrays",
+    "block_arrays",
+    "block_arrays_cache_clear",
+    "register_subset_arrays",
+    "block_energy_batch",
+    "placement_arrays",
+    "schedule_geometry_arrays",
+    "OverheadScan",
+    "overhead_scan",
+    "overhead_energy_batch",
+]
+
+HAS_NUMPY = np is not None
+
+#: Environment variable selecting the numeric backend.
+BACKEND_ENV = "REPRO_NUMERIC"
+
+_PENALTY = 1e30
+_INF = float("inf")
+
+_BACKENDS = ("scalar", "numpy")
+_backend_override: Optional[str] = None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends usable in this process (``numpy`` only when importable)."""
+    return _BACKENDS if HAS_NUMPY else ("scalar",)
+
+
+def _validate_backend(name: str) -> str:
+    name = name.strip().lower()
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown numeric backend {name!r}; valid: {', '.join(_BACKENDS)}"
+        )
+    if name == "numpy" and not HAS_NUMPY:
+        raise RuntimeError(
+            "numeric backend 'numpy' requested but numpy is not installed; "
+            "unset REPRO_NUMERIC or install numpy"
+        )
+    return name
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Force the numeric backend for this process.
+
+    ``None`` clears the override, restoring the ``REPRO_NUMERIC``
+    environment variable (or the auto default).  Clears the scalar-side
+    memo caches in :mod:`repro.core.blocks` so a backend switch can never
+    serve values computed by the other backend.
+    """
+    global _backend_override
+    _backend_override = None if name is None else _validate_backend(name)
+    # Imported lazily: blocks imports this module at load time.
+    from repro.core.blocks import block_energy_cache_clear
+
+    block_energy_cache_clear()
+
+
+def get_backend_override() -> Optional[str]:
+    """The forced backend, or ``None`` when env/auto selection applies.
+
+    Lets callers that temporarily switch backends (``repro bench``'s
+    scalar-vs-numpy comparison) restore the caller's choice instead of
+    clobbering it with the auto default.
+    """
+    return _backend_override
+
+
+def get_backend() -> str:
+    """The effective backend: override > ``$REPRO_NUMERIC`` > auto."""
+    if _backend_override is not None:
+        return _backend_override
+    env = os.environ.get(BACKEND_ENV, "")
+    if env.strip():
+        return _validate_backend(env)
+    return "numpy" if HAS_NUMPY else "scalar"
+
+
+def use_numpy() -> bool:
+    """True when the numpy numeric core should serve the hot paths."""
+    return get_backend() == "numpy"
+
+
+# ---------------------------------------------------------------------------
+# BlockArrays: a task set as ndarrays, cached on content signature
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BlockArrays:
+    """A task set's numeric content as deadline-sorted ndarrays.
+
+    ``workload_prefix`` has ``n + 1`` entries with
+    ``workload_prefix[i] = sum(workloads[:i])`` so any consecutive block's
+    total workload is one subtraction.  Arrays are read-only views shared
+    across every kernel call for the same task-set content.
+    """
+
+    releases: "np.ndarray"
+    deadlines: "np.ndarray"
+    workloads: "np.ndarray"
+    workload_prefix: "np.ndarray"
+
+    @property
+    def n(self) -> int:
+        return int(self.workloads.shape[0])
+
+
+_ARRAYS_CACHE: "OrderedDict[Tuple, BlockArrays]" = OrderedDict()
+_ARRAYS_CACHE_MAX = 1 << 14
+
+
+def block_arrays_cache_clear() -> None:
+    """Drop every cached :class:`BlockArrays` (test isolation)."""
+    _ARRAYS_CACHE.clear()
+
+
+def _freeze(arr: "np.ndarray") -> "np.ndarray":
+    arr.setflags(write=False)
+    return arr
+
+
+def _cache_put(key: Tuple, arrays: BlockArrays) -> None:
+    _ARRAYS_CACHE[key] = arrays
+    if len(_ARRAYS_CACHE) > _ARRAYS_CACHE_MAX:
+        _ARRAYS_CACHE.popitem(last=False)
+
+
+def block_arrays(tasks: TaskSet) -> BlockArrays:
+    """The (cached) :class:`BlockArrays` for a task set's content.
+
+    Keyed on :meth:`repro.models.task.TaskSet.energy_signature`, so two
+    sets with identical numeric content share one array build regardless
+    of naming or object identity.
+    """
+    if np is None:  # pragma: no cover - callers gate on use_numpy()
+        raise RuntimeError("numpy is not available")
+    key = tasks.energy_signature()
+    hit = _ARRAYS_CACHE.get(key)
+    if hit is not None:
+        _ARRAYS_CACHE.move_to_end(key)
+        return hit
+    raw = np.asarray(key, dtype=np.float64).reshape(len(key), 3)
+    workloads = raw[:, 2].copy()
+    prefix = np.empty(len(key) + 1, dtype=np.float64)
+    prefix[0] = 0.0
+    np.cumsum(workloads, out=prefix[1:])
+    arrays = BlockArrays(
+        releases=_freeze(raw[:, 0].copy()),
+        deadlines=_freeze(raw[:, 1].copy()),
+        workloads=_freeze(workloads),
+        workload_prefix=_freeze(prefix),
+    )
+    _cache_put(key, arrays)
+    return arrays
+
+
+def register_subset_arrays(parent: TaskSet, start: int, stop: int) -> None:
+    """Pre-seed the arrays cache for ``parent.subset(start, stop)``.
+
+    The agreeable DP prices O(n^2) consecutive blocks of one parent set;
+    each block's arrays are slices of the parent's, so building them from
+    views skips the per-subset tuple unpacking.  Deadline order is
+    preserved by slicing (the parent is already sorted), hence the slice
+    *is* the subset's canonical array content.
+    """
+    if np is None:  # pragma: no cover - callers gate on use_numpy()
+        raise RuntimeError("numpy is not available")
+    parent_key = parent.energy_signature()
+    key = parent_key[start:stop]
+    if key in _ARRAYS_CACHE:
+        _ARRAYS_CACHE.move_to_end(key)
+        return
+    pa = block_arrays(parent)
+    workloads = pa.workloads[start:stop]
+    prefix = np.empty(stop - start + 1, dtype=np.float64)
+    prefix[0] = 0.0
+    np.cumsum(workloads, out=prefix[1:])
+    arrays = BlockArrays(
+        releases=pa.releases[start:stop],
+        deadlines=pa.deadlines[start:stop],
+        workloads=workloads,
+        workload_prefix=_freeze(prefix),
+    )
+    _cache_put(key, arrays)
+
+
+# ---------------------------------------------------------------------------
+# Block energy over (start, end) candidate arrays
+# ---------------------------------------------------------------------------
+
+
+def critical_speeds(arrays: BlockArrays, platform: Platform) -> "np.ndarray":
+    """Task-clamped critical speeds ``s_0`` as an ``(n,)`` vector.
+
+    Mirrors :meth:`repro.models.power.CorePowerModel.s0`:
+    ``min(max(s_m, filled_speed), s_up)`` per task.
+    """
+    core = platform.core
+    filled = arrays.workloads / (arrays.deadlines - arrays.releases)
+    return np.minimum(np.maximum(core.s_m, filled), core.s_up)
+
+
+def block_energy_batch(
+    tasks: TaskSet,
+    platform: Platform,
+    starts: Sequence[float],
+    ends: Sequence[float],
+) -> "np.ndarray":
+    """Block energies at K candidate busy intervals, as a ``(K,)`` vector.
+
+    Array transcription of ``repro.core.blocks._block_energy_uncached``
+    (same window clamps, same relative speed-cap tolerance, same graded
+    penalties), broadcasting a ``(K, n)`` window matrix instead of looping
+    tasks per candidate.
+    """
+    arr = block_arrays(tasks)
+    core = platform.core
+    s = np.asarray(starts, dtype=np.float64)
+    e = np.asarray(ends, dtype=np.float64)
+    lo = np.maximum(arr.releases[None, :], s[:, None])
+    hi = np.minimum(arr.deadlines[None, :], e[:, None])
+    window = hi - lo
+    min_duration = arr.workloads / core.s_up
+    infeasible = window < min_duration[None, :] * (1.0 - 1e-12) - 1e-12
+    violation = np.where(infeasible, min_duration[None, :] - window, 0.0).sum(
+        axis=1
+    )
+    eff_window = np.maximum(window, min_duration[None, :])
+    if core.alpha == 0.0:
+        duration = eff_window
+    else:
+        s0 = critical_speeds(arr, platform)
+        preferred = np.maximum(arr.workloads / s0, min_duration)
+        duration = np.minimum(preferred[None, :], eff_window)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        speed = arr.workloads[None, :] / duration
+        terms = (core.alpha + core.beta * speed ** core.lam) * arr.workloads[
+            None, :
+        ] / speed
+        # Infeasible tasks contribute penalty, not energy; zero their terms
+        # so the row sum stays finite wherever the candidate is feasible.
+        terms = np.where(infeasible, 0.0, terms)
+        total = platform.memory.alpha_m * (e - s) + np.nansum(terms, axis=1)
+    total = np.where(violation > 0.0, _PENALTY * (1.0 + violation), total)
+    return np.where(e <= s, _PENALTY * (1.0 + (s - e)), total)
+
+
+def placement_arrays(
+    tasks: TaskSet, platform: Platform, start: float, end: float
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Per-task ``(start, duration, speed)`` vectors for one busy interval.
+
+    Array transcription of ``repro.core.blocks._placements_at``: Type-II /
+    stretched tasks fill their window, Type-I tasks run at critical speed
+    from the window start.
+    """
+    arr = block_arrays(tasks)
+    core = platform.core
+    lo = np.maximum(arr.releases, start)
+    hi = np.minimum(arr.deadlines, end)
+    min_duration = arr.workloads / core.s_up
+    eff_window = np.maximum(hi - lo, min_duration)
+    if core.alpha == 0.0:
+        duration = eff_window
+    else:
+        s0 = critical_speeds(arr, platform)
+        preferred = np.maximum(arr.workloads / s0, min_duration)
+        duration = np.minimum(preferred, eff_window)
+    return lo, duration, arr.workloads / duration
+
+
+# ---------------------------------------------------------------------------
+# Section 7 overhead-aware geometry and candidate sweeps
+# ---------------------------------------------------------------------------
+
+
+def schedule_geometry_arrays(
+    tasks: TaskSet, platform: Platform
+) -> Tuple[float, "np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Vectorized ``repro.core.transition._schedule_geometry``.
+
+    Returns ``(horizon, ends, workloads, order)`` where ``order`` is the
+    stable natural-finish sort permutation (indices into the task set's
+    deadline order) and ``ends`` / ``workloads`` are already permuted.
+    """
+    arr = block_arrays(tasks)
+    core = platform.core
+    release = float(arr.releases[0])
+    if core.alpha == 0.0:
+        ends = arr.deadlines - release
+    else:
+        outer = float(tasks.latest_deadline) - release
+        # s_c per task: the constrained critical speed of Section 7.
+        filled = arr.workloads / (arr.deadlines - arr.releases)
+        candidate = np.minimum(np.maximum(core.s_m, filled), core.s_up)
+        if core.s_m > 0.0:
+            reference = np.full_like(candidate, min(core.s_m, core.s_up))
+        else:
+            reference = candidate
+        amortizes = outer - arr.workloads / reference >= core.xi
+        s_c = np.where(
+            reference <= 0.0,
+            candidate,
+            np.where(amortizes, candidate, np.minimum(filled, core.s_up)),
+        )
+        ends = arr.workloads / s_c
+    order = np.argsort(ends, kind="stable")
+    ends = ends[order]
+    return float(ends[-1]), ends, arr.workloads[order], order
+
+
+#: Below this task count the ndarray kernels lose to plain Python: per-op
+#: dispatch overhead (~a few microseconds) exceeds the whole loop's cost.
+#: The Section 8 online sweeps replan over 1-8 pending tasks, so the
+#: small-n path is the one that matters for the bench; both paths compute
+#: the same formulas in the same order, so they agree bit-for-bit.
+_SMALL_N = 64
+
+
+@dataclass(frozen=True)
+class OverheadScan:
+    """Prefix/suffix decomposition of the Section 7 candidate objective.
+
+    Splitting tasks at a candidate's busy end ``|I| - Delta`` (ends are
+    sorted, so the split is one binary search) turns the per-task energy
+    sum of ``overhead_energy_at_delta`` into closed prefix/suffix forms:
+    tasks finishing naturally before the busy end contribute constants
+    (``prefix_*``), tasks aligned to the busy end contribute
+    ``count * alpha * busy_end`` plus ``beta * suffix_wlam * busy_end^(1-lam)``
+    -- the Eq. (8) power-sum structure.  One scan build prices any number
+    of sleep-length candidates in O(log n) each instead of O(n).
+
+    ``ends`` / ``workloads`` / ``order`` are plain lists (callers iterate
+    them in Python); the prefix/suffix tables are lists on the small-n
+    path and ndarrays otherwise (``small`` flags which).
+    """
+
+    horizon: float
+    ends: Sequence[float]
+    workloads: Sequence[float]
+    order: Sequence[int]
+    #: prefix sums over natural-finish order; index i covers tasks [0, i)
+    prefix_ends: Sequence[float]
+    prefix_beta_nat: Sequence[float]
+    #: ``None`` when core gap costs are identically zero (alpha or xi zero)
+    prefix_gap_nat: Optional[Sequence[float]]
+    #: ``None`` when no natural finish overspeeds (the usual case)
+    prefix_overspeed: Optional[Sequence[int]]
+    #: suffix sums; index i covers tasks [i, n)
+    suffix_wlam: Sequence[float]
+    suffix_max_w: Sequence[float]
+    small: bool
+
+    @property
+    def n(self) -> int:
+        return len(self.workloads)
+
+
+def _overhead_scan_small(
+    tasks: TaskSet, platform: Platform, rel_end: float
+) -> OverheadScan:
+    """Python build of the scan for small task counts."""
+    core = platform.core
+    release = tasks[0].release
+    if core.alpha == 0.0:
+        annotated = [
+            (t.deadline - release, i, t.workload) for i, t in enumerate(tasks)
+        ]
+    else:
+        # Inline CorePowerModel.s_c with s_m hoisted: the property
+        # recomputes its root on every access, which dominates the scan
+        # build at small n.  Same expressions, same values.
+        outer = tasks.latest_deadline - release
+        s_m, s_up, xi = core.s_m, core.s_up, core.xi
+        reference = min(s_m, s_up) if s_m > 0.0 else None
+        annotated = []
+        for i, t in enumerate(tasks):
+            w = t.workload
+            candidate = min(max(s_m, t.filled_speed), s_up)
+            ref = candidate if reference is None else reference
+            if ref <= 0.0 or outer - w / ref >= xi:
+                s_c = candidate
+            else:
+                s_c = min(t.filled_speed, s_up)
+            annotated.append((w / s_c, i, w))
+    horizon = max(end for end, _, _ in annotated)
+    annotated.sort(key=lambda pair: pair[0])
+    ends = [end for end, _, _ in annotated]
+    order = [i for _, i, _ in annotated]
+    workloads = [w for _, _, w in annotated]
+
+    lam, beta = core.lam, core.beta
+    one_lam = 1.0 - lam
+    alpha, xi = core.alpha, core.xi
+    up_thresh = core.s_up * (1.0 + 1e-9)
+    gapped = alpha != 0.0 and xi != 0.0
+    axi = alpha * xi
+    prefix_ends = [0.0]
+    prefix_beta_nat = [0.0]
+    prefix_gap_nat = [0.0] if gapped else None
+    overspeed = False
+    acc_e = acc_b = acc_g = 0.0
+    for end, w in zip(ends, workloads):
+        acc_e += end
+        prefix_ends.append(acc_e)
+        acc_b += (beta * w ** lam) * end ** one_lam
+        prefix_beta_nat.append(acc_b)
+        if gapped:
+            gap = rel_end - end
+            acc_g += min(alpha * gap, axi) if gap > 0.0 else 0.0
+            prefix_gap_nat.append(acc_g)
+        if w / end > up_thresh:
+            overspeed = True
+    prefix_overspeed: Optional[List[int]] = None
+    if overspeed:
+        prefix_overspeed = [0]
+        acc_o = 0
+        for end, w in zip(ends, workloads):
+            acc_o += 1 if w / end > up_thresh else 0
+            prefix_overspeed.append(acc_o)
+    n = len(ends)
+    suffix_wlam = [0.0] * (n + 1)
+    suffix_max_w = [0.0] * (n + 1)
+    for j in range(n - 1, -1, -1):
+        suffix_wlam[j] = suffix_wlam[j + 1] + workloads[j] ** lam
+        suffix_max_w[j] = max(suffix_max_w[j + 1], workloads[j])
+    return OverheadScan(
+        horizon=horizon,
+        ends=ends,
+        workloads=workloads,
+        order=order,
+        prefix_ends=prefix_ends,
+        prefix_beta_nat=prefix_beta_nat,
+        prefix_gap_nat=prefix_gap_nat,
+        prefix_overspeed=prefix_overspeed,
+        suffix_wlam=suffix_wlam,
+        suffix_max_w=suffix_max_w,
+        small=True,
+    )
+
+
+def overhead_scan(
+    tasks: TaskSet, platform: Platform, rel_end: float
+) -> OverheadScan:
+    """Build the :class:`OverheadScan` for one solve's geometry.
+
+    ``rel_end`` is the release-relative accounting horizon; the natural
+    tasks' break-even gap costs depend only on it, so they fold into a
+    prefix sum here.
+    """
+    if len(tasks) <= _SMALL_N:
+        return _overhead_scan_small(tasks, platform, rel_end)
+    core = platform.core
+    horizon, ends, workloads, order = schedule_geometry_arrays(tasks, platform)
+    n = int(ends.shape[0])
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        wlam = workloads ** core.lam
+        beta_nat = (core.beta * wlam) * ends ** (1.0 - core.lam)
+        nat_over = workloads / ends > core.s_up * (1.0 + 1e-9)
+        gapped = core.alpha != 0.0 and core.xi != 0.0
+        if gapped:
+            gaps = rel_end - ends
+            gap_nat = np.where(
+                gaps > 0.0,
+                np.minimum(core.alpha * gaps, core.alpha * core.xi),
+                0.0,
+            )
+
+    def prefix(values: "np.ndarray") -> "np.ndarray":
+        out = np.empty(n + 1, dtype=values.dtype)
+        out[0] = 0
+        np.cumsum(values, out=out[1:])
+        return out
+
+    # suffix[i] covers tasks [i, n); suffix[n] stays the empty-set value.
+    suffix_wlam = np.zeros(n + 1, dtype=np.float64)
+    np.cumsum(wlam[::-1], out=suffix_wlam[n - 1 :: -1])
+    suffix_max_w = np.zeros(n + 1, dtype=np.float64)
+    np.maximum.accumulate(workloads[::-1], out=suffix_max_w[n - 1 :: -1])
+    return OverheadScan(
+        horizon=horizon,
+        ends=ends.tolist(),
+        workloads=workloads.tolist(),
+        order=order.tolist(),
+        prefix_ends=prefix(ends),
+        prefix_beta_nat=prefix(beta_nat),
+        prefix_gap_nat=prefix(gap_nat) if gapped else None,
+        prefix_overspeed=prefix(nat_over.astype(np.int64))
+        if bool(nat_over.any())
+        else None,
+        suffix_wlam=suffix_wlam,
+        suffix_max_w=suffix_max_w,
+        small=False,
+    )
+
+
+def _overhead_energy_small(
+    scan: OverheadScan,
+    platform: Platform,
+    rel_end: float,
+    deltas: Sequence[float],
+) -> List[float]:
+    """Python evaluation of the scan objective at each candidate."""
+    from bisect import bisect_left
+
+    core = platform.core
+    memory = platform.memory
+    horizon = scan.horizon
+    ends = scan.ends
+    n = scan.n
+    alpha, beta = core.alpha, core.beta
+    one_lam = 1.0 - core.lam
+    axi = alpha * core.xi
+    am, am_xi = memory.alpha_m, memory.alpha_m * memory.xi_m
+    up_thresh = core.s_up * (1.0 + 1e-9)
+    pe, pb = scan.prefix_ends, scan.prefix_beta_nat
+    pg, po = scan.prefix_gap_nat, scan.prefix_overspeed
+    sw, sm = scan.suffix_wlam, scan.suffix_max_w
+    gapped = pg is not None
+    out: List[float] = []
+    for delta in deltas:
+        busy = horizon - delta
+        if busy <= 0.0:
+            out.append(_INF)
+            continue
+        k = bisect_left(ends, busy)
+        if (po is not None and po[k] > 0) or sm[k] > up_thresh * busy:
+            out.append(_INF)
+            continue
+        aligned = n - k
+        total = (
+            am * busy
+            + alpha * pe[k]
+            + pb[k]
+            + alpha * aligned * busy
+            + sw[k] * (beta * busy ** one_lam)
+        )
+        trailing = rel_end - busy
+        if trailing > 0.0:
+            if am != 0.0:
+                total += min(am * trailing, am_xi)
+            if gapped:
+                total += aligned * min(alpha * trailing, axi)
+        if gapped:
+            total += pg[k]
+        out.append(total)
+    return out
+
+
+def overhead_energy_batch(
+    scan: OverheadScan,
+    platform: Platform,
+    rel_end: float,
+    deltas: Sequence[float],
+) -> List[float]:
+    """Section 7 total energies at K sleep-length candidates.
+
+    Semantically matches
+    :func:`repro.core.transition.overhead_energy_at_delta` over the scan's
+    geometry: memory busy cost plus break-even-priced gaps plus per-task
+    execution energy (``alpha * finish + beta * w^lam * finish^(1-lam)``
+    per task, the algebraic form of ``execution_energy(w, w/finish)``),
+    ``inf`` where the candidate forces an overspeed or a non-positive busy
+    interval.  Returns plain floats; the selection loop is Python either
+    way.
+    """
+    if scan.small:
+        return _overhead_energy_small(scan, platform, rel_end, deltas)
+    core = platform.core
+    memory = platform.memory
+    deltas = np.asarray(deltas, dtype=np.float64)
+    busy_end = scan.horizon - deltas
+    split = np.searchsorted(np.asarray(scan.ends), busy_end, side="left")
+    aligned = scan.n - split
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        overspeed = scan.suffix_max_w[split] > core.s_up * (1.0 + 1e-9) * busy_end
+        if scan.prefix_overspeed is not None:
+            overspeed |= scan.prefix_overspeed[split] > 0
+        total = (
+            memory.alpha_m * busy_end
+            + core.alpha * scan.prefix_ends[split]
+            + scan.prefix_beta_nat[split]
+            + core.alpha * aligned * busy_end
+            + scan.suffix_wlam[split] * (core.beta * busy_end ** (1.0 - core.lam))
+        )
+        trailing = rel_end - busy_end
+        positive = trailing > 0.0
+        if memory.alpha_m != 0.0:
+            total += np.where(
+                positive,
+                np.minimum(memory.alpha_m * trailing, memory.alpha_m * memory.xi_m),
+                0.0,
+            )
+        if scan.prefix_gap_nat is not None:
+            total += scan.prefix_gap_nat[split]
+            total += aligned * np.where(
+                positive,
+                np.minimum(core.alpha * trailing, core.alpha * core.xi),
+                0.0,
+            )
+    total = np.where(overspeed, _INF, total)
+    return np.where(busy_end <= 0.0, _INF, total).tolist()

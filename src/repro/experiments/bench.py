@@ -9,13 +9,23 @@ Three timed runs of the same Fig. 6 FFT slice, in a fixed order:
 3. **warm cache** -- ``max_workers=1`` again, every unit served from the
    cache populated by run 2.
 
-The three runs must produce identical ``SeriesResult.rows()`` output --
-:func:`run_bench` asserts it -- so the speedup table never advertises a
-fast-but-different engine.  Results are printed as a table and written to
-``BENCH_experiments.json`` for CI artifact upload.  Interpretation notes
-live in docs/PERFORMANCE.md; in particular the parallel speedup is bounded
-by the machine's core count, so on a single-core container run 2 shows
-only pool overhead.
+When both numeric backends are importable, a fourth phase re-runs the
+serial cold slice under ``scalar`` and ``numpy``
+(:mod:`repro.core.vectorized`) and reports two speedups: **wall** (whole
+slice, Amdahl-bounded by the non-solver engine share) and **numeric
+core** (time inside the Section 4-7 solver entry points only, measured by
+wrapping them for the duration of the run).  The backends' output rows
+must match exactly -- the comparison carries its own ``rows_identical``.
+
+The three engine runs must produce identical ``SeriesResult.rows()``
+output -- :func:`run_bench` asserts it -- so the speedup table never
+advertises a fast-but-different engine.  Results are printed as a table
+and *appended* to the trajectory list in ``BENCH_experiments.json`` (CI
+uploads it as an artifact), so successive runs accumulate a performance
+history instead of overwriting it.  Interpretation notes live in
+docs/PERFORMANCE.md; in particular the parallel speedup is bounded by the
+machine's core count, so on a single-core container run 2 shows only pool
+overhead.
 """
 
 from __future__ import annotations
@@ -23,8 +33,11 @@ from __future__ import annotations
 import json
 import os
 import time
+from contextlib import contextmanager
+from datetime import datetime, timezone
 from typing import Dict, List, Optional
 
+from repro.core import vectorized
 from repro.core.blocks import block_energy_cache_clear
 from repro.experiments.cache import ResultCache
 from repro.experiments.fig6 import fig6_specs
@@ -69,6 +82,104 @@ def _timed_run(
         "solver_calls": sum(p.solver_calls for p in series.points),
         "cached_units": sum(p.cached_units for p in series.points),
         "local_solver_calls": solver_call_total(),
+    }
+
+
+@contextmanager
+def _solver_timer():
+    """Accumulate wall time spent inside the online policy's solver calls.
+
+    The Fig. 6 pipeline reaches the numeric core exclusively through the
+    two entry points :mod:`repro.core.online` binds at import time, so
+    wrapping those module attributes for the duration of a (serial) run
+    measures exactly the share the numpy backend can accelerate --
+    without leaving any timing overhead in the production hot path.
+    """
+    import repro.core.online as online
+
+    elapsed = [0.0]
+    names = ("solve_common_release", "solve_common_release_with_overhead")
+
+    def timed(fn):
+        def wrapper(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                elapsed[0] += time.perf_counter() - start
+
+        return wrapper
+
+    originals = {name: getattr(online, name) for name in names}
+    for name, fn in originals.items():
+        setattr(online, name, timed(fn))
+    try:
+        yield elapsed
+    finally:
+        for name, fn in originals.items():
+            setattr(online, name, fn)
+
+
+def _compare_backends(
+    specs, *, seeds: int, repeats: int = 3
+) -> Optional[Dict[str, object]]:
+    """Serial cold scalar-vs-numpy comparison on the same slice.
+
+    Each backend runs the slice ``repeats`` times and reports the
+    fastest pass (least-interference estimate -- the box's other load
+    only ever adds time).  Returns ``None`` when only one backend is
+    importable.  Restores the caller's backend override on exit.
+    """
+    backends = vectorized.available_backends()
+    if len(backends) < 2:
+        return None
+    previous = vectorized.get_backend_override()
+    measured: Dict[str, Dict[str, object]] = {}
+    rows: Dict[str, List] = {}
+    try:
+        for backend in backends:
+            best_wall = best_solver = float("inf")
+            for _ in range(max(1, repeats)):
+                vectorized.set_backend(backend)  # also clears memo caches
+                vectorized.block_arrays_cache_clear()  # honest cold run
+                reset_solver_counts()
+                with _solver_timer() as solver_elapsed:
+                    start = time.perf_counter()
+                    series = run_series(
+                        f"bench-{backend}", specs, seeds=seeds, max_workers=1
+                    )
+                    seconds = time.perf_counter() - start
+                best_wall = min(best_wall, seconds)
+                best_solver = min(best_solver, solver_elapsed[0])
+            rows[backend] = series.rows()
+            measured[backend] = {
+                "seconds": round(best_wall, 4),
+                "solver_seconds": round(best_solver, 4),
+                "solver_calls": solver_call_total(),
+            }
+    finally:
+        vectorized.set_backend(previous)
+    scalar = measured["scalar"]
+    numpy = measured["numpy"]
+    identical = rows["scalar"] == rows["numpy"]
+    assert identical, "numeric backends disagree at the output-row level"
+
+    def ratio(num: float, den: float) -> Optional[float]:
+        return round(num / den, 3) if den > 0 else None
+
+    return {
+        "backends": measured,
+        "speedup": {
+            # Whole-slice ratio: Amdahl-bounded by the engine share the
+            # backends have in common (trace generation, simulation,
+            # accounting) -- see docs/PERFORMANCE.md.
+            "wall": ratio(scalar["seconds"], numpy["seconds"]),
+            # Solver-only ratio: the numeric core the backends swap out.
+            "numeric_core": ratio(
+                scalar["solver_seconds"], numpy["solver_seconds"]
+            ),
+        },
+        "rows_identical": identical,
     }
 
 
@@ -134,6 +245,7 @@ def run_bench(
         },
         "workers": pool_workers,
         "cpu_count": os.cpu_count(),
+        "backend": vectorized.get_backend(),
         "modes": {
             "serial_cold": mode_report(serial),
             "parallel_cold": mode_report(parallel),
@@ -152,6 +264,7 @@ def run_bench(
         },
         "rows_identical": identical,
         "cache_entries": cache.stats().entries,
+        "numeric": _compare_backends(specs, seeds=seeds),
     }
     return report
 
@@ -186,14 +299,74 @@ def render_bench_table(report: Dict[str, object]) -> str:
         f"warm run took {speed['warm_fraction_of_serial'] * 100.0:.1f}% "
         f"of cold serial"
     )
+    numeric = report.get("numeric")
+    if numeric is None:
+        lines.append(
+            "numeric backends: numpy not importable, scalar-only run"
+        )
+    else:
+        lines.append(
+            f"{'backend':<14s} {'seconds':>9s} {'solver s':>9s} "
+            f"{'solver calls':>13s}"
+        )
+        for backend in ("scalar", "numpy"):
+            entry = numeric["backends"][backend]
+            lines.append(
+                f"{backend:<14s} {entry['seconds']:>9.3f} "
+                f"{entry['solver_seconds']:>9.3f} "
+                f"{entry['solver_calls']:>13d}"
+            )
+        speedups = numeric["speedup"]
+
+        def fmt(value: Optional[float]) -> str:
+            return f"{value:.2f}x" if value is not None else "n/a"
+
+        lines.append(
+            f"numpy vs scalar (serial cold): {fmt(speedups['wall'])} wall, "
+            f"{fmt(speedups['numeric_core'])} numeric core; "
+            f"rows identical across backends: {numeric['rows_identical']}"
+        )
     return "\n".join(lines)
 
 
+def _load_trajectory(path: str) -> List[Dict[str, object]]:
+    """Existing bench history at ``path``, tolerating the legacy layout.
+
+    Early revisions wrote one bare report dict; wrap it as the first
+    trajectory entry so no measurement is lost by the migration.
+    """
+    if not os.path.exists(path):
+        return []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    if isinstance(existing, dict) and isinstance(
+        existing.get("trajectory"), list
+    ):
+        return list(existing["trajectory"])
+    if isinstance(existing, dict):
+        return [existing]
+    return []
+
+
 def write_bench_json(report: Dict[str, object], path: str) -> None:
-    """Persist the report where CI uploads it as an artifact."""
+    """Append the report to the trajectory list at ``path``.
+
+    The file holds ``{"trajectory": [oldest, ..., newest]}`` so repeated
+    bench runs build a performance history CI can plot or diff; a legacy
+    single-report file is migrated in place, not clobbered.
+    """
+    trajectory = _load_trajectory(path)
+    stamped = dict(report)
+    stamped["generated_at"] = datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    trajectory.append(stamped)
     parent = os.path.dirname(path)
     if parent:
         os.makedirs(parent, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
+        json.dump({"trajectory": trajectory}, handle, indent=2, sort_keys=True)
         handle.write("\n")

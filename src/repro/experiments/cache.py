@@ -10,6 +10,9 @@ JSON of everything that determines the result:
   :mod:`repro.experiments.parallel`);
 * the seed index;
 * the policy name;
+* the numeric backend (:func:`repro.core.vectorized.get_backend`) --
+  backends agree to 1e-9, not to the last ulp, so cached raw energies
+  never cross the backend boundary;
 * a code-version salt (:data:`CODE_SALT`), bumped whenever the numeric
   semantics of the simulator or policies change, which invalidates every
   stale entry at once.
@@ -30,6 +33,7 @@ import tempfile
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.core import vectorized
 from repro.models.platform import Platform
 
 __all__ = [
@@ -86,12 +90,20 @@ def unit_key(
     *,
     salt: str = CODE_SALT,
 ) -> str:
-    """SHA-256 hex key for one (platform, trace, seed, policy) cell."""
+    """SHA-256 hex key for one (platform, trace, seed, policy) cell.
+
+    The active numeric backend is part of the key: the scalar and numpy
+    cores agree to 1e-9 but not necessarily to the last ulp, so a warm
+    run must never serve raw energies computed by the other backend --
+    engine determinism (identical rows across cache states) is asserted
+    per backend.
+    """
     payload = {
         "platform": platform_fingerprint(platform),
         "trace": trace_config,
         "seed": seed,
         "policy": policy,
+        "numeric": vectorized.get_backend(),
         "salt": salt,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))

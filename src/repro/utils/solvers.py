@@ -25,6 +25,11 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+try:  # the batched primitives need numpy; everything scalar does not
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less CI legs
+    _np = None  # type: ignore[assignment]
+
 _GOLDEN = (math.sqrt(5.0) - 1.0) / 2.0
 
 # ---------------------------------------------------------------------------
@@ -185,6 +190,13 @@ def minimize_convex_1d(
     pass the previous segment's argmin, collapsing most segments to a handful
     of evaluations once the minimum has been bracketed.
     """
+    if lo > hi:
+        raise ValueError(f"empty interval: lo={lo} > hi={hi}")
+    if hi - lo <= tol:
+        # Degenerate bracket (typical of warm-start bracketing): the
+        # midpoint is already within tolerance, so skip the golden loop.
+        x = 0.5 * (lo + hi)
+        return x, func(x)
     if guess is not None and hi > lo:
         radius = 0.05 * (hi - lo) if guess_radius is None else guess_radius
         g_lo = max(lo, guess - radius)
@@ -239,6 +251,176 @@ def minimize_convex_2d_box(
             break
         value = new_value
     return x, y, value
+
+
+# ---------------------------------------------------------------------------
+# Batched primitives (numpy numeric core)
+#
+# The vectorized backend (repro.core.vectorized) replaces "one Python call
+# per probe" with "one array call per *iteration*": K independent 1-D
+# problems advance together, each iteration evaluating every still-active
+# problem's next probe in a single batched objective call.  The batched
+# objective receives ``(xs, idx)`` -- probe positions plus the indices of
+# the problems they belong to -- and returns the objective values; the
+# ``idx`` array lets callers route each probe to its own sub-problem
+# (e.g. its own (i, j) cell of the pair enumeration).
+# ---------------------------------------------------------------------------
+
+
+def _require_numpy(name: str):
+    if _np is None:  # pragma: no cover - exercised on numpy-less CI legs
+        raise RuntimeError(f"{name} requires numpy, which is not installed")
+    return _np
+
+
+def bisect_increasing_batch(
+    func: Callable[["_np.ndarray", "_np.ndarray"], "_np.ndarray"],
+    lo: Sequence[float],
+    hi: Sequence[float],
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> "_np.ndarray":
+    """Roots of K increasing functions on per-problem brackets.
+
+    Batched transcription of :func:`bisect_increasing`, including its
+    boundary clamps (``func >= 0`` at ``lo`` pins the root to ``lo``;
+    ``func <= 0`` at ``hi`` pins it to ``hi``).  ``func(xs, idx)`` must
+    evaluate problem ``idx[k]`` at position ``xs[k]``; only still-active
+    problems are evaluated each iteration (boolean-mask advancement).
+    """
+    np = _require_numpy("bisect_increasing_batch")
+    lo = np.asarray(lo, dtype=np.float64).copy()
+    hi = np.asarray(hi, dtype=np.float64).copy()
+    if (lo > hi).any():
+        bad = int(np.argmax(lo > hi))
+        raise ValueError(f"empty bracket: lo={lo[bad]} > hi={hi[bad]}")
+    record_solver_call("bisect_batch")
+    k = lo.shape[0]
+    result = np.empty(k, dtype=np.float64)
+    all_idx = np.arange(k)
+    flo = func(lo, all_idx)
+    at_lo = flo >= 0.0
+    result[at_lo] = lo[at_lo]
+    active = ~at_lo
+    if active.any():
+        idx = all_idx[active]
+        fhi = func(hi[idx], idx)
+        at_hi = fhi <= 0.0
+        result[idx[at_hi]] = hi[idx[at_hi]]
+        active[idx[at_hi]] = False
+    for _ in range(max_iter):
+        if not active.any():
+            break
+        idx = all_idx[active]
+        mid = 0.5 * (lo[idx] + hi[idx])
+        converged = hi[idx] - lo[idx] <= tol
+        result[idx[converged]] = mid[converged]
+        active[idx[converged]] = False
+        live = idx[~converged]
+        if live.shape[0] == 0:
+            continue
+        mid_live = mid[~converged]
+        fmid = func(mid_live, live)
+        below = fmid < 0.0
+        lo[live[below]] = mid_live[below]
+        hi[live[~below]] = mid_live[~below]
+    if active.any():
+        idx = all_idx[active]
+        result[idx] = 0.5 * (lo[idx] + hi[idx])
+    return result
+
+
+def golden_section_minimize_batch(
+    func: Callable[["_np.ndarray", "_np.ndarray"], "_np.ndarray"],
+    lo: Sequence[float],
+    hi: Sequence[float],
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> Tuple["_np.ndarray", "_np.ndarray"]:
+    """Minimize K unimodal functions on per-problem intervals.
+
+    Batched transcription of :func:`golden_section_minimize`: per-problem
+    best-ever tracking, the same endpoint/midpoint candidate sweep at the
+    end, and degenerate intervals (``hi - lo <= tol``) short-circuiting to
+    their midpoint evaluation.  Each iteration issues one ``func`` call
+    covering every still-active problem's single new probe.  Returns
+    ``(argmins, values)``.
+    """
+    np = _require_numpy("golden_section_minimize_batch")
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    if (lo > hi).any():
+        bad = int(np.argmax(lo > hi))
+        raise ValueError(f"empty interval: lo={lo[bad]} > hi={hi[bad]}")
+    record_solver_call("golden_section_batch")
+    k = lo.shape[0]
+    all_idx = np.arange(k)
+    degenerate = hi - lo <= tol
+    best_x = np.empty(k, dtype=np.float64)
+    best_f = np.full(k, math.inf, dtype=np.float64)
+    if degenerate.any():
+        idx = all_idx[degenerate]
+        mids = 0.5 * (lo[idx] + hi[idx])
+        best_x[idx] = mids
+        best_f[idx] = func(mids, idx)
+    live = all_idx[~degenerate]
+    if live.shape[0] == 0:
+        return best_x, best_f
+    a = lo[live].copy()
+    b = hi[live].copy()
+    x1 = b - _GOLDEN * (b - a)
+    x2 = a + _GOLDEN * (b - a)
+    f1 = func(x1, live)
+    f2 = func(x2, live)
+    lower_wins = f1 <= f2
+    cur_x = np.where(lower_wins, x1, x2)
+    cur_f = np.where(lower_wins, f1, f2)
+    best_x[live] = cur_x
+    best_f[live] = cur_f
+    active = np.ones(live.shape[0], dtype=bool)
+    for _ in range(max_iter):
+        active &= b - a > tol
+        if not active.any():
+            break
+        sel = np.flatnonzero(active)
+        shrink_right = f1[sel] <= f2[sel]
+        r = sel[shrink_right]
+        l = sel[~shrink_right]
+        # f1 <= f2: drop [x2, b]; the old x1 becomes the new x2.
+        b[r] = x2[r]
+        x2[r] = x1[r]
+        f2[r] = f1[r]
+        x1[r] = b[r] - _GOLDEN * (b[r] - a[r])
+        # f1 > f2: drop [a, x1]; the old x2 becomes the new x1.
+        a[l] = x1[l]
+        x1[l] = x2[l]
+        f1[l] = f2[l]
+        x2[l] = a[l] + _GOLDEN * (b[l] - a[l])
+        probes = np.concatenate([x1[r], x2[l]])
+        owners = np.concatenate([live[r], live[l]])
+        values = func(probes, owners)
+        f1[r] = values[: r.shape[0]]
+        f2[l] = values[r.shape[0]:]
+        improved_r = f1[r] < best_f[live[r]]
+        best_x[live[r[improved_r]]] = x1[r[improved_r]]
+        best_f[live[r[improved_r]]] = f1[r[improved_r]]
+        improved_l = f2[l] < best_f[live[l]]
+        best_x[live[l[improved_l]]] = x2[l[improved_l]]
+        best_f[live[l[improved_l]]] = f2[l[improved_l]]
+    # Endpoint / midpoint candidates, exactly as the scalar sweep.
+    mids = 0.5 * (a + b)
+    probes = np.concatenate([mids, lo[live], hi[live]])
+    owners = np.concatenate([live, live, live])
+    values = func(probes, owners)
+    n_live = live.shape[0]
+    for offset, xs in ((0, mids), (n_live, lo[live]), (2 * n_live, hi[live])):
+        vals = values[offset: offset + n_live]
+        better = vals < best_f[live]
+        best_x[live[better]] = xs[better]
+        best_f[live[better]] = vals[better]
+    return best_x, best_f
 
 
 def weighted_power_sum(weights: Sequence[float], exponent: float) -> float:

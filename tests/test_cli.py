@@ -199,10 +199,38 @@ class TestBenchAndCache:
         import json as json_module
 
         with open(report_path, encoding="utf-8") as handle:
-            report = json_module.load(handle)
+            trajectory = json_module.load(handle)["trajectory"]
+        assert len(trajectory) == 1
+        report = trajectory[-1]
         assert report["rows_identical"] is True
         assert set(report["modes"]) == {"serial_cold", "parallel_cold", "warm_cache"}
         assert report["modes"]["warm_cache"]["cached_units"] == report["slice"]["units"]
+        assert "generated_at" in report
+
+    def test_bench_appends_trajectory_instead_of_clobbering(
+        self, capsys, tmp_path
+    ):
+        import json as json_module
+
+        report_path = os.path.join(tmp_path, "BENCH_experiments.json")
+        # Seed with the legacy single-report layout: the next run must
+        # migrate it into the trajectory, not overwrite it.
+        legacy = {"slice": {"benchmark": "fft"}, "rows_identical": True}
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json_module.dump(legacy, handle)
+        args = [
+            "bench", "--quick",
+            "--out", report_path,
+            "--cache-dir", os.path.join(tmp_path, "cache"),
+        ]
+        assert main(args) == 0
+        assert main(args) == 0
+        capsys.readouterr()
+        with open(report_path, encoding="utf-8") as handle:
+            trajectory = json_module.load(handle)["trajectory"]
+        assert len(trajectory) == 3
+        assert trajectory[0] == legacy
+        assert all("generated_at" in entry for entry in trajectory[1:])
 
     def test_cache_stats_and_clear(self, capsys, tmp_path):
         cache_dir = os.path.join(tmp_path, "cache")

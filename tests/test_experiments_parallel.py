@@ -129,8 +129,24 @@ class TestEngineEdges:
             ),
             platform=platform,
         )
+        # Enough units to exceed the inline threshold, so the pool (and
+        # hence the pickling check) actually engages.
         with pytest.raises(ValueError, match="picklable"):
-            run_series("bad", [spec], seeds=2, max_workers=2)
+            run_series("bad", [spec], seeds=12, max_workers=2)
+
+    def test_tiny_unpicklable_run_stays_inline(self):
+        platform = experiment_platform()
+        spec = PointSpec(
+            label="lambda",
+            trace_factory=lambda seed: synthetic_tasks(
+                n=4, max_interarrival=200.0, seed=seed
+            ),
+            platform=platform,
+        )
+        # <= 8 units run in-process even with max_workers=2, so an
+        # unpicklable factory is fine.
+        series = run_series("tiny", [spec], seeds=2, max_workers=2)
+        assert len(series.points) == 1
 
     def test_lambda_factory_fine_in_process(self):
         platform = experiment_platform()

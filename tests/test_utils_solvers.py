@@ -160,3 +160,90 @@ class TestWarmStartBracketing:
         assert solver_call_total() == sum(counts.values())
         reset_solver_counts()
         assert solver_call_total() == 0
+
+
+np = pytest.importorskip("numpy")
+
+from repro.utils.solvers import (  # noqa: E402 - needs the numpy skip first
+    bisect_increasing_batch,
+    golden_section_minimize_batch,
+)
+
+
+class TestBisectIncreasingBatch:
+    def test_matches_scalar_on_linear_family(self):
+        roots = np.array([1.0, 2.5, 7.75, 0.0, 10.0])
+
+        def family(xs, idx):
+            return xs - roots[idx]
+
+        batch = bisect_increasing_batch(family, [0.0] * 5, [10.0] * 5)
+        for k, root in enumerate(roots):
+            scalar = bisect_increasing(lambda x, r=root: x - r, 0.0, 10.0)
+            assert batch[k] == pytest.approx(scalar, abs=1e-9)
+
+    def test_boundary_clamps_match_scalar(self):
+        # Root below lo (clamped to lo) and above hi (clamped to hi).
+        shifts = np.array([-5.0, 25.0])
+
+        def family(xs, idx):
+            return xs - shifts[idx]
+
+        batch = bisect_increasing_batch(family, [0.0, 0.0], [10.0, 10.0])
+        assert batch[0] == 0.0
+        assert batch[1] == 10.0
+
+    def test_rejects_empty_bracket(self):
+        with pytest.raises(ValueError, match="empty bracket"):
+            bisect_increasing_batch(lambda xs, idx: xs, [5.0], [1.0])
+
+    def test_mixed_brackets(self):
+        los = [0.0, 2.0, -3.0]
+        his = [4.0, 9.0, 3.0]
+        roots = np.array([3.0, 6.0, 0.5])
+
+        def family(xs, idx):
+            return (xs - roots[idx]) ** 3
+
+        batch = bisect_increasing_batch(family, los, his)
+        assert np.allclose(batch, roots, atol=1e-6)
+
+
+class TestGoldenSectionMinimizeBatch:
+    def test_matches_scalar_on_quadratic_family(self):
+        centers = np.array([1.0, 4.0, 8.5, 0.0, 10.0])
+
+        def family(xs, idx):
+            return (xs - centers[idx]) ** 2
+
+        xs, values = golden_section_minimize_batch(
+            family, [0.0] * 5, [10.0] * 5
+        )
+        for k, center in enumerate(centers):
+            s_x, s_v = golden_section_minimize(
+                lambda x, c=center: (x - c) ** 2, 0.0, 10.0
+            )
+            assert xs[k] == pytest.approx(s_x, abs=1e-6)
+            assert values[k] == pytest.approx(s_v, abs=1e-9)
+
+    def test_degenerate_interval_short_circuits(self):
+        xs, values = golden_section_minimize_batch(
+            lambda x, idx: (x - 1.0) ** 2, [2.0, 0.0], [2.0, 8.0]
+        )
+        assert xs[0] == pytest.approx(2.0)
+        assert values[0] == pytest.approx(1.0)
+        assert xs[1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError, match="empty interval"):
+            golden_section_minimize_batch(lambda xs, idx: xs, [5.0], [1.0])
+
+    def test_boundary_minimum(self):
+        # Monotone decreasing on the interval: the endpoint sweep must
+        # surface hi exactly as the scalar version does.
+        xs, values = golden_section_minimize_batch(
+            lambda x, idx: -x, [0.0], [10.0]
+        )
+        s_x, s_v = golden_section_minimize(lambda x: -x, 0.0, 10.0)
+        assert xs[0] == pytest.approx(s_x, abs=1e-9)
+        assert values[0] == pytest.approx(s_v, abs=1e-9)
