@@ -28,13 +28,22 @@ Commands
 ``cache``
     ``stats`` / ``clear`` for the on-disk experiment result cache.
 
+``serve`` / ``submit``
+    Run the async batched solve service (see docs/SERVICE.md) and drive
+    it: ``serve`` listens on TCP (JSON-lines protocol, ``--stats`` prints
+    a metrics snapshot from a running server instead), ``submit`` sends a
+    task file or the concurrent ``--demo`` workload.
+
 All platform knobs (``--alpha-m``, ``--xi-m``, ``--cores``, ...) default
-to the paper's Table 4 stars.
+to the paper's Table 4 stars.  Global flags: ``--version`` prints the
+library version; ``--json-errors`` turns any CLI failure into a one-line
+JSON diagnostic on stderr using the service's error envelope.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional, Sequence
@@ -66,6 +75,7 @@ from repro.models import Task, TaskSet, paper_platform
 from repro.serialization import tasks_from_csv, tasks_from_json
 from repro.sim import simulate
 from repro.workloads import dspstone_trace, synthetic_tasks
+from repro import __version__
 
 __all__ = ["main", "build_parser"]
 
@@ -319,6 +329,89 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    if args.stats:
+        from repro.service.client import ServiceClient
+
+        async def fetch():
+            async with ServiceClient(args.host, args.port) as client:
+                return await client.metrics()
+
+        response = asyncio.run(fetch())
+        print(response["result"]["text"], end="")
+        return 0
+
+    from repro.service.server import SolveService, run_server
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_root())
+    service = SolveService(
+        capacity=args.capacity,
+        shed_threshold=args.shed_threshold,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        cache=cache,
+    )
+    if args.stdio:
+        asyncio.run(service.serve_stdio())
+    else:
+        asyncio.run(run_server(service, args.host, args.port))
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.client import ServiceClient, run_demo
+
+    if args.demo:
+        host = None if args.local else args.host
+        report = asyncio.run(
+            run_demo(
+                host,
+                args.port,
+                n=args.n,
+                clients=args.clients,
+                capacity=args.capacity,
+                verify=not args.no_verify,
+            )
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+
+    tasks = _load_tasks(args)
+    wire = {
+        "kind": "solve",
+        "scheme": args.scheme,
+        "lane": args.lane,
+        "tasks": [
+            {
+                "name": t.name,
+                "release": t.release,
+                "deadline": t.deadline,
+                "workload": t.workload,
+            }
+            for t in tasks
+        ],
+    }
+    if args.numeric is not None:
+        wire["numeric"] = args.numeric
+    if args.timeout_ms is not None:
+        wire["timeout_ms"] = args.timeout_ms
+
+    async def send():
+        async with ServiceClient(args.host, args.port) as client:
+            return await client.request(wire)
+
+    response = asyncio.run(send())
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
 def _add_numeric_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--numeric", choices=["scalar", "numpy"], default=None,
@@ -361,6 +454,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SDEM reproduction: solve, simulate, regenerate exhibits",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--json-errors", action="store_true", dest="json_errors",
+        help="emit CLI failures as a one-line JSON error envelope on stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -448,14 +548,123 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p_cc.set_defaults(func=_cmd_cache)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the async batched solve service (docs/SERVICE.md)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7070, help="0 = ephemeral")
+    p_serve.add_argument(
+        "--capacity", type=int, default=256, help="admission queue bound"
+    )
+    p_serve.add_argument(
+        "--shed-threshold", type=float, default=0.8, dest="shed_threshold",
+        help="queue fill fraction where sweep-lane shedding starts",
+    )
+    p_serve.add_argument(
+        "--batch-window-ms", type=float, default=10.0, dest="batch_window_ms",
+        help="micro-batch coalescing window",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=32, dest="max_batch",
+        help="requests per micro-batch",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, help="solver worker threads"
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true", dest="no_cache",
+        help="disable the on-disk result cache",
+    )
+    p_serve.add_argument(
+        "--cache-dir", dest="cache_dir", default=None,
+        help="result cache directory (default $REPRO_CACHE_DIR or ./.cache)",
+    )
+    p_serve.add_argument(
+        "--stdio", action="store_true",
+        help="serve JSON-lines over stdin/stdout instead of TCP",
+    )
+    p_serve.add_argument(
+        "--stats", action="store_true",
+        help="print a metrics snapshot from a running server and exit",
+    )
+    _add_numeric_arg(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit solve requests to a running service"
+    )
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=7070)
+    p_submit.add_argument("--tasks", help="tasks file (.csv or .json)")
+    p_submit.add_argument("--demo", action="store_true",
+                          help="drive the N-concurrent-client demo workload")
+    p_submit.add_argument(
+        "--local", action="store_true",
+        help="with --demo: start a private in-process server on an ephemeral port",
+    )
+    p_submit.add_argument("--n", type=int, default=200,
+                          help="demo request count")
+    p_submit.add_argument("--clients", type=int, default=8,
+                          help="demo concurrent client connections")
+    p_submit.add_argument("--capacity", type=int, default=512,
+                          help="demo local-server queue bound (and audit threshold)")
+    p_submit.add_argument(
+        "--no-verify", action="store_true", dest="no_verify",
+        help="demo: skip the byte-identity check against direct solver calls",
+    )
+    p_submit.add_argument(
+        "--scheme", choices=["auto", "common-release", "common-release-overhead",
+                             "agreeable", "sdem-on", "mbkp", "mbkps", "avr", "race"],
+        default="auto",
+    )
+    p_submit.add_argument("--lane", choices=["interactive", "sweep"],
+                          default="interactive")
+    p_submit.add_argument("--timeout-ms", type=float, default=None,
+                          dest="timeout_ms")
+    _add_numeric_arg(p_submit)
+    p_submit.set_defaults(func=_cmd_submit)
+
+    for sub_parser in set(sub.choices.values()):
+        sub_parser.add_argument(
+            "--json-errors", action="store_true", dest="json_errors",
+            help=argparse.SUPPRESS,
+        )
+
     return parser
 
 
+def _emit_json_error(code: str, message: str) -> None:
+    """The one-line diagnostic of ``--json-errors``: the same error
+    envelope the service wire protocol uses."""
+    from repro.service.protocol import error_envelope
+
+    print(json.dumps({"error": error_envelope(code, message)}), file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    _apply_numeric_flag(args)
-    return args.func(args)
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Scanned, not parsed: the flag must shape diagnostics even when
+    # parsing itself is what fails.
+    json_errors = "--json-errors" in argv
+    try:
+        parser = build_parser()
+        args = parser.parse_args(argv)
+        _apply_numeric_flag(args)
+        return args.func(args)
+    except SystemExit as exc:
+        code = exc.code
+        if not json_errors or code in (0, None):
+            raise
+        message = code if isinstance(code, str) else f"exit status {code}"
+        _emit_json_error("CLI_ERROR", message)
+        return code if isinstance(code, int) else 2
+    except (KeyboardInterrupt, BrokenPipeError):
+        raise
+    except Exception as exc:
+        if not json_errors:
+            raise
+        _emit_json_error("INTERNAL", f"{type(exc).__name__}: {exc}")
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

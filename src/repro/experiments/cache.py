@@ -42,6 +42,7 @@ __all__ = [
     "ResultCache",
     "default_cache_root",
     "platform_fingerprint",
+    "service_request_key",
     "unit_key",
 ]
 
@@ -104,6 +105,36 @@ def unit_key(
         "seed": seed,
         "policy": policy,
         "numeric": vectorized.get_backend(),
+        "salt": salt,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def service_request_key(
+    platform: Platform,
+    tasks_config: object,
+    scheme: str,
+    numeric: str,
+    *,
+    salt: str = CODE_SALT,
+) -> str:
+    """SHA-256 key for one solve-service request.
+
+    Same construction as :func:`unit_key` but with the backend passed
+    explicitly: the service batcher prices requests for a backend it has
+    not switched the process to yet, so it cannot rely on
+    ``vectorized.get_backend()``.  ``tasks_config`` must be the canonical
+    JSON-able task description *including names* (names appear verbatim in
+    the cached schedule payload), and ``scheme`` the resolved scheme --
+    never ``auto`` -- so explicit and auto-resolved requests share entries.
+    """
+    payload = {
+        "kind": "service-solve",
+        "platform": platform_fingerprint(platform),
+        "tasks": tasks_config,
+        "scheme": scheme,
+        "numeric": numeric,
         "salt": salt,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))

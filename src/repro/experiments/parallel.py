@@ -51,6 +51,7 @@ __all__ = [
     "DspstoneTraceSpec",
     "SyntheticTraceSpec",
     "PointSpec",
+    "chunk_evenly",
     "resolve_workers",
     "run_unit",
     "run_series",
@@ -239,6 +240,19 @@ def resolve_workers(max_workers: Optional[int]) -> int:
     return max_workers
 
 
+def chunk_evenly(items: Sequence, workers: int, chunks_per_worker: int = _CHUNKS_PER_WORKER):
+    """Split ``items`` into ~``workers * chunks_per_worker`` contiguous chunks.
+
+    The submission granularity both this engine and the service batcher
+    use: enough chunks for load balancing across units of uneven cost,
+    few enough that per-submission dispatch overhead stays amortized.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    chunk_size = max(1, math.ceil(len(items) / (workers * chunks_per_worker)))
+    return [items[start : start + chunk_size] for start in range(0, len(items), chunk_size)]
+
+
 def _mp_context():
     """Prefer fork: workers inherit the imported library instantly."""
     methods = multiprocessing.get_all_start_methods()
@@ -286,11 +300,7 @@ def run_series(
         units = [
             (point_index, seed, specs[point_index]) for point_index, seed in jobs
         ]
-        chunk_size = max(1, math.ceil(len(units) / (workers * _CHUNKS_PER_WORKER)))
-        chunks = [
-            units[start : start + chunk_size]
-            for start in range(0, len(units), chunk_size)
-        ]
+        chunks = chunk_evenly(units, workers)
         payloads = [(chunk, cache, horizon) for chunk in chunks]
         try:
             pickle.dumps(payloads[0])

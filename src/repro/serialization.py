@@ -3,39 +3,70 @@
 Formats are deliberately boring:
 
 * **tasks CSV** -- header ``name,release,deadline,workload`` (ms / kc);
-* **tasks JSON** -- ``{"tasks": [{"name": ..., "release": ...,
-  "deadline": ..., "workload": ...}, ...]}``;
-* **schedule JSON** -- ``{"cores": [[{"task": ..., "start": ...,
-  "end": ..., "speed": ...}, ...], ...]}``.
+* **tasks JSON** -- ``{"schema": 1, "tasks": [{"name": ...,
+  "release": ..., "deadline": ..., "workload": ...}, ...]}``;
+* **schedule JSON** -- ``{"schema": 1, "cores": [[{"task": ...,
+  "start": ..., "end": ..., "speed": ...}, ...], ...]}``.
 
-These feed the CLI (``python -m repro``) and make experiment inputs and
-outputs diffable artifacts.
+These feed the CLI (``python -m repro``), the service wire protocol
+(:mod:`repro.service.protocol`) and make experiment inputs and outputs
+diffable artifacts.
+
+Versioning and forward compatibility
+------------------------------------
+
+Writers stamp every JSON document with ``"schema": SCHEMA_VERSION``.
+Readers accept documents without the field (pre-versioning emitters) and
+documents from *newer* minor revisions under one rule: **unknown fields
+are ignored**, at the top level and inside each entry.  A reader only
+refuses a document when its ``schema`` is not a positive integer --
+required fields going missing is what actually breaks compatibility, and
+that is reported per field with an actionable message.
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from typing import Iterable, List, TextIO, Union
+from typing import Dict, Iterable, List, TextIO, Union
 
 from repro.models.task import Task, TaskSet
 from repro.schedule.timeline import CoreTimeline, ExecutionInterval, Schedule
 
 __all__ = [
+    "SCHEMA_VERSION",
     "tasks_to_json",
     "tasks_from_json",
+    "tasks_from_payload",
     "tasks_to_csv",
     "tasks_from_csv",
     "schedule_to_json",
+    "schedule_to_payload",
     "schedule_from_json",
+    "schedule_from_payload",
 ]
 
+#: Version stamped into every JSON document this module writes.  Bump on
+#: incompatible changes (renamed/removed required fields); additive fields
+#: do not need a bump thanks to the unknown-field-ignored rule.
+SCHEMA_VERSION = 1
+
 _TASK_FIELDS = ("name", "release", "deadline", "workload")
+
+
+def _check_schema(payload: Dict[str, object], what: str) -> None:
+    """Validate the optional ``schema`` stamp of a decoded document."""
+    version = payload.get("schema", SCHEMA_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        raise ValueError(
+            f"{what}: 'schema' must be a positive integer, got {version!r}"
+        )
 
 
 def tasks_to_json(tasks: Iterable[Task]) -> str:
     """Serialize tasks to a JSON string."""
     payload = {
+        "schema": SCHEMA_VERSION,
         "tasks": [
             {
                 "name": t.name,
@@ -44,18 +75,24 @@ def tasks_to_json(tasks: Iterable[Task]) -> str:
                 "workload": t.workload,
             }
             for t in tasks
-        ]
+        ],
     }
     return json.dumps(payload, indent=2)
 
 
-def tasks_from_json(text: str) -> List[Task]:
-    """Parse tasks from a JSON string (see module docstring for schema)."""
-    payload = json.loads(text)
+def tasks_from_payload(payload: Dict[str, object]) -> List[Task]:
+    """Parse tasks from a decoded JSON object (see module docstring).
+
+    Unknown fields -- at the top level and on each task entry -- are
+    ignored, so documents written by newer revisions still load.
+    """
     if not isinstance(payload, dict) or "tasks" not in payload:
         raise ValueError("expected a JSON object with a 'tasks' array")
+    _check_schema(payload, "tasks document")
     tasks: List[Task] = []
     for index, entry in enumerate(payload["tasks"]):
+        if not isinstance(entry, dict):
+            raise ValueError(f"task #{index}: expected a JSON object, got {entry!r}")
         missing = [f for f in ("release", "deadline", "workload") if f not in entry]
         if missing:
             raise ValueError(f"task #{index}: missing fields {missing}")
@@ -68,6 +105,11 @@ def tasks_from_json(text: str) -> List[Task]:
             )
         )
     return tasks
+
+
+def tasks_from_json(text: str) -> List[Task]:
+    """Parse tasks from a JSON string (see module docstring for schema)."""
+    return tasks_from_payload(json.loads(text))
 
 
 def tasks_to_csv(tasks: Iterable[Task], handle: TextIO) -> None:
@@ -101,9 +143,10 @@ def tasks_from_csv(handle: TextIO) -> List[Task]:
     return tasks
 
 
-def schedule_to_json(schedule: Schedule) -> str:
-    """Serialize a schedule to a JSON string."""
-    payload = {
+def schedule_to_payload(schedule: Schedule) -> Dict[str, object]:
+    """A schedule as the canonical JSON-ready object (schema-stamped)."""
+    return {
+        "schema": SCHEMA_VERSION,
         "cores": [
             [
                 {
@@ -115,16 +158,24 @@ def schedule_to_json(schedule: Schedule) -> str:
                 for iv in core
             ]
             for core in schedule.cores
-        ]
+        ],
     }
-    return json.dumps(payload, indent=2)
 
 
-def schedule_from_json(text: str) -> Schedule:
-    """Parse a schedule from a JSON string."""
-    payload = json.loads(text)
+def schedule_to_json(schedule: Schedule) -> str:
+    """Serialize a schedule to a JSON string."""
+    return json.dumps(schedule_to_payload(schedule), indent=2)
+
+
+def schedule_from_payload(payload: Dict[str, object]) -> Schedule:
+    """Parse a schedule from a decoded JSON object.
+
+    Unknown fields on the document and on each interval entry are ignored
+    (forward compat); missing required fields raise per-field errors.
+    """
     if not isinstance(payload, dict) or "cores" not in payload:
         raise ValueError("expected a JSON object with a 'cores' array")
+    _check_schema(payload, "schedule document")
     cores = []
     for entries in payload["cores"]:
         cores.append(
@@ -136,3 +187,8 @@ def schedule_from_json(text: str) -> Schedule:
             )
         )
     return Schedule(cores)
+
+
+def schedule_from_json(text: str) -> Schedule:
+    """Parse a schedule from a JSON string."""
+    return schedule_from_payload(json.loads(text))

@@ -1,0 +1,330 @@
+"""Micro-batching dispatcher: coalesce compatible solves, reuse the cache.
+
+Requests popped from the admission queue are grouped into *micro-batches*
+of compatible requests -- same platform fingerprint, same numeric backend
+-- in arrival order.  One batch is one dispatch to the persistent worker
+pool, where it:
+
+1. prices every request against the experiment engine's on-disk
+   :class:`~repro.experiments.cache.ResultCache` (keys from
+   :func:`repro.experiments.cache.service_request_key`, so entries are
+   shared with any other server pointed at the same directory);
+2. warms the vectorized numeric core for all cache-missing task sets in one
+   :func:`repro.core.vectorized.prefetch_block_arrays` pass;
+3. solves the misses via :func:`repro.service.protocol.execute_request`
+   and writes their results back to the cache.
+
+Oversized compatibility groups are split with the experiment engine's
+:func:`repro.experiments.parallel.chunk_evenly`, the same granularity rule
+the experiment engine's process pool uses.
+
+Backend pinning: the numeric backend is process-wide state
+(:func:`repro.core.vectorized.set_backend`), so a batch that needs a
+backend other than the process default takes an *exclusive* lock while
+default-backend batches run under a shared lock.  With the default
+single-worker pool (solver work is GIL-bound; extra threads buy nothing)
+the lock never contends, but it keeps multi-worker configurations
+byte-deterministic too.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import vectorized
+from repro.experiments.cache import (
+    ResultCache,
+    platform_fingerprint,
+    service_request_key,
+)
+from repro.experiments.parallel import chunk_evenly
+from repro.service import protocol
+from repro.service.metrics import (
+    MetricsRegistry,
+    scheme_energy_counter,
+    service_metrics,
+)
+from repro.service.queue import QueueEntry
+
+__all__ = ["Batcher", "batch_key", "form_batches"]
+
+
+def resolve_numeric(request: protocol.SolveRequest) -> str:
+    """The backend this request will be solved under."""
+    return request.numeric if request.numeric is not None else vectorized.get_backend()
+
+
+def batch_key(request: protocol.SolveRequest) -> str:
+    """Compatibility key: requests sharing it may coalesce into one batch."""
+    payload = {
+        "platform": platform_fingerprint(request.platform),
+        "numeric": resolve_numeric(request),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def form_batches(
+    entries: Sequence[QueueEntry], max_batch: int
+) -> List[List[QueueEntry]]:
+    """Group entries into compatible micro-batches, preserving arrival order.
+
+    Groups larger than ``max_batch`` are split into evenly sized chunks
+    (two batches of 25 beat 32 + 18 for tail latency).
+    """
+    if max_batch < 1:
+        raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+    groups: Dict[str, List[QueueEntry]] = {}
+    order: List[str] = []
+    for entry in entries:
+        key = batch_key(entry.request)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(entry)
+    batches: List[List[QueueEntry]] = []
+    for key in order:
+        group = groups[key]
+        if len(group) <= max_batch:
+            batches.append(group)
+        else:
+            splits = -(-len(group) // max_batch)  # ceil
+            batches.extend(chunk_evenly(group, splits, chunks_per_worker=1))
+    return batches
+
+
+# ---------------------------------------------------------------------------
+# Backend pinning: shared/exclusive lock around process-wide backend state
+# ---------------------------------------------------------------------------
+
+
+class _ReadWriteLock:
+    """Many default-backend batches, or one backend-switching batch."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+
+    def acquire_shared(self) -> None:
+        with self._cond:
+            while self._writer:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_shared(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_exclusive(self) -> None:
+        with self._cond:
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writer = True
+
+    def release_exclusive(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+_backend_lock = _ReadWriteLock()
+
+
+def _with_backend(backend: str, fn: Callable[[], object]):
+    """Run ``fn`` with the process numeric backend pinned to ``backend``."""
+    _backend_lock.acquire_shared()
+    try:
+        if vectorized.get_backend() == backend:
+            return fn()
+    finally:
+        _backend_lock.release_shared()
+    _backend_lock.acquire_exclusive()
+    try:
+        previous = vectorized.get_backend_override()
+        vectorized.set_backend(backend)
+        try:
+            return fn()
+        finally:
+            vectorized.set_backend(previous)
+    finally:
+        _backend_lock.release_exclusive()
+
+
+# ---------------------------------------------------------------------------
+# The dispatcher
+# ---------------------------------------------------------------------------
+
+
+class Batcher:
+    """Executes micro-batches on a persistent worker pool.
+
+    ``cache=None`` disables result caching (provenance reports ``"off"``).
+    The pool is created once and survives for the service's lifetime;
+    :meth:`shutdown` drains it.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        *,
+        workers: int = 1,
+        max_batch: int = 32,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else service_metrics()
+        self.max_batch = max_batch
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-solve"
+        )
+        self.dispatches = 0
+
+    # -- pool plumbing -------------------------------------------------------
+
+    def submit_batch(self, entries: List[QueueEntry]) -> "Future":
+        """Dispatch one formed batch; resolves to ``[(entry, response), ...]``."""
+        self.dispatches += 1
+        return self._pool.submit(self.run_batch, entries)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    # -- batch execution (runs on a pool thread) -----------------------------
+
+    def run_batch(
+        self, entries: List[QueueEntry]
+    ) -> List[Tuple[QueueEntry, Dict[str, object]]]:
+        if not entries:
+            return []
+        backend = resolve_numeric(entries[0].request)
+        metrics = self.metrics
+        metrics.counter("repro_batches_total").inc()
+        metrics.histogram("repro_batch_size").observe(len(entries))
+        if len(entries) > 1:
+            metrics.counter("repro_batched_requests_total").inc(len(entries))
+        if backend == "numpy" and not vectorized.HAS_NUMPY:
+            return [
+                (
+                    entry,
+                    protocol.error_response(
+                        entry.request.id,
+                        protocol.E_BAD_REQUEST,
+                        "numeric backend 'numpy' requested but numpy is not "
+                        "installed on this server",
+                    ),
+                )
+                for entry in entries
+            ]
+        return _with_backend(backend, lambda: self._run_pinned(entries, backend))
+
+    def _run_pinned(
+        self, entries: List[QueueEntry], backend: str
+    ) -> List[Tuple[QueueEntry, Dict[str, object]]]:
+        metrics = self.metrics
+        inflight = metrics.gauge("repro_inflight")
+        inflight.inc(len(entries))
+        try:
+            # Resolve schemes and price the cache for the whole batch first...
+            plans: List[Tuple[QueueEntry, object]] = []
+            misses: List[QueueEntry] = []
+            for entry in entries:
+                request = entry.request
+                try:
+                    scheme = protocol.resolve_scheme(request)
+                except protocol.ProtocolError as exc:
+                    plans.append((entry, exc))
+                    continue
+                key = (
+                    service_request_key(
+                        request.platform, request.tasks_config(), scheme, backend
+                    )
+                    if self.cache is not None
+                    else None
+                )
+                stored = self.cache.get(key) if key is not None else None
+                plans.append((entry, (scheme, key, stored)))
+                if stored is None:
+                    misses.append(entry)
+            # ... then warm the vectorized core for every miss in one pass.
+            vectorized.prefetch_block_arrays([e.request.tasks for e in misses])
+
+            out: List[Tuple[QueueEntry, Dict[str, object]]] = []
+            # Identical requests inside one batch solve once: the first
+            # occurrence computes (and writes the cache), the rest are
+            # served from this per-batch memo as hits.
+            fresh: Dict[str, Dict[str, object]] = {}
+            now = time.monotonic()
+            for entry, plan in plans:
+                request = entry.request
+                wait_ms = max(0.0, (now - entry.enqueued_at) * 1000.0)
+                metrics.histogram("repro_queue_wait_ms").observe(wait_ms)
+                if isinstance(plan, protocol.ProtocolError):
+                    metrics.counter("repro_errors_total").inc()
+                    out.append(
+                        (entry, protocol.error_response(request.id, plan.code, plan.message))
+                    )
+                    continue
+                scheme, key, stored = plan
+                if stored is None and key is not None:
+                    stored = fresh.get(key)
+                start = time.perf_counter()
+                try:
+                    if stored is not None:
+                        result, cache_state = stored, "hit"
+                        metrics.counter("repro_cache_hits_total").inc()
+                    else:
+                        result = protocol.execute_request(request)
+                        cache_state = "miss" if key is not None else "off"
+                        if key is not None:
+                            metrics.counter("repro_cache_misses_total").inc()
+                            self.cache.put(key, result)
+                            fresh[key] = result
+                except protocol.ProtocolError as exc:
+                    metrics.counter("repro_errors_total").inc()
+                    out.append(
+                        (entry, protocol.error_response(request.id, exc.code, exc.message))
+                    )
+                    continue
+                except Exception as exc:  # one bad solve must not kill the batch
+                    metrics.counter("repro_errors_total").inc()
+                    out.append(
+                        (
+                            entry,
+                            protocol.error_response(
+                                request.id,
+                                protocol.E_INTERNAL,
+                                f"{type(exc).__name__}: {exc}",
+                            ),
+                        )
+                    )
+                    continue
+                solve_ms = (time.perf_counter() - start) * 1000.0
+                metrics.histogram("repro_solve_latency_ms").observe(solve_ms)
+                metrics.counter("repro_responses_total").inc()
+                scheme_energy_counter(metrics, scheme).inc(result["energy"]["total"])
+                out.append(
+                    (
+                        entry,
+                        protocol.ok_response(
+                            request.id,
+                            result,
+                            timing={"queue_ms": wait_ms, "solve_ms": solve_ms},
+                            provenance={
+                                "backend": backend,
+                                "cache": cache_state,
+                                "batch_size": len(entries),
+                            },
+                        ),
+                    )
+                )
+            return out
+        finally:
+            inflight.dec(len(entries))

@@ -1,0 +1,386 @@
+"""The asyncio solve server: admission -> micro-batching -> responses.
+
+:class:`SolveService` is transport-independent: it owns the admission
+queue, the batcher and the metrics registry, and exposes
+:meth:`SolveService.handle_message` (one decoded request object in, one
+response object out).  Transports are thin:
+
+* :meth:`SolveService.serve_tcp` -- JSON-lines over TCP; each connection
+  may pipeline any number of requests, responses are correlated by ``id``
+  (they may come back out of order).  A connection whose first bytes look
+  like ``GET /metrics`` instead receives a minimal HTTP response with the
+  Prometheus-style text page, so the same port serves scrapers.
+* :meth:`SolveService.serve_stdio` -- the same framing over
+  stdin/stdout for subprocess embedding.
+
+Lifecycle: requests admitted by the queue are *guaranteed* a terminal
+response.  On SIGTERM (see :func:`run_server`) the service stops
+admitting (new solves get ``DRAINING``), finishes every queued and
+in-flight request, flushes the responses, closes connections and returns
+-- the clean-drain contract the CI smoke job asserts.
+
+The dispatch loop implements micro-batching: it sleeps one
+``batch_window_ms`` after waking so concurrent arrivals coalesce, then
+pops the queue and hands compatibility-grouped batches to the
+:class:`~repro.service.batcher.Batcher`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from typing import Dict, Optional, Set
+
+from repro.experiments.cache import ResultCache
+from repro.service import protocol
+from repro.service.batcher import Batcher, form_batches
+from repro.service.metrics import MetricsRegistry, service_metrics
+from repro.service.queue import AdmissionQueue, QueueEntry
+
+__all__ = ["SolveService", "run_server"]
+
+
+class SolveService:
+    """Queue + batcher + metrics behind one ``handle_message`` front door."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 256,
+        shed_threshold: float = 0.8,
+        batch_window_ms: float = 10.0,
+        max_batch: int = 32,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.metrics = service_metrics(metrics)
+        self.queue = AdmissionQueue(capacity, shed_threshold=shed_threshold)
+        self.batcher = Batcher(
+            cache, self.metrics, workers=workers, max_batch=max_batch
+        )
+        self.batch_window_ms = batch_window_ms
+        self.max_batch = max_batch
+        #: One dispatch pops at most this many entries; several batches may
+        #: form from one pop.
+        self.pop_limit = max(max_batch, workers * max_batch)
+        self._draining = False
+        self._wake: Optional[asyncio.Event] = None
+        self._dispatch_task: Optional[asyncio.Task] = None
+        self._inflight: Set[asyncio.Task] = set()
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self.queue.on_enqueue = self._on_enqueue
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the dispatch loop (idempotent)."""
+        if self._dispatch_task is not None:
+            return
+        self._wake = asyncio.Event()
+        self._dispatch_task = asyncio.create_task(self._dispatch_loop())
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Stop admitting, finish queued + in-flight work, stop the pool."""
+        self._draining = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._dispatch_task is not None:
+            await self._dispatch_task
+            self._dispatch_task = None
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        self.batcher.shutdown()
+
+    def _on_enqueue(self) -> None:
+        if self._wake is not None:
+            self._wake.set()
+
+    def _update_queue_gauges(self) -> None:
+        self.metrics.gauge("repro_queue_depth").set(self.queue.depth)
+        self.metrics.gauge("repro_degraded").set(1.0 if self.queue.degraded else 0.0)
+
+    # -- request handling ----------------------------------------------------
+
+    async def handle_message(self, wire: Dict[str, object]) -> Optional[Dict[str, object]]:
+        """One decoded request object -> one response object."""
+        request_id = wire.get("id") if isinstance(wire, dict) else None
+        kind = wire.get("kind", "solve") if isinstance(wire, dict) else None
+        if kind == "ping":
+            return protocol.ping_response(request_id)
+        if kind == "metrics":
+            return protocol.ok_response(
+                request_id,
+                {
+                    "text": self.metrics.render_text(),
+                    "snapshot": self.metrics.snapshot(),
+                },
+            )
+        if kind == "cancel":
+            target = wire.get("target")
+            hit = self.queue.cancel(str(target)) if target is not None else False
+            if hit and self._wake is not None:
+                self._wake.set()
+            return protocol.ok_response(request_id, {"cancelled": hit})
+        if kind == "drain":
+            asyncio.create_task(self.drain())
+            return protocol.ok_response(request_id, {"draining": True})
+        if kind != "solve":
+            return protocol.error_response(
+                request_id,
+                protocol.E_BAD_REQUEST,
+                f"unknown request kind {kind!r}; valid: solve, ping, metrics, "
+                "cancel, drain",
+            )
+        return await self._handle_solve(wire, request_id)
+
+    async def _handle_solve(
+        self, wire: Dict[str, object], request_id
+    ) -> Dict[str, object]:
+        self.metrics.counter("repro_requests_total").inc()
+        try:
+            request = protocol.request_from_wire(wire)
+        except protocol.ProtocolError as exc:
+            self.metrics.counter("repro_errors_total").inc()
+            return protocol.error_response(request_id, exc.code, exc.message)
+        if self._draining:
+            self.metrics.counter("repro_errors_total").inc()
+            return protocol.error_response(
+                request.id,
+                protocol.E_DRAINING,
+                "server is draining and no longer admits solve requests",
+            )
+        admit = self.queue.offer(request)
+        if not admit.admitted:
+            self.metrics.counter("repro_errors_total").inc()
+            if admit.code == protocol.E_QUEUE_FULL:
+                self.metrics.counter("repro_rejected_queue_full_total").inc()
+            else:
+                self.metrics.counter("repro_rejected_shed_total").inc()
+            self._update_queue_gauges()
+            return protocol.error_response(
+                request.id, admit.code, admit.message, admit.retry_after_ms
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        admit.entry.context = future
+        self._update_queue_gauges()
+        return await future
+
+    # -- dispatch loop -------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._wake is not None
+        while True:
+            if self.queue.depth == 0:
+                if self._draining:
+                    break
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=0.1)
+                except asyncio.TimeoutError:
+                    continue
+                self._wake.clear()
+                continue
+            # Coalescing window: let concurrent arrivals pile up so
+            # compatible requests share a batch.
+            if self.batch_window_ms > 0.0:
+                await asyncio.sleep(self.batch_window_ms / 1000.0)
+            ready, expired, cancelled = self.queue.pop_batch(self.pop_limit)
+            self._update_queue_gauges()
+            for entry in expired:
+                self.metrics.counter("repro_deadline_expired_total").inc()
+                self.metrics.counter("repro_errors_total").inc()
+                self._resolve(
+                    entry,
+                    protocol.error_response(
+                        entry.request.id,
+                        protocol.E_DEADLINE_EXCEEDED,
+                        f"request exceeded its deadline of "
+                        f"{entry.request.timeout_ms:g} ms before dispatch",
+                    ),
+                )
+            for entry in cancelled:
+                self.metrics.counter("repro_cancelled_total").inc()
+                self.metrics.counter("repro_errors_total").inc()
+                self._resolve(
+                    entry,
+                    protocol.error_response(
+                        entry.request.id,
+                        protocol.E_CANCELLED,
+                        "request was cancelled before dispatch",
+                    ),
+                )
+            for batch in form_batches(ready, self.max_batch):
+                batch_future = asyncio.wrap_future(self.batcher.submit_batch(batch))
+                task = asyncio.create_task(self._finish_batch(batch_future))
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+
+    async def _finish_batch(self, batch_future: "asyncio.Future") -> None:
+        for entry, response in await batch_future:
+            self._resolve(entry, response)
+
+    @staticmethod
+    def _resolve(entry: QueueEntry, response: Dict[str, object]) -> None:
+        future = entry.context
+        if isinstance(future, asyncio.Future) and not future.done():
+            future.set_result(response)
+
+    # -- transports ----------------------------------------------------------
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
+        """Start listening; returns the asyncio server (bound port via
+        ``server.sockets[0].getsockname()``)."""
+        await self.start()
+        return await asyncio.start_server(self._handle_connection, host, port)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        write_lock = asyncio.Lock()
+        tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if stripped.startswith(b"GET "):
+                    await self._serve_http_metrics(writer)
+                    break
+                task = asyncio.create_task(
+                    self._respond_line(stripped, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _respond_line(
+        self,
+        raw: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            wire = protocol.decode_line(raw)
+        except protocol.ProtocolError as exc:
+            self.metrics.counter("repro_errors_total").inc()
+            response = protocol.error_response(None, exc.code, exc.message)
+        else:
+            response = await self.handle_message(wire)
+        if response is None:
+            return
+        async with write_lock:
+            if writer.is_closing():
+                return
+            try:
+                writer.write(protocol.encode_line(response))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_http_metrics(self, writer: asyncio.StreamWriter) -> None:
+        body = self.metrics.render_text().encode("utf-8")
+        head = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def serve_stdio(self, instream=None, outstream=None) -> None:
+        """JSON-lines over stdin/stdout until EOF, then drain."""
+        instream = instream if instream is not None else sys.stdin
+        outstream = outstream if outstream is not None else sys.stdout
+        await self.start()
+        loop = asyncio.get_running_loop()
+        out_lock = asyncio.Lock()
+        tasks: Set[asyncio.Task] = set()
+
+        async def respond(raw: str) -> None:
+            try:
+                wire = protocol.decode_line(raw.encode("utf-8"))
+            except protocol.ProtocolError as exc:
+                response = protocol.error_response(None, exc.code, exc.message)
+            else:
+                response = await self.handle_message(wire)
+            if response is None:
+                return
+            async with out_lock:
+                outstream.write(protocol.encode_line(response).decode("utf-8"))
+                outstream.flush()
+
+        while True:
+            line = await loop.run_in_executor(None, instream.readline)
+            if not line:
+                break
+            if not line.strip():
+                continue
+            task = asyncio.create_task(respond(line))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        await self.drain()
+
+    async def close_connections(self) -> None:
+        for writer in list(self._connections):
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        self._connections.clear()
+
+
+async def run_server(
+    service: SolveService,
+    host: str = "127.0.0.1",
+    port: int = 7070,
+    *,
+    install_signal_handlers: bool = True,
+    announce=print,
+) -> None:
+    """Serve TCP until SIGTERM/SIGINT, then drain gracefully and return."""
+    server = await service.serve_tcp(host, port)
+    bound = server.sockets[0].getsockname()
+    announce(f"repro service listening on {bound[0]}:{bound[1]}")
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    if install_signal_handlers:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        announce("repro service draining...")
+        server.close()
+        await server.wait_closed()
+        await service.drain()
+        await service.close_connections()
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.remove_signal_handler(signum)
+        announce("repro service drained cleanly")

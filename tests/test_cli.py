@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import contextlib
 import io
 import json
 import os
+import threading
 
 import pytest
 
@@ -252,3 +254,92 @@ class TestBenchAndCache:
         assert "removed" in capsys.readouterr().out
         assert main(["cache", "stats", "--dir", cache_dir]) == 0
         assert "entries:    0" in capsys.readouterr().out
+
+
+class TestGlobalFlags:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_json_errors_wraps_command_failures(self, capsys):
+        assert main(["solve", "--json-errors"]) == 2  # no --tasks and no --demo
+        envelope = json.loads(capsys.readouterr().err.strip().splitlines()[-1])
+        assert envelope["error"]["code"] == "CLI_ERROR"
+        assert "--tasks" in envelope["error"]["message"]
+
+    def test_json_errors_wraps_parse_failures(self, capsys):
+        assert main(["--json-errors", "frobnicate"]) == 2
+        envelope = json.loads(capsys.readouterr().err.strip().splitlines()[-1])
+        assert envelope["error"]["code"] == "CLI_ERROR"
+
+    def test_without_flag_systemexit_propagates(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+@contextlib.contextmanager
+def background_server(**service_kwargs):
+    """A real TCP solve server on an ephemeral port, in a side thread."""
+    import asyncio
+
+    from repro.service.server import SolveService
+
+    started = threading.Event()
+    state = {}
+
+    def serve():
+        async def runner():
+            service = SolveService(**service_kwargs)
+            server = await service.serve_tcp("127.0.0.1", 0)
+            state["port"] = server.sockets[0].getsockname()[1]
+            state["loop"] = asyncio.get_running_loop()
+            state["stop"] = asyncio.Event()
+            started.set()
+            await state["stop"].wait()
+            server.close()
+            await server.wait_closed()
+            await service.drain()
+
+        asyncio.run(runner())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert started.wait(10.0), "server thread failed to start"
+    try:
+        yield state["port"]
+    finally:
+        state["loop"].call_soon_threadsafe(state["stop"].set)
+        thread.join(10.0)
+
+
+class TestServiceCli:
+    def test_submit_demo_local(self, capsys):
+        assert main(["submit", "--demo", "--local", "--n", "24", "--clients", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict:         OK" in out
+
+    def test_submit_single_request_to_running_server(self, capsys, task_csv):
+        with background_server() as port:
+            code = main(
+                ["submit", "--host", "127.0.0.1", "--port", str(port),
+                 "--tasks", task_csv]
+            )
+        assert code == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["ok"] is True
+        assert response["result"]["scheme"] == "common-release-overhead"
+
+    def test_serve_stats_prints_metrics_page(self, capsys):
+        with background_server() as port:
+            assert (
+                main(["serve", "--stats", "--host", "127.0.0.1",
+                      "--port", str(port)])
+                == 0
+            )
+        out = capsys.readouterr().out
+        assert "# TYPE repro_requests_total counter" in out
+        assert "repro_queue_depth" in out

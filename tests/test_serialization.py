@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import io
+import json
 
 import pytest
 from hypothesis import given, strategies as st
@@ -10,10 +11,14 @@ from hypothesis import given, strategies as st
 from repro.models import Task
 from repro.schedule import ExecutionInterval, Schedule
 from repro.serialization import (
+    SCHEMA_VERSION,
     schedule_from_json,
+    schedule_from_payload,
     schedule_to_json,
+    schedule_to_payload,
     tasks_from_csv,
     tasks_from_json,
+    tasks_from_payload,
     tasks_to_csv,
     tasks_to_json,
 )
@@ -101,3 +106,44 @@ class TestScheduleJson:
     def test_rejects_wrong_shape(self):
         with pytest.raises(ValueError, match="cores"):
             schedule_from_json('{"nope": []}')
+
+
+class TestSchemaVersioning:
+    """The schema stamp and the unknown-field-ignored forward-compat rule."""
+
+    def test_writers_stamp_schema(self):
+        assert json.loads(tasks_to_json(TASKS))["schema"] == SCHEMA_VERSION
+        sched = Schedule.from_assignments([[ExecutionInterval("a", 0.0, 1.0, 10.0)]])
+        assert schedule_to_payload(sched)["schema"] == SCHEMA_VERSION
+
+    def test_legacy_documents_without_schema_accepted(self):
+        payload = json.loads(tasks_to_json(TASKS))
+        del payload["schema"]
+        assert tasks_from_payload(payload) == TASKS
+
+    def test_unknown_fields_ignored_everywhere(self):
+        payload = json.loads(tasks_to_json(TASKS))
+        payload["generator"] = "repro vNext"  # top level
+        for entry in payload["tasks"]:
+            entry["priority"] = 7  # per entry
+        assert tasks_from_payload(payload) == TASKS
+
+    def test_unknown_fields_ignored_on_schedules(self):
+        sched = Schedule.from_assignments([[ExecutionInterval("a", 0.0, 1.0, 10.0)]])
+        payload = schedule_to_payload(sched)
+        payload["annotations"] = {"note": "from a newer writer"}
+        payload["cores"][0][0]["color"] = "red"
+        restored = schedule_from_payload(payload)
+        assert restored.busy_union() == sched.busy_union()
+
+    @pytest.mark.parametrize("bad", ["2", 0, -1, True, None])
+    def test_bad_schema_rejected(self, bad):
+        payload = json.loads(tasks_to_json(TASKS))
+        payload["schema"] = bad
+        with pytest.raises(ValueError, match="schema"):
+            tasks_from_payload(payload)
+
+    def test_newer_schema_integer_accepted(self):
+        payload = json.loads(tasks_to_json(TASKS))
+        payload["schema"] = SCHEMA_VERSION + 1  # additive revision
+        assert tasks_from_payload(payload) == TASKS

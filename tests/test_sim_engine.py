@@ -7,6 +7,8 @@ import pytest
 from repro.baselines import RaceToIdlePolicy
 from repro.energy import SleepPolicy
 from repro.models import CorePowerModel, MemoryModel, Platform, Task
+from repro.schedule import ExecutionInterval
+from repro.schedule.validation import FeasibilityError
 from repro.sim import CoreAllocator, simulate
 
 
@@ -112,3 +114,49 @@ class TestSimulate:
                 [Task(0.0, 1.0, 100.0, "A")],  # needs 100 MHz
                 slow,
             )
+
+
+class ScriptedPolicy:
+    """Test double: replays fixed (core, interval) executions at the end."""
+
+    memory_policy = SleepPolicy.ALWAYS
+    core_policy = SleepPolicy.ALWAYS
+
+    def __init__(self, executions):
+        self._executions = list(executions)
+
+    def on_arrival(self, now, tasks):
+        pass
+
+    def run_until(self, now, until):
+        out, self._executions = self._executions, []
+        return out
+
+
+class TestSimulateFailurePaths:
+    """Misbehaving policies must fail loudly, with actionable messages."""
+
+    def test_interval_past_deadline_rejected(self, platform):
+        policy = ScriptedPolicy([(0, ExecutionInterval("A", 0.0, 12.0, 100.0))])
+        with pytest.raises(FeasibilityError, match=r"ends at 12.0 after deadline 10.0"):
+            simulate(policy, [Task(0.0, 10.0, 1200.0, "A")], platform)
+
+    def test_overlapping_intervals_on_one_core_rejected(self, platform):
+        policy = ScriptedPolicy(
+            [
+                (0, ExecutionInterval("A", 0.0, 5.0, 100.0)),
+                (0, ExecutionInterval("A", 4.0, 9.0, 100.0)),
+            ]
+        )
+        with pytest.raises(ValueError, match="overlapping intervals on one core"):
+            simulate(policy, [Task(0.0, 10.0, 900.0, "A")], platform)
+
+    def test_empty_policy_output_rejected(self, platform):
+        policy = ScriptedPolicy([])
+        with pytest.raises(RuntimeError, match="policy emitted no executions"):
+            simulate(policy, [Task(0.0, 10.0, 100.0, "A")], platform)
+
+    def test_under_execution_rejected(self, platform):
+        policy = ScriptedPolicy([(0, ExecutionInterval("A", 0.0, 5.0, 100.0))])
+        with pytest.raises(FeasibilityError, match="executed"):
+            simulate(policy, [Task(0.0, 10.0, 1000.0, "A")], platform)
