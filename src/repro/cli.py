@@ -412,6 +412,40 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if response.get("ok") else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    # Lazy import: the lint pass is cold-path tooling and must not tax
+    # `repro solve` startup.
+    from repro.lint import baseline as lint_baseline
+    from repro.lint import runner as lint_runner
+
+    if args.list_rules:
+        from repro.lint.engine import rule_catalogue
+
+        for entry in rule_catalogue():
+            print(
+                f"{entry['id']}  {entry['family']:<12} "
+                f"[{entry['severity']}] {entry['description']}"
+            )
+        return 0
+
+    try:
+        report = lint_runner.run_check(
+            args.paths or None,
+            rules=args.rules.split(",") if args.rules else None,
+            baseline_path=args.baseline,
+            update_baseline=args.write_baseline,
+        )
+    except (ValueError, lint_baseline.BaselineError) as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(lint_runner.render_json(report))
+    else:
+        print(lint_runner.render_text(report))
+    return report.exit_code
+
+
 def _add_numeric_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--numeric", choices=["scalar", "numpy"], default=None,
@@ -624,7 +658,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_numeric_arg(p_submit)
     p_submit.set_defaults(func=_cmd_submit)
 
-    for sub_parser in set(sub.choices.values()):
+    p_check = sub.add_parser(
+        "check",
+        help="run the project's static invariant checks (docs/STATIC_ANALYSIS.md)",
+    )
+    p_check.add_argument(
+        "paths", nargs="*",
+        help="files/directories to analyze (default: src/repro and tests)",
+    )
+    p_check.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (json is the CI artifact schema)",
+    )
+    p_check.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids or families (e.g. DET001,concurrency)",
+    )
+    p_check.add_argument(
+        "--baseline", default=None,
+        help="baseline file (default <root>/.repro-lint-baseline.json)",
+    )
+    p_check.add_argument(
+        "--write-baseline", action="store_true", dest="write_baseline",
+        help="accept the current findings as the new baseline",
+    )
+    p_check.add_argument(
+        "--list-rules", action="store_true", dest="list_rules",
+        help="print the rule catalogue and exit",
+    )
+    p_check.set_defaults(func=_cmd_check)
+
+    # Aliased subcommands share parser objects; dedup by id while keeping
+    # registration order so --help and error text stay deterministic.
+    unique_parsers = list({id(p): p for p in sub.choices.values()}.values())
+    for sub_parser in unique_parsers:
         sub_parser.add_argument(
             "--json-errors", action="store_true", dest="json_errors",
             help=argparse.SUPPRESS,

@@ -46,6 +46,7 @@ from repro.core import vectorized
 from repro.models.platform import Platform
 from repro.models.task import Task, TaskSet
 from repro.schedule.timeline import ExecutionInterval, Schedule
+from repro.units import UJ, unit
 from repro.utils.solvers import (
     bisect_increasing,
     bisect_increasing_batch,
@@ -155,6 +156,7 @@ def _best_duration(task: Task, platform: Platform, window: float) -> float:
     return min(max(task.workload / core.s0(task), task.workload / core.s_up), window)
 
 
+@unit(UJ)
 def block_energy(
     tasks: TaskSet, platform: Platform, start: float, end: float
 ) -> float:

@@ -32,6 +32,7 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.models.platform import Platform
 from repro.schedule.timeline import Schedule, complement_within, total_length
+from repro.units import UJ, unit
 
 __all__ = ["SleepPolicy", "EnergyBreakdown", "account", "memory_energy_for_gaps"]
 
@@ -78,19 +79,23 @@ class EnergyBreakdown:
     memory_busy_time: float
 
     @property
+    @unit(UJ)
     def core_total(self) -> float:
         return self.core_dynamic + self.core_static_active + self.core_idle
 
     @property
+    @unit(UJ)
     def memory_total(self) -> float:
         return self.memory_active + self.memory_idle
 
     @property
+    @unit(UJ)
     def memory_static_total(self) -> float:
         """Total memory leakage-related energy (what Fig. 6a reports)."""
         return self.memory_total
 
     @property
+    @unit(UJ)
     def total(self) -> float:
         """System-wide energy, the SDEM objective."""
         return self.core_total + self.memory_total

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.schedule.timeline import Schedule
+from repro.units import UJ, unit
 
 __all__ = ["SwitchingReport", "count_speed_switches", "switching_energy"]
 
@@ -41,6 +42,7 @@ class SwitchingReport:
         return sum(self.switches_per_core)
 
     @property
+    @unit(UJ)
     def total_energy(self) -> float:
         """Total switching energy in uJ."""
         return self.total_switches * self.energy_per_switch

@@ -360,6 +360,9 @@ def write_bench_json(report: Dict[str, object], path: str) -> None:
     """
     trajectory = _load_trajectory(path)
     stamped = dict(report)
+    # Report metadata, not result rows: the trajectory file is a wall-clock
+    # performance history, so the timestamp is the point.
+    # repro-lint: allow[DET001] generated_at is bench-report metadata
     stamped["generated_at"] = datetime.now(timezone.utc).isoformat(
         timespec="seconds"
     )

@@ -1,0 +1,148 @@
+"""Finding baseline: CI fails on *new* violations, not accepted legacy.
+
+The baseline file (``.repro-lint-baseline.json``, checked in at the repo
+root) records the fingerprints of findings the team has explicitly
+accepted.  ``repro check`` subtracts them before deciding the exit code,
+so introducing a violation fails CI while a pre-existing, reviewed one
+does not block unrelated work.
+
+Fingerprints come from :func:`repro.lint.engine._fingerprint`:
+``sha256(rule | path | stripped source line | occurrence index)``.  They
+survive edits elsewhere in the file but die with the offending line --
+fixing a baselined finding makes its entry *stale*, and ``repro check``
+reports stale entries so the file shrinks monotonically instead of
+fossilising.
+
+The file format is deliberately boring and diff-friendly::
+
+    {
+      "schema": 1,
+      "tool": "repro-lint",
+      "entries": [
+        {"fingerprint": "...", "rule": "DET001", "path": "...", "message": "..."}
+      ]
+    }
+
+Only ``fingerprint`` participates in matching; the rest is for humans
+reviewing the diff when the baseline changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.engine import Finding
+
+__all__ = [
+    "BASELINE_DEFAULT",
+    "BASELINE_SCHEMA",
+    "Baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_DEFAULT = ".repro-lint-baseline.json"
+BASELINE_SCHEMA = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+@dataclass
+class Baseline:
+    """The set of accepted finding fingerprints."""
+
+    path: str = BASELINE_DEFAULT
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Dict[str, object]]]:
+        """Split findings into (new, suppressed) and list stale entries.
+
+        *new* findings are absent from the baseline; *suppressed* ones
+        matched an entry; *stale* entries matched nothing this run and
+        should be pruned with ``--write-baseline``.
+        """
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        matched: set[str] = set()
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                suppressed.append(finding)
+                matched.add(finding.fingerprint)
+            else:
+                new.append(finding)
+        stale = [
+            entry
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in matched
+        ]
+        return new, suppressed, stale
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline.
+
+    A malformed file raises :class:`BaselineError` -- silently treating a
+    corrupt baseline as empty would fail CI with every legacy finding and
+    bury the actual problem.
+    """
+    if not os.path.exists(path):
+        return Baseline(path=path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("tool") != "repro-lint":
+        raise BaselineError(
+            f"{path} is not a repro-lint baseline (missing tool marker)"
+        )
+    schema = payload.get("schema")
+    if schema != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"{path} has schema {schema!r}; this build reads schema "
+            f"{BASELINE_SCHEMA} (regenerate with --write-baseline)"
+        )
+    entries: Dict[str, Dict[str, object]] = {}
+    for entry in payload.get("entries", []):
+        if not isinstance(entry, dict):
+            continue
+        fingerprint = entry.get("fingerprint")
+        if isinstance(fingerprint, str) and fingerprint:
+            entries[fingerprint] = entry
+    return Baseline(path=path, entries=entries)
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> int:
+    """Write the current findings as the new accepted baseline.
+
+    Returns the number of entries written.  Entries are sorted by
+    (path, line, rule) so regeneration produces reviewable diffs.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "tool": "repro-lint",
+        "entries": [
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in ordered
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(ordered)

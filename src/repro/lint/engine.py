@@ -1,0 +1,484 @@
+"""The lint engine: source model, rule registry, walker, fingerprints.
+
+Design
+------
+
+One :class:`SourceModule` per analyzed file carries the parsed AST (with
+parent links), the dotted module name (``repro.service.queue``,
+``tests.test_cli``) and the raw source lines.  A :class:`Project` bundles
+every module so cross-module rules (lock-ordering graphs, the unit-tag
+registry) see the whole picture in one pass.
+
+Rules subclass :class:`Rule` and register with :func:`register`.  A rule
+declares *scope* -- which dotted-package prefixes it applies to and
+whether it runs on tests -- so "enforced hardest in ``experiments.cache``"
+style policies live next to the check itself rather than in CLI flags.
+
+Suppression is two-tier:
+
+* inline pragma ``# repro-lint: allow[RULE_ID] reason`` on the finding's
+  line (or the line above) for intentional, explained exceptions;
+* the baseline file (:mod:`repro.lint.baseline`) for accepted legacy
+  findings, keyed by a line-number-insensitive fingerprint so unrelated
+  edits do not invalidate it.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "SourceModule",
+    "Project",
+    "Rule",
+    "register",
+    "load_rules",
+    "all_rules",
+    "rule_catalogue",
+    "analyze_paths",
+    "iter_python_files",
+    "module_name_for",
+    "dotted_call_name",
+    "import_aliases",
+    "parent_chain",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: ``# repro-lint: allow[DET001] optional reason`` (also ``allow[*]``).
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*allow\[([A-Z0-9*]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    fingerprint: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}:{self.col}"
+        text = f"{location}: {self.rule} [{self.severity}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+class SourceModule:
+    """One parsed Python file plus the metadata rules key on."""
+
+    def __init__(self, path: str, rel: str, name: str, source: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.name = name
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.parse_error = exc
+            return
+        self._link_parents(self.tree)
+        self.aliases: Dict[str, str] = import_aliases(self.tree)
+
+    @staticmethod
+    def _link_parents(tree: ast.AST) -> None:
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                child.repro_parent = parent  # type: ignore[attr-defined]
+
+    @property
+    def is_test(self) -> bool:
+        return self.name.startswith("tests.") or self.name == "tests"
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def allowed_by_pragma(self, rule_id: str, line: int) -> bool:
+        """True when an allow-pragma on the line (or the one above) names
+        ``rule_id`` or ``*``."""
+        for candidate in (line, line - 1):
+            for match in _PRAGMA.finditer(self.line_text(candidate)):
+                if match.group(1) in (rule_id, "*"):
+                    return True
+        return False
+
+
+class Project:
+    """Every analyzed module, plus per-run shared rule state."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules: List[SourceModule] = list(modules)
+        #: Scratch space keyed by rule id for cross-module analyses.
+        self.shared: Dict[str, object] = {}
+
+    def module(self, name: str) -> Optional[SourceModule]:
+        for mod in self.modules:
+            if mod.name == name:
+                return mod
+        return None
+
+
+class Rule:
+    """Base class: subclass, set the metadata, implement ``check_module``
+    (per-file rules) or override ``run`` (whole-project rules)."""
+
+    id: str = ""
+    family: str = ""
+    severity: str = SEVERITY_ERROR
+    description: str = ""
+    hint: str = ""
+    #: Dotted-name prefixes the rule applies to (None = every module).
+    packages: Optional[Tuple[str, ...]] = None
+    #: Whether the rule also runs on ``tests.*`` modules.
+    include_tests: bool = False
+
+    def applies_to(self, module: SourceModule) -> bool:
+        if module.is_test:
+            return self.include_tests
+        if self.packages is None:
+            return True
+        return any(
+            module.name == p or module.name.startswith(p + ".")
+            for p in self.packages
+        )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.tree is None or not self.applies_to(module):
+                continue
+            yield from self.check_module(module, project)
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        message: str,
+        *,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.rel,
+            line=line,
+            col=col,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+class ParseErrorRule(Rule):
+    """ENG001: a target file failed to parse (always on, never scoped)."""
+
+    id = "ENG001"
+    family = "engine"
+    severity = SEVERITY_ERROR
+    description = "target file contains a Python syntax error"
+    hint = "fix the syntax error; unparseable files cannot be analyzed"
+    include_tests = True
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if module.parse_error is None:
+                continue
+            exc = module.parse_error
+            yield Finding(
+                rule=self.id,
+                severity=self.severity,
+                path=module.rel,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"syntax error: {exc.msg}",
+                hint=self.hint,
+            )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+_RULE_MODULES = (
+    "repro.lint.rules_determinism",
+    "repro.lint.rules_backend",
+    "repro.lint.rules_concurrency",
+    "repro.lint.rules_units",
+)
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    existing = _REGISTRY.get(rule_cls.id)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(f"duplicate rule id {rule_cls.id!r}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+register(ParseErrorRule)
+
+
+def load_rules() -> None:
+    """Import every rule module (idempotent); fills the registry."""
+    import importlib
+
+    for name in _RULE_MODULES:
+        importlib.import_module(name)
+
+
+def all_rules(only: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate the registered rules, optionally filtered by id/family.
+
+    ``only`` entries match rule ids (``DET001``) or families
+    (``determinism``), case-insensitively.  ENG001 always runs.
+    """
+    load_rules()
+    selected: List[Rule] = []
+    wanted = {token.strip().lower() for token in only or [] if token.strip()}
+    if only is not None and not wanted:
+        raise ValueError("--rules selected nothing: empty rule list")
+    unknown = set(wanted)
+    for rule_id in sorted(_REGISTRY):
+        rule = _REGISTRY[rule_id]()
+        keys = {rule.id.lower(), rule.family.lower()}
+        if not wanted or keys & wanted or rule.id == ParseErrorRule.id:
+            selected.append(rule)
+        unknown -= keys
+    if unknown:
+        valid = {cls.id for cls in _REGISTRY.values()} | {
+            cls.family for cls in _REGISTRY.values()
+        }
+        raise ValueError(
+            f"unknown rule selector(s): {', '.join(sorted(unknown))}; "
+            "valid ids/families: " + ", ".join(sorted(valid))
+        )
+    return selected
+
+
+def rule_catalogue() -> List[Dict[str, str]]:
+    """Id/family/severity/description for every registered rule."""
+    load_rules()
+    return [
+        {
+            "id": rule_cls.id,
+            "family": rule_cls.family,
+            "severity": rule_cls.severity,
+            "description": rule_cls.description,
+        }
+        for rule_cls in (_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Source discovery and module construction
+# ---------------------------------------------------------------------------
+
+
+def iter_python_files(target: str) -> Iterator[str]:
+    """Yield ``.py`` files under ``target`` (a file or a directory tree)."""
+    if os.path.isfile(target):
+        if target.endswith(".py"):
+            yield target
+        return
+    for dirpath, dirnames, filenames in os.walk(target):
+        dirnames[:] = sorted(
+            d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+        )
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def module_name_for(path: str, root: str) -> str:
+    """Dotted module name of ``path``: the part after a ``src/`` or repo
+    root, with ``__init__`` collapsed onto the package."""
+    rel = os.path.relpath(path, root)
+    parts = rel.replace(os.sep, "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else os.path.basename(path)
+
+
+def _read_source(path: str) -> str:
+    with tokenize.open(path) as handle:  # honors PEP 263 coding cookies
+        return handle.read()
+
+
+def analyze_paths(
+    targets: Sequence[str],
+    *,
+    root: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[Project, List[Finding]]:
+    """Parse every file under ``targets`` and run the rules.
+
+    Returns ``(project, findings)``; pragma-suppressed findings are
+    already removed, baseline filtering is the caller's business.
+    """
+    modules: List[SourceModule] = []
+    seen: set[str] = set()
+    for target in targets:
+        for path in iter_python_files(target):
+            real = os.path.realpath(path)
+            if real in seen:
+                continue
+            seen.add(real)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            modules.append(
+                SourceModule(
+                    path=path,
+                    rel=rel,
+                    name=module_name_for(path, root),
+                    source=_read_source(path),
+                )
+            )
+    project = Project(modules)
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    by_rel: Dict[str, SourceModule] = {m.rel: m for m in modules}
+    for rule in active:
+        for finding in rule.run(project):
+            module = by_rel.get(finding.path)
+            if module is not None and module.allowed_by_pragma(
+                finding.rule, finding.line
+            ):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return project, _fingerprint(findings, by_rel)
+
+
+def _fingerprint(
+    findings: List[Finding], modules: Dict[str, SourceModule]
+) -> List[Finding]:
+    """Attach line-number-insensitive fingerprints.
+
+    ``sha256(rule | path | stripped source line | occurrence index)``:
+    stable under insertions above the finding, distinct for repeated
+    identical lines.
+    """
+    occurrence: Dict[Tuple[str, str, str], int] = {}
+    out: List[Finding] = []
+    for finding in findings:
+        module = modules.get(finding.path)
+        text = module.line_text(finding.line).strip() if module else ""
+        key = (finding.rule, finding.path, text)
+        index = occurrence.get(key, 0)
+        occurrence[key] = index + 1
+        digest = hashlib.sha256(
+            "|".join([finding.rule, finding.path, text, str(index)]).encode("utf-8")
+        ).hexdigest()[:16]
+        out.append(
+            Finding(
+                rule=finding.rule,
+                severity=finding.severity,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                hint=finding.hint,
+                fingerprint=digest,
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers used by the rule modules
+# ---------------------------------------------------------------------------
+
+
+def import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the dotted things they are bound to.
+
+    ``import time`` -> ``{"time": "time"}``;
+    ``from datetime import datetime as dt`` ->
+    ``{"dt": "datetime.datetime"}``.  Only absolute imports are tracked;
+    relative imports resolve to their stated module path.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                local = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else item.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                local = item.asname or item.name
+                aliases[local] = f"{base}.{item.name}" if base else item.name
+    return aliases
+
+
+def dotted_call_name(
+    node: ast.AST, aliases: Dict[str, str]
+) -> Optional[str]:
+    """Resolve ``Name``/``Attribute`` chains to a dotted path.
+
+    ``datetime.now`` with ``from datetime import datetime`` resolves to
+    ``datetime.datetime.now``; unresolvable shapes return ``None``.
+    """
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    parts.reverse()
+    head = aliases.get(parts[0], parts[0])
+    return ".".join([head] + parts[1:])
+
+
+def parent_chain(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node``'s ancestors (nearest first) via the engine's links."""
+    current = getattr(node, "repro_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "repro_parent", None)

@@ -1,0 +1,206 @@
+"""Backend-purity rules (BCK0xx): the scalar/numpy dual core stays dual.
+
+The numeric core (PR 2) runs CI in two legs: one without numpy installed
+(the scalar reference) and one with it.  That only works while
+
+* numpy is imported in exactly the sanctioned modules, guarded by
+  ``try/except ImportError`` so the scalar leg still imports cleanly
+  (``BCK001``/``BCK002``);
+* every other module reaches ndarray work through the dispatcher in
+  :mod:`repro.core.vectorized` rather than importing numpy itself
+  (``BCK002``);
+* the ``REPRO_NUMERIC`` environment variable is *read* only by the
+  sanctioned accessor :func:`repro.core.vectorized.get_backend`, so the
+  override > env > auto precedence cannot fork (``BCK003``).  Writes are
+  allowed -- the CLI exports the flag to pool workers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import (
+    Finding,
+    Project,
+    Rule,
+    SourceModule,
+    dotted_call_name,
+    parent_chain,
+    register,
+)
+
+__all__ = ["NumpyImportGuardRule", "NumpyImportScopeRule", "BackendEnvReadRule"]
+
+#: Modules allowed to import numpy directly.  ``core.vectorized`` is the
+#: dispatcher itself; ``utils.solvers`` hosts the batched primitives the
+#: dispatcher calls into (splitting them out would create an import cycle).
+SANCTIONED_NUMPY_MODULES = ("repro.core.vectorized", "repro.utils.solvers")
+
+#: The one module allowed to read the backend environment variable.
+BACKEND_ACCESSOR_MODULE = "repro.core.vectorized"
+
+_BACKEND_ENV = "REPRO_NUMERIC"
+
+
+def _is_numpy_import(node: ast.AST) -> bool:
+    if isinstance(node, ast.Import):
+        return any(
+            item.name == "numpy" or item.name.startswith("numpy.")
+            for item in node.names
+        )
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        return module == "numpy" or module.startswith("numpy.")
+    return False
+
+
+def _guarded_by_import_error(node: ast.AST) -> bool:
+    """True when the import sits in a ``try`` with an ImportError handler."""
+    for ancestor in parent_chain(node):
+        if isinstance(ancestor, ast.Try):
+            for handler in ancestor.handlers:
+                if _handler_catches_import_error(handler):
+                    return True
+    return False
+
+
+def _handler_catches_import_error(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:
+        return True
+    names: list[ast.expr] = list(kind.elts) if isinstance(kind, ast.Tuple) else [kind]
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in (
+            "ImportError",
+            "ModuleNotFoundError",
+        ):
+            return True
+    return False
+
+
+@register
+class NumpyImportGuardRule(Rule):
+    id = "BCK001"
+    family = "backend"
+    description = (
+        "numpy import in a sanctioned module must be guarded by "
+        "try/except ImportError so the scalar CI leg still imports"
+    )
+    hint = (
+        "wrap in try/except ImportError and fall back to None "
+        "(see repro.core.vectorized)"
+    )
+    packages = SANCTIONED_NUMPY_MODULES
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if _is_numpy_import(node) and not _guarded_by_import_error(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "unguarded numpy import would break the numpy-less "
+                    "(scalar backend) CI leg",
+                )
+
+
+@register
+class NumpyImportScopeRule(Rule):
+    id = "BCK002"
+    family = "backend"
+    description = (
+        "numpy imported outside the sanctioned modules; ndarray work "
+        "must go through the repro.core.vectorized dispatcher"
+    )
+    hint = (
+        "call the batched primitive you need via repro.core.vectorized "
+        "(or add one there) instead of importing numpy locally"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        if not super().applies_to(module):
+            return False
+        return module.name not in SANCTIONED_NUMPY_MODULES
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if _is_numpy_import(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"numpy import in {module.name}; only "
+                    f"{', '.join(SANCTIONED_NUMPY_MODULES)} may import it",
+                )
+
+
+@register
+class BackendEnvReadRule(Rule):
+    id = "BCK003"
+    family = "backend"
+    description = (
+        "REPRO_NUMERIC read outside repro.core.vectorized.get_backend(); "
+        "the override > env > auto precedence must have one owner"
+    )
+    hint = "call repro.core.vectorized.get_backend() (writes for worker export are fine)"
+
+    def applies_to(self, module: SourceModule) -> bool:
+        if not super().applies_to(module):
+            return False
+        return module.name != BACKEND_ACCESSOR_MODULE
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Subscript):
+                if (
+                    isinstance(node.ctx, ast.Load)
+                    and self._is_environ(node.value, module)
+                    and self._is_backend_key(node.slice, module)
+                ):
+                    yield self._flag(module, node)
+            elif isinstance(node, ast.Call):
+                name = dotted_call_name(node.func, module.aliases)
+                key: Optional[ast.AST] = None
+                if name in ("os.getenv",) and node.args:
+                    key = node.args[0]
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("get", "setdefault", "pop")
+                    and self._is_environ(node.func.value, module)
+                    and node.args
+                ):
+                    key = node.args[0]
+                if key is not None and self._is_backend_key(key, module):
+                    yield self._flag(module, node)
+
+    @staticmethod
+    def _is_environ(node: ast.AST, module: SourceModule) -> bool:
+        name = dotted_call_name(node, module.aliases)
+        return name in ("os.environ", "environ")
+
+    @staticmethod
+    def _is_backend_key(node: ast.AST, module: SourceModule) -> bool:
+        if isinstance(node, ast.Constant):
+            return node.value == _BACKEND_ENV
+        name = dotted_call_name(node, module.aliases)
+        if name is None:
+            return False
+        return name.split(".")[-1] == "BACKEND_ENV" or name.endswith(
+            "vectorized.BACKEND_ENV"
+        )
+
+    def _flag(self, module: SourceModule, node: ast.AST) -> Finding:
+        return self.finding(
+            module,
+            node,
+            "REPRO_NUMERIC must be read through "
+            "repro.core.vectorized.get_backend(), not the raw environment",
+        )

@@ -1,0 +1,225 @@
+"""The ``repro check`` runner: target discovery, reporting, exit codes.
+
+Pulls the engine, the rule registry and the baseline together into one
+entry point the CLI (and the tests) call:
+
+* :func:`discover_targets` -- resolves what to analyze.  From a repo
+  checkout that is ``src/repro`` + ``tests``; from anywhere else it
+  falls back to the installed ``repro`` package; with nothing to find it
+  reports an *empty* run (exit 0 with a clear message, never a
+  traceback -- analyzing nothing is not an error);
+* :func:`run_check` -- analyze + baseline subtraction, returning a
+  :class:`CheckReport`;
+* :func:`render_text` / :func:`render_json` -- human and machine output.
+  The JSON document is schema-versioned (``"schema": 1``) because CI
+  uploads it as an artifact and downstream tooling parses it.
+
+Exit-code contract (the CLI maps report -> code):
+
+* ``0`` -- no new findings (suppressed/stale-only runs stay green);
+* ``1`` -- at least one new, unsuppressed finding;
+* ``2`` -- usage errors (unknown rule selector, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint import baseline as baseline_mod
+from repro.lint.engine import (
+    Finding,
+    all_rules,
+    analyze_paths,
+    rule_catalogue,
+)
+
+__all__ = [
+    "CheckReport",
+    "discover_targets",
+    "run_check",
+    "render_text",
+    "render_json",
+    "JSON_SCHEMA_VERSION",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro check`` run produced."""
+
+    root: str
+    targets: List[str] = field(default_factory=list)
+    rule_ids: List[str] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_entries: List[Dict[str, object]] = field(default_factory=list)
+    baseline_path: Optional[str] = None
+    baseline_written: Optional[int] = None
+    modules_analyzed: int = 0
+    message: str = ""
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def discover_targets(
+    paths: Optional[Sequence[str]] = None, cwd: Optional[str] = None
+) -> Tuple[str, List[str], str]:
+    """Resolve ``(root, targets, message)`` for a run.
+
+    Explicit ``paths`` win (root = cwd).  Otherwise prefer the repo
+    layout ``<cwd>/src/repro`` (+ ``<cwd>/tests`` when present), then the
+    installed ``repro`` package.  When nothing is found the target list
+    is empty and ``message`` explains why -- callers treat that as a
+    clean no-op, not a failure.
+    """
+    base = os.path.abspath(cwd or os.getcwd())
+    if paths:
+        resolved = [os.path.abspath(p) for p in paths]
+        missing = [p for p in resolved if not os.path.exists(p)]
+        if missing:
+            raise ValueError(f"no such path: {', '.join(missing)}")
+        return base, resolved, ""
+    src_repro = os.path.join(base, "src", "repro")
+    if os.path.isdir(src_repro):
+        targets = [src_repro]
+        tests_dir = os.path.join(base, "tests")
+        if os.path.isdir(tests_dir):
+            targets.append(tests_dir)
+        return base, targets, ""
+    try:
+        import repro
+
+        package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    except ImportError:  # pragma: no cover - repro is always importable here
+        package_dir = ""
+    if package_dir and os.path.isdir(package_dir):
+        # Root one above the package so reported paths read "repro/...".
+        return os.path.dirname(package_dir), [package_dir], ""
+    return (
+        base,
+        [],
+        "nothing to check: no src/repro or tests directory under "
+        f"{base} and no installed repro package",
+    )
+
+
+def run_check(
+    paths: Optional[Sequence[str]] = None,
+    *,
+    cwd: Optional[str] = None,
+    rules: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
+    update_baseline: bool = False,
+) -> CheckReport:
+    """Run the lint pass and return the full report.
+
+    Raises ``ValueError`` for unknown rule selectors or missing explicit
+    paths and :class:`repro.lint.baseline.BaselineError` for a corrupt
+    baseline file; the CLI maps both to exit code 2.
+    """
+    root, targets, message = discover_targets(paths, cwd=cwd)
+    active = all_rules(rules)
+    report = CheckReport(
+        root=root,
+        targets=[os.path.relpath(t, root).replace(os.sep, "/") for t in targets],
+        rule_ids=[rule.id for rule in active],
+        message=message,
+    )
+    if not targets:
+        return report
+
+    project, findings = analyze_paths(targets, root=root, rules=active)
+    report.modules_analyzed = len(project.modules)
+    if not project.modules and not message:
+        report.message = (
+            "nothing to check: no Python files under "
+            + ", ".join(report.targets)
+        )
+
+    resolved_baseline = baseline_path or os.path.join(
+        root, baseline_mod.BASELINE_DEFAULT
+    )
+    report.baseline_path = resolved_baseline
+
+    if update_baseline:
+        report.baseline_written = baseline_mod.write_baseline(
+            resolved_baseline, findings
+        )
+        report.suppressed = list(findings)
+        return report
+
+    base = baseline_mod.load_baseline(resolved_baseline)
+    new, suppressed, stale = base.partition(findings)
+    report.findings = new
+    report.suppressed = suppressed
+    report.stale_entries = stale
+    return report
+
+
+def render_text(report: CheckReport) -> str:
+    """Human-readable report (what the terminal shows)."""
+    lines: List[str] = []
+    if report.message:
+        lines.append(report.message)
+    for finding in report.findings:
+        lines.append(finding.render())
+    if report.baseline_written is not None:
+        lines.append(
+            f"baseline: wrote {report.baseline_written} entr"
+            f"{'y' if report.baseline_written == 1 else 'ies'} to "
+            f"{report.baseline_path}"
+        )
+    else:
+        summary = (
+            f"repro check: {len(report.findings)} finding"
+            f"{'' if len(report.findings) == 1 else 's'} "
+            f"({len(report.suppressed)} baselined) across "
+            f"{report.modules_analyzed} modules"
+        )
+        lines.append(summary)
+        if report.stale_entries:
+            lines.append(
+                f"note: {len(report.stale_entries)} stale baseline "
+                "entries no longer match; prune with --write-baseline"
+            )
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> str:
+    """Machine-readable report (the CI artifact).
+
+    Schema-versioned and key-sorted: downstream parsers pin
+    ``schema == 1`` and diffs of saved artifacts stay stable.
+    """
+    payload: Dict[str, object] = {
+        "schema": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "root": report.root,
+        "targets": report.targets,
+        "rules": [
+            entry
+            for entry in rule_catalogue()
+            if entry["id"] in set(report.rule_ids)
+        ],
+        "modules_analyzed": report.modules_analyzed,
+        "counts": {
+            "new": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "stale_baseline_entries": len(report.stale_entries),
+        },
+        "findings": [finding.as_dict() for finding in report.findings],
+        "suppressed": [finding.as_dict() for finding in report.suppressed],
+        "stale_baseline_entries": report.stale_entries,
+        "baseline": report.baseline_path,
+        "baseline_written": report.baseline_written,
+        "message": report.message,
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

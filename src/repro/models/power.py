@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.models.task import Task
+from repro.units import MHZ, MW, UJ, unit
 
 __all__ = ["CorePowerModel"]
 
@@ -76,18 +77,21 @@ class CorePowerModel:
 
     # -- instantaneous power ---------------------------------------------------
 
+    @unit(MW)
     def dynamic_power(self, speed: float) -> float:
         """Dynamic power ``beta * s**lam`` in mW at ``speed`` MHz."""
         if speed < 0.0:
             raise ValueError(f"speed must be non-negative, got {speed}")
         return self.beta * speed ** self.lam
 
+    @unit(MW)
     def active_power(self, speed: float) -> float:
         """Total active power ``alpha + beta * s**lam`` in mW."""
         return self.alpha + self.dynamic_power(speed)
 
     # -- energy over an execution -----------------------------------------------
 
+    @unit(UJ)
     def execution_energy(self, workload: float, speed: float) -> float:
         """Energy in uJ to execute ``workload`` kc at constant ``speed`` MHz.
 
@@ -102,18 +106,21 @@ class CorePowerModel:
             raise ValueError(f"speed must be positive, got {speed}")
         return self.active_power(speed) * workload / speed
 
+    @unit(UJ)
     def stretch_energy(self, workload: float, duration: float) -> float:
         """Energy in uJ to execute ``workload`` kc evenly over ``duration`` ms."""
         if duration <= 0.0:
             raise ValueError(f"duration must be positive, got {duration}")
         return self.execution_energy(workload, workload / duration)
 
+    @unit(UJ)
     def idle_energy(self, duration: float) -> float:
         """Static energy in uJ burned by an awake-but-idle core."""
         if duration < 0.0:
             raise ValueError(f"duration must be non-negative, got {duration}")
         return self.alpha * duration
 
+    @unit(UJ)
     def sleep_transition_energy(self) -> float:
         """Energy overhead of one sleep/wake cycle, ``alpha * xi`` in uJ."""
         return self.alpha * self.xi
@@ -121,6 +128,7 @@ class CorePowerModel:
     # -- critical speeds -----------------------------------------------------------
 
     @property
+    @unit(MHZ)
     def s_m(self) -> float:
         """Unclamped critical speed ``(alpha / (beta*(lam-1))) ** (1/lam)``.
 
@@ -131,6 +139,7 @@ class CorePowerModel:
             return 0.0
         return (self.alpha / (self.beta * (self.lam - 1.0))) ** (1.0 / self.lam)
 
+    @unit(MHZ)
     def s_cm(self, alpha_m: float) -> float:
         """Memory-associated critical speed (Section 5.2).
 
@@ -145,14 +154,17 @@ class CorePowerModel:
             return 0.0
         return (total_static / (self.beta * (self.lam - 1.0))) ** (1.0 / self.lam)
 
+    @unit(MHZ)
     def s0(self, task: Task) -> float:
         """Task-clamped critical speed ``min(max(s_m, s_f), s_up)``."""
         return min(max(self.s_m, task.filled_speed), self.s_up)
 
+    @unit(MHZ)
     def s1(self, task: Task, alpha_m: float) -> float:
         """Task-clamped memory-associated critical speed (Section 5.2)."""
         return min(max(self.s_cm(alpha_m), task.filled_speed), self.s_up)
 
+    @unit(MHZ)
     def s_c(self, task: Task, horizon: float) -> float:
         """Constrained critical speed of Section 7.
 
@@ -171,6 +183,7 @@ class CorePowerModel:
 
     # -- helpers ----------------------------------------------------------------
 
+    @unit(MHZ)
     def clamp_speed(self, speed: float) -> float:
         """Clamp ``speed`` into ``(0, s_up]`` (theory ignores ``s_min``)."""
         return min(speed, self.s_up)

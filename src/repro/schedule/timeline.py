@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.models.task import Task
+from repro.units import MS, unit
 
 __all__ = [
     "ExecutionInterval",
@@ -245,6 +246,7 @@ def complement_within(
     return gaps
 
 
+@unit(MS)
 def total_length(spans: Iterable[Tuple[float, float]]) -> float:
     """Sum of span lengths."""
     return sum(end - start for start, end in spans)

@@ -40,6 +40,10 @@ class ServiceClient:
         self._reader_task: Optional[asyncio.Task] = None
         self._pending: Dict[str, asyncio.Future] = {}
         self._seq = 0
+        #: Undecodable frames dropped by the read loop.  The client keeps
+        #: reading (one garbled line must not kill pipelined requests),
+        #: but the drop stays observable instead of silent.
+        self.dropped_frames = 0
 
     async def connect(self) -> "ServiceClient":
         self._reader, self._writer = await asyncio.open_connection(
@@ -81,6 +85,7 @@ class ServiceClient:
                 try:
                     response = protocol.decode_line(line)
                 except protocol.ProtocolError:
+                    self.dropped_frames += 1
                     continue
                 future = self._pending.pop(str(response.get("id")), None)
                 if future is not None and not future.done():

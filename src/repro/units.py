@@ -1,0 +1,101 @@
+"""Quantity tags: the unit vocabulary of the SDEM codebase.
+
+DESIGN.md Section 7 fixes the repo-wide unit system -- time in **ms**,
+speed in **MHz**, workload in **kilocycles**, power in **mW**, energy in
+**uJ** (mW * ms) -- and every energy bug we have chased so far was a unit
+mix-up that type checkers cannot see (all quantities are ``float``).
+
+This module makes the convention machine-readable.  :func:`unit` is a
+zero-cost decorator that stamps a function (or property getter) with the
+unit tag of its return value::
+
+    @unit(UJ)
+    def block_energy(...) -> float: ...
+
+The stamp is a plain attribute (``__repro_unit__``); nothing at runtime
+reads it on a hot path.  The consumer is the static-analysis pass
+``repro.lint.rules_units`` (rule UNT001), which reads the decorators
+*syntactically* from the AST, infers the dimension of local expressions,
+and flags additive arithmetic or comparisons that mix dimensions without
+an explicit conversion (``mW * ms -> uJ`` and friends are derived from
+:data:`DIMENSIONS`, so multiplicative conversions are understood).
+
+Tags double as documentation: ``repro check --list-rules`` and
+docs/STATIC_ANALYSIS.md enumerate the vocabulary below.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, Tuple, TypeVar
+
+__all__ = [
+    "UJ",
+    "MW",
+    "MS",
+    "MHZ",
+    "KC",
+    "SCALAR",
+    "DIMENSIONS",
+    "UNIT_ATTRIBUTE",
+    "unit",
+    "dimension_of",
+]
+
+#: Energy in microjoules (mW * ms).
+UJ = "uJ"
+#: Power in milliwatts.
+MW = "mW"
+#: Time in milliseconds.
+MS = "ms"
+#: Speed in megahertz (kilocycles per millisecond).
+MHZ = "MHz"
+#: Workload in kilocycles.
+KC = "kc"
+#: Dimensionless ratios (utilizations, savings percentages, counts).
+SCALAR = "scalar"
+
+#: Exponent vector per tag over the base dimensions
+#: ``(energy, work, time)``: power is energy/time, speed is work/time.
+#: Energy and work stay independent bases -- the power model's
+#: ``beta * s**lam`` ties them only through the platform-specific
+#: coefficient, so the lint pass must never cancel uJ against kc.
+_BaseVector = Tuple[Fraction, Fraction, Fraction]
+
+#: ``tag -> (energy_exp, work_exp, time_exp)``.
+DIMENSIONS: Dict[str, _BaseVector] = {
+    UJ: (Fraction(1), Fraction(0), Fraction(0)),
+    MW: (Fraction(1), Fraction(0), Fraction(-1)),
+    MS: (Fraction(0), Fraction(0), Fraction(1)),
+    MHZ: (Fraction(0), Fraction(1), Fraction(-1)),
+    KC: (Fraction(0), Fraction(1), Fraction(0)),
+    SCALAR: (Fraction(0), Fraction(0), Fraction(0)),
+}
+
+#: Attribute name the :func:`unit` decorator stamps onto functions.
+UNIT_ATTRIBUTE = "__repro_unit__"
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def unit(tag: str) -> Callable[[_F], _F]:
+    """Mark a function as returning a quantity measured in ``tag``.
+
+    The tag must be one of the vocabulary constants above; unknown tags
+    raise immediately so a typo cannot silently disable the lint pass.
+    """
+    if tag not in DIMENSIONS:
+        raise ValueError(
+            f"unknown unit tag {tag!r}; valid: {', '.join(sorted(DIMENSIONS))}"
+        )
+
+    def mark(func: _F) -> _F:
+        setattr(func, UNIT_ATTRIBUTE, tag)
+        return func
+
+    return mark
+
+
+def dimension_of(tag: str) -> _BaseVector:
+    """The base-dimension exponent vector of a tag (KeyError on unknown)."""
+    return DIMENSIONS[tag]

@@ -19,6 +19,7 @@ import random
 from typing import List, Tuple
 
 from repro.models.task import Task, TaskSet
+from repro.units import SCALAR, unit
 
 __all__ = ["synthetic_tasks", "utilization_of"]
 
@@ -57,6 +58,7 @@ def synthetic_tasks(
     return tasks
 
 
+@unit(SCALAR)
 def utilization_of(tasks: List[Task], *, num_cores: int, speed: float) -> float:
     """Average per-core utilization of a trace at a reference speed.
 

@@ -1,0 +1,42 @@
+"""Shared scaffolding for the ``repro.lint`` tests.
+
+The engine derives rule scoping from dotted module names, which in turn
+come from the file layout under the analysis root.  ``run_lint`` writes a
+fake repo tree (``src/repro/...``, ``tests/...``) into a temp directory
+and runs the real engine over it, so every test exercises discovery,
+parsing, scoping, pragmas and fingerprinting end to end rather than
+poking rule internals.
+"""
+
+from __future__ import annotations
+
+import os
+import textwrap
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.engine import Finding, all_rules, analyze_paths
+
+
+def write_tree(root: str, files: Dict[str, str]) -> None:
+    """Write ``{relative path: source}`` under ``root``."""
+    for rel, source in files.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(textwrap.dedent(source))
+
+
+def run_lint(
+    root: str,
+    files: Dict[str, str],
+    *,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Write ``files`` under ``root`` and lint the whole tree."""
+    write_tree(root, files)
+    _, findings = analyze_paths([root], root=root, rules=all_rules(rules))
+    return findings
+
+
+def rule_ids(findings: Sequence[Finding]) -> List[str]:
+    return [finding.rule for finding in findings]

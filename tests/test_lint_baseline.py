@@ -1,0 +1,151 @@
+"""Baseline round-trip: write, suppress, go stale, reject corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.runner import run_check
+from tests.lint_helpers import run_lint, write_tree
+
+VIOLATION = """
+    import time
+
+    def stamp():
+        return time.time()
+"""
+
+CLEAN = """
+    import time
+
+    def measure():
+        return time.monotonic()
+"""
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = load_baseline(str(tmp_path / "nope.json"))
+    assert baseline.entries == {}
+
+
+def test_round_trip_suppresses_existing_findings(tmp_path):
+    findings = run_lint(
+        str(tmp_path), {"src/repro/m.py": VIOLATION}, rules=["DET001"]
+    )
+    assert len(findings) == 1
+    baseline_path = str(tmp_path / "baseline.json")
+    assert write_baseline(baseline_path, findings) == 1
+
+    report = run_check(
+        [str(tmp_path / "src")],
+        cwd=str(tmp_path),
+        rules=["DET001"],
+        baseline_path=baseline_path,
+    )
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+    assert report.stale_entries == []
+    assert report.exit_code == 0
+
+
+def test_new_violation_still_fails_with_baseline(tmp_path):
+    findings = run_lint(
+        str(tmp_path), {"src/repro/m.py": VIOLATION}, rules=["DET001"]
+    )
+    baseline_path = str(tmp_path / "baseline.json")
+    write_baseline(baseline_path, findings)
+
+    # A second, different violation appears after the baseline was cut.
+    write_tree(
+        str(tmp_path),
+        {"src/repro/fresh.py": "import time\nNOW = time.time()\n"},
+    )
+    report = run_check(
+        [str(tmp_path / "src")],
+        cwd=str(tmp_path),
+        rules=["DET001"],
+        baseline_path=baseline_path,
+    )
+    assert [f.path for f in report.findings] == ["src/repro/fresh.py"]
+    assert report.exit_code == 1
+
+
+def test_fixed_finding_reported_stale(tmp_path):
+    findings = run_lint(
+        str(tmp_path), {"src/repro/m.py": VIOLATION}, rules=["DET001"]
+    )
+    baseline_path = str(tmp_path / "baseline.json")
+    write_baseline(baseline_path, findings)
+
+    write_tree(str(tmp_path), {"src/repro/m.py": CLEAN})  # fix it
+    report = run_check(
+        [str(tmp_path / "src")],
+        cwd=str(tmp_path),
+        rules=["DET001"],
+        baseline_path=baseline_path,
+    )
+    assert report.findings == []
+    assert len(report.stale_entries) == 1
+    assert report.exit_code == 0
+
+
+def test_write_baseline_via_runner_then_clean(tmp_path):
+    write_tree(str(tmp_path), {"src/repro/m.py": VIOLATION})
+    baseline_path = str(tmp_path / "baseline.json")
+    wrote = run_check(
+        [str(tmp_path / "src")],
+        cwd=str(tmp_path),
+        rules=["DET001"],
+        baseline_path=baseline_path,
+        update_baseline=True,
+    )
+    assert wrote.baseline_written == 1
+    assert wrote.exit_code == 0
+
+    rerun = run_check(
+        [str(tmp_path / "src")],
+        cwd=str(tmp_path),
+        rules=["DET001"],
+        baseline_path=baseline_path,
+    )
+    assert rerun.exit_code == 0
+
+
+def test_baseline_file_is_reviewable_json(tmp_path):
+    findings = run_lint(
+        str(tmp_path), {"src/repro/m.py": VIOLATION}, rules=["DET001"]
+    )
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(str(baseline_path), findings)
+    payload = json.loads(baseline_path.read_text())
+    assert payload["schema"] == 1
+    assert payload["tool"] == "repro-lint"
+    entry = payload["entries"][0]
+    assert set(entry) == {"fingerprint", "rule", "path", "message"}
+
+
+def test_corrupt_baseline_raises(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{not json")
+    with pytest.raises(BaselineError, match="cannot read"):
+        load_baseline(str(bad))
+
+
+def test_foreign_json_rejected(tmp_path):
+    alien = tmp_path / "baseline.json"
+    alien.write_text(json.dumps({"something": "else"}))
+    with pytest.raises(BaselineError, match="tool marker"):
+        load_baseline(str(alien))
+
+
+def test_schema_mismatch_rejected(tmp_path):
+    future = tmp_path / "baseline.json"
+    future.write_text(json.dumps({"tool": "repro-lint", "schema": 99, "entries": []}))
+    with pytest.raises(BaselineError, match="schema"):
+        load_baseline(str(future))

@@ -1,0 +1,140 @@
+"""``repro check`` end to end: exit codes, JSON schema, edge cases."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from tests.lint_helpers import write_tree
+
+VIOLATION = """
+    import time
+
+    def stamp():
+        return time.time()
+"""
+
+
+def check(args):
+    return main(["check"] + args)
+
+
+def test_violation_exits_one_with_location(tmp_path, capsys):
+    write_tree(str(tmp_path), {"src/repro/m.py": VIOLATION})
+    code = check([str(tmp_path / "src"), "--rules", "DET001"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET001" in out
+    assert "m.py" in out
+    assert "hint:" in out
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    write_tree(
+        str(tmp_path), {"src/repro/m.py": "import time\nT = time.monotonic()\n"}
+    )
+    code = check([str(tmp_path / "src"), "--rules", "DET001"])
+    assert code == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_json_format_schema(tmp_path, capsys):
+    write_tree(str(tmp_path), {"src/repro/m.py": VIOLATION})
+    code = check(
+        [
+            str(tmp_path / "src"),
+            "--rules", "DET001",
+            "--format", "json",
+            "--baseline", str(tmp_path / "baseline.json"),
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["schema"] == 1
+    assert payload["tool"] == "repro-lint"
+    assert payload["exit_code"] == 1
+    assert payload["counts"] == {
+        "new": 1,
+        "suppressed": 0,
+        "stale_baseline_entries": 0,
+    }
+    finding = payload["findings"][0]
+    assert set(finding) == {
+        "rule", "severity", "path", "line", "col", "message", "hint", "fingerprint",
+    }
+    assert any(rule["id"] == "DET001" for rule in payload["rules"])
+
+
+def test_write_baseline_then_green(tmp_path, capsys):
+    write_tree(str(tmp_path), {"src/repro/m.py": VIOLATION})
+    baseline = str(tmp_path / "baseline.json")
+    target = str(tmp_path / "src")
+
+    assert check([target, "--rules", "DET001", "--baseline", baseline,
+                  "--write-baseline"]) == 0
+    assert "wrote 1 entry" in capsys.readouterr().out
+
+    assert check([target, "--rules", "DET001", "--baseline", baseline]) == 0
+    assert "(1 baselined)" in capsys.readouterr().out
+
+
+def test_unknown_rule_selector_exits_two(tmp_path, capsys):
+    write_tree(str(tmp_path), {"src/repro/m.py": VIOLATION})
+    code = check([str(tmp_path / "src"), "--rules", "bogus"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown rule selector" in err
+
+
+def test_missing_path_exits_two(capsys):
+    code = check(["/definitely/not/a/path"])
+    assert code == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_corrupt_baseline_exits_two(tmp_path, capsys):
+    write_tree(str(tmp_path), {"src/repro/m.py": VIOLATION})
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{not json")
+    code = check([str(tmp_path / "src"), "--baseline", str(bad)])
+    assert code == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_empty_target_directory_is_clean_noop(tmp_path, capsys):
+    empty = tmp_path / "nothing"
+    empty.mkdir()
+    code = check([str(empty)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "nothing to check" in out
+
+
+def test_non_repo_cwd_falls_back_to_installed_package(tmp_path, monkeypatch, capsys):
+    # No src/repro and no tests under cwd: repro check analyzes the
+    # importable repro package instead of crashing.
+    monkeypatch.chdir(tmp_path)
+    code = check(["--rules", "ENG001"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "findings" in out
+
+
+def test_list_rules_prints_catalogue(capsys):
+    assert check(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("DET001", "BCK002", "CON001", "UNT001", "ENG001"):
+        assert rule_id in out
+
+
+def test_repo_is_lint_clean():
+    """The acceptance gate: the repo at merge has no unbaselined findings."""
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    from repro.lint.runner import run_check
+
+    report = run_check(cwd=repo_root)
+    assert [f.render() for f in report.findings] == []
+    assert report.exit_code == 0

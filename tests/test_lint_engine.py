@@ -1,0 +1,172 @@
+"""Engine-level behaviour: discovery, naming, pragmas, fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.engine import (
+    all_rules,
+    analyze_paths,
+    module_name_for,
+    rule_catalogue,
+)
+from tests.lint_helpers import run_lint, rule_ids, write_tree
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self, tmp_path):
+        root = str(tmp_path)
+        path = str(tmp_path / "src" / "repro" / "core" / "blocks.py")
+        assert module_name_for(path, root) == "repro.core.blocks"
+
+    def test_tests_keep_their_prefix(self, tmp_path):
+        path = str(tmp_path / "tests" / "test_x.py")
+        assert module_name_for(path, str(tmp_path)) == "tests.test_x"
+
+    def test_init_collapses_to_package(self, tmp_path):
+        path = str(tmp_path / "src" / "repro" / "lint" / "__init__.py")
+        assert module_name_for(path, str(tmp_path)) == "repro.lint"
+
+
+class TestPragmas:
+    VIOLATION = """
+        import time
+
+        def stamp():
+            return time.time()
+    """
+
+    def test_unsuppressed_violation_found(self, tmp_path):
+        findings = run_lint(
+            str(tmp_path),
+            {"src/repro/util.py": self.VIOLATION},
+            rules=["DET001"],
+        )
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_pragma_on_line_suppresses(self, tmp_path):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: allow[DET001] test fixture
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/util.py": source}, rules=["DET001"]
+        )
+        assert findings == []
+
+    def test_pragma_on_previous_line_suppresses(self, tmp_path):
+        source = """
+            import time
+
+            def stamp():
+                # repro-lint: allow[DET001] test fixture
+                return time.time()
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/util.py": source}, rules=["DET001"]
+        )
+        assert findings == []
+
+    def test_star_pragma_suppresses_any_rule(self, tmp_path):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: allow[*] anything goes
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/util.py": source}, rules=["DET001"]
+        )
+        assert findings == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self, tmp_path):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: allow[DET004] wrong rule
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/util.py": source}, rules=["DET001"]
+        )
+        assert rule_ids(findings) == ["DET001"]
+
+
+class TestFingerprints:
+    def test_stable_under_insertions_above(self, tmp_path):
+        before = "import time\n\ndef f():\n    return time.time()\n"
+        after = (
+            "import time\n\n# an unrelated new comment\n\n"
+            "def f():\n    return time.time()\n"
+        )
+        first = run_lint(
+            str(tmp_path / "a"), {"src/repro/m.py": before}, rules=["DET001"]
+        )
+        second = run_lint(
+            str(tmp_path / "b"), {"src/repro/m.py": after}, rules=["DET001"]
+        )
+        assert first[0].line != second[0].line
+        assert first[0].fingerprint == second[0].fingerprint
+
+    def test_identical_lines_get_distinct_fingerprints(self, tmp_path):
+        source = """
+            import time
+
+            def f():
+                return time.time()
+
+            def g():
+                return time.time()
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/m.py": source}, rules=["DET001"]
+        )
+        assert len(findings) == 2
+        assert findings[0].fingerprint != findings[1].fingerprint
+
+
+class TestRuleSelection:
+    def test_family_selector(self):
+        rules = all_rules(["determinism"])
+        families = {rule.family for rule in rules}
+        assert families == {"determinism", "engine"}  # ENG001 always runs
+
+    def test_id_selector(self):
+        rules = all_rules(["DET004"])
+        assert {rule.id for rule in rules} == {"DET004", "ENG001"}
+
+    def test_unknown_selector_raises_with_catalogue(self):
+        with pytest.raises(ValueError, match="bogus"):
+            all_rules(["bogus"])
+        with pytest.raises(ValueError, match="DET001"):
+            all_rules(["bogus"])
+
+    def test_catalogue_covers_every_family(self):
+        families = {entry["family"] for entry in rule_catalogue()}
+        assert {"determinism", "backend", "concurrency", "units"} <= families
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        findings = run_lint(
+            str(tmp_path),
+            {"src/repro/broken.py": "def f(:\n    pass\n"},
+            rules=["ENG001"],
+        )
+        assert rule_ids(findings) == ["ENG001"]
+        assert "syntax error" in findings[0].message
+
+    def test_other_rules_skip_unparseable_files(self, tmp_path):
+        write_tree(
+            str(tmp_path),
+            {
+                "src/repro/broken.py": "def f(:\n    pass\n",
+                "src/repro/fine.py": "import time\nX = time.time()\n",
+            },
+        )
+        _, findings = analyze_paths(
+            [str(tmp_path)], root=str(tmp_path), rules=all_rules(["DET001"])
+        )
+        assert sorted(rule_ids(findings)) == ["DET001", "ENG001"]

@@ -1,0 +1,183 @@
+"""DET001-DET005: true positives and the false-positive guards."""
+
+from __future__ import annotations
+
+from tests.lint_helpers import run_lint, rule_ids
+
+
+class TestWallClockDET001:
+    def test_time_time_flagged(self, tmp_path):
+        source = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET001"])
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_aliased_datetime_now_flagged(self, tmp_path):
+        source = """
+            from datetime import datetime as dt
+
+            def stamp():
+                return dt.now()
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET001"])
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_monotonic_clocks_allowed(self, tmp_path):
+        source = """
+            import time
+
+            def measure():
+                return time.monotonic() - time.perf_counter()
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET001"])
+        assert findings == []
+
+
+class TestUnseededRandomDET002:
+    def test_global_random_flagged(self, tmp_path):
+        source = """
+            import random
+
+            def jitter():
+                return random.random() + random.uniform(0, 1)
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET002"])
+        assert rule_ids(findings) == ["DET002", "DET002"]
+
+    def test_seeded_instance_allowed(self, tmp_path):
+        source = """
+            import random
+
+            def trace(seed):
+                rng = random.Random(seed)
+                return [rng.uniform(0, 1) for _ in range(3)]
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET002"])
+        assert findings == []
+
+
+class TestUnsortedJsonDET003:
+    def test_unsorted_dumps_in_hashing_function_flagged(self, tmp_path):
+        source = """
+            import hashlib
+            import json
+
+            def key(payload):
+                return hashlib.sha256(json.dumps(payload).encode()).hexdigest()
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET003"])
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_sorted_dumps_allowed(self, tmp_path):
+        source = """
+            import hashlib
+            import json
+
+            def key(payload):
+                canonical = json.dumps(payload, sort_keys=True)
+                return hashlib.sha256(canonical.encode()).hexdigest()
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET003"])
+        assert findings == []
+
+    def test_dumps_without_hashing_allowed(self, tmp_path):
+        source = """
+            import json
+
+            def pretty(payload):
+                return json.dumps(payload, indent=2)
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET003"])
+        assert findings == []
+
+
+class TestSetIterationDET004:
+    def test_for_over_set_call_flagged(self, tmp_path):
+        source = """
+            def names(rows):
+                out = []
+                for name in set(rows):
+                    out.append(name)
+                return out
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET004"])
+        assert rule_ids(findings) == ["DET004"]
+
+    def test_comprehension_over_set_literal_flagged(self, tmp_path):
+        source = """
+            def squares():
+                return [x * x for x in {1, 2, 3}]
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET004"])
+        assert rule_ids(findings) == ["DET004"]
+
+    def test_join_over_set_flagged(self, tmp_path):
+        source = """
+            def label(parts):
+                return ",".join(set(parts))
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET004"])
+        assert rule_ids(findings) == ["DET004"]
+
+    def test_sorted_set_allowed(self, tmp_path):
+        source = """
+            def names(rows):
+                return [name for name in sorted(set(rows))]
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET004"])
+        assert findings == []
+
+    def test_membership_test_allowed(self, tmp_path):
+        source = """
+            def keep(rows, wanted):
+                allowed = set(wanted)
+                return [r for r in rows if r in allowed]
+        """
+        findings = run_lint(str(tmp_path), {"src/repro/m.py": source}, rules=["DET004"])
+        assert findings == []
+
+
+class TestFloatEqualityDET005:
+    def test_arithmetic_comparison_flagged_in_core(self, tmp_path):
+        source = """
+            def check(a, b, c):
+                return a + b == c
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/core/m.py": source}, rules=["DET005"]
+        )
+        assert rule_ids(findings) == ["DET005"]
+
+    def test_nonsentinel_literal_flagged(self, tmp_path):
+        source = """
+            def check(x):
+                return x == 0.5
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/energy/m.py": source}, rules=["DET005"]
+        )
+        assert rule_ids(findings) == ["DET005"]
+
+    def test_sentinel_zero_allowed(self, tmp_path):
+        source = """
+            def check(alpha):
+                return alpha == 0.0 or alpha == 1.0 or alpha == -1.0
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/core/m.py": source}, rules=["DET005"]
+        )
+        assert findings == []
+
+    def test_out_of_scope_package_not_flagged(self, tmp_path):
+        source = """
+            def check(a, b, c):
+                return a + b == c
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/service/m.py": source}, rules=["DET005"]
+        )
+        assert findings == []

@@ -1,0 +1,176 @@
+"""UNT001: dimension-mix detection driven by ``@unit`` tags."""
+
+from __future__ import annotations
+
+import textwrap
+from fractions import Fraction
+
+import pytest
+
+from repro.units import UJ, UNIT_ATTRIBUTE, dimension_of, unit
+from tests.lint_helpers import run_lint, rule_ids
+
+#: Producers tagged with the real decorator, exercised in every scenario.
+PRODUCERS = textwrap.dedent(
+    """
+    from repro.units import MS, MW, UJ, unit
+
+    @unit(UJ)
+    def block_energy():
+        return 7.0
+
+    @unit(MW)
+    def idle_power():
+        return 2.0
+
+    @unit(MS)
+    def gap_length():
+        return 3.0
+    """
+)
+
+
+def with_producers(body: str) -> str:
+    """The producer module plus a dedented consumer snippet."""
+    return PRODUCERS + textwrap.dedent(body)
+
+
+class TestUnitDecorator:
+    def test_decorator_stamps_attribute(self):
+        @unit(UJ)
+        def energy() -> float:
+            return 1.0
+
+        assert getattr(energy, UNIT_ATTRIBUTE) == UJ
+        assert energy() == 1.0
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown unit tag"):
+            unit("joules")
+
+    def test_power_is_energy_per_time(self):
+        energy = dimension_of("uJ")
+        power = dimension_of("mW")
+        time = dimension_of("ms")
+        assert tuple(p + t for p, t in zip(power, time)) == energy
+
+    def test_scalar_is_dimensionless(self):
+        assert dimension_of("scalar") == (Fraction(0),) * 3
+
+
+class TestUnitMixUNT001:
+    def test_energy_plus_power_flagged(self, tmp_path):
+        source = with_producers("""
+            def bad():
+                return block_energy() + idle_power()
+        """)
+        findings = run_lint(
+            str(tmp_path), {"src/repro/energy/m.py": source}, rules=["UNT001"]
+        )
+        assert rule_ids(findings) == ["UNT001"]
+        assert "uJ" in findings[0].message and "mW" in findings[0].message
+        assert findings[0].severity == "warning"
+
+    def test_derived_energy_from_power_times_time_allowed(self, tmp_path):
+        source = with_producers("""
+            def good():
+                return idle_power() * gap_length() + block_energy()
+        """)
+        findings = run_lint(
+            str(tmp_path), {"src/repro/energy/m.py": source}, rules=["UNT001"]
+        )
+        assert findings == []
+
+    def test_division_derives_power(self, tmp_path):
+        source = with_producers("""
+            def good():
+                return block_energy() / gap_length() + idle_power()
+        """)
+        findings = run_lint(
+            str(tmp_path), {"src/repro/energy/m.py": source}, rules=["UNT001"]
+        )
+        assert findings == []
+
+    def test_mix_through_local_variables_flagged(self, tmp_path):
+        source = with_producers("""
+            def bad():
+                total = block_energy()
+                window = gap_length()
+                return total - window
+        """)
+        findings = run_lint(
+            str(tmp_path), {"src/repro/energy/m.py": source}, rules=["UNT001"]
+        )
+        assert rule_ids(findings) == ["UNT001"]
+
+    def test_comparison_across_dimensions_flagged(self, tmp_path):
+        source = with_producers("""
+            def bad():
+                return block_energy() > gap_length()
+        """)
+        findings = run_lint(
+            str(tmp_path), {"src/repro/core/m.py": source}, rules=["UNT001"]
+        )
+        assert rule_ids(findings) == ["UNT001"]
+
+    def test_numeric_literals_never_flagged(self, tmp_path):
+        source = with_producers("""
+            def good():
+                return block_energy() + 0.0 and gap_length() - 1.5
+        """)
+        findings = run_lint(
+            str(tmp_path), {"src/repro/energy/m.py": source}, rules=["UNT001"]
+        )
+        assert findings == []
+
+    def test_untagged_calls_stay_unknown(self, tmp_path):
+        source = with_producers("""
+            def helper():
+                return 5.0
+
+            def good():
+                return block_energy() + helper()
+        """)
+        findings = run_lint(
+            str(tmp_path), {"src/repro/energy/m.py": source}, rules=["UNT001"]
+        )
+        assert findings == []
+
+    def test_out_of_scope_package_not_flagged(self, tmp_path):
+        source = with_producers("""
+            def bad():
+                return block_energy() + idle_power()
+        """)
+        findings = run_lint(
+            str(tmp_path), {"src/repro/service/m.py": source}, rules=["UNT001"]
+        )
+        assert findings == []
+
+    def test_same_dimension_sum_allowed(self, tmp_path):
+        source = with_producers("""
+            def good():
+                return block_energy() + block_energy()
+        """)
+        findings = run_lint(
+            str(tmp_path), {"src/repro/energy/m.py": source}, rules=["UNT001"]
+        )
+        assert findings == []
+
+    def test_registry_spans_modules(self, tmp_path):
+        # Producers live in repro.models (out of UNT001's checking scope),
+        # the mix happens in repro.energy: the tag registry is project-wide.
+        consumer = """
+            from repro.models.m import block_energy, idle_power
+
+            def bad():
+                return block_energy() + idle_power()
+        """
+        findings = run_lint(
+            str(tmp_path),
+            {
+                "src/repro/models/m.py": PRODUCERS,
+                "src/repro/energy/use.py": consumer,
+            },
+            rules=["UNT001"],
+        )
+        assert rule_ids(findings) == ["UNT001"]
