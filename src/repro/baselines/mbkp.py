@@ -97,14 +97,21 @@ class MbkpPolicy:
     ) -> List[Tuple[int, ExecutionInterval]]:
         out: List[Tuple[int, ExecutionInterval]] = []
         for index, state in enumerate(self._cores):
-            if not state.plan:
-                continue
+            plan = state.plan
+            if not plan or plan[0].start >= until + _EPS:
+                continue  # plans are chronological: nothing in the window
             kept: List[JobPiece] = []
-            for piece in state.plan:
-                if piece.end <= now + _EPS:
+            for pos, piece in enumerate(plan):
+                if piece.start >= until + _EPS:
+                    # Everything from here on lies after the window.
+                    kept.extend(plan[pos:])
+                    break
+                piece_end = piece.end
+                if piece_end <= now + _EPS:
                     continue  # already consumed
-                start = max(piece.start, now)
-                end = min(piece.end, until)
+                piece_start = piece.start
+                start = piece_start if piece_start > now else now
+                end = piece_end if piece_end < until else until
                 if end > start + _EPS:
                     out.append(
                         (index, ExecutionInterval(piece.name, start, end, piece.speed))
@@ -115,7 +122,7 @@ class MbkpPolicy:
                         del state.jobs[piece.name]
                     else:
                         state.jobs[piece.name] = (deadline, remaining)
-                if piece.end > until + _EPS:
+                if piece_end > until + _EPS:
                     kept.append(piece)
             state.plan = kept
         return out

@@ -69,7 +69,13 @@ from repro.experiments import (
     table4_rows,
     write_csv,
 )
-from repro.experiments.bench import render_bench_table, run_bench, write_bench_json
+from repro.experiments.bench import (
+    check_serial_regression,
+    load_trajectory,
+    render_bench_table,
+    run_bench,
+    write_bench_json,
+)
 from repro.experiments.runner import render_ascii_chart
 from repro.models import Task, TaskSet, paper_platform
 from repro.serialization import tasks_from_csv, tasks_from_json
@@ -313,8 +319,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         quick=args.quick,
     )
     print(render_bench_table(report))
+    # Gate against the history *before* appending this run to it.
+    failure = None
+    if args.gate_regression:
+        failure = check_serial_regression(report, load_trajectory(args.out))
     write_bench_json(report, args.out)
     print(f"report written to {args.out}")
+    if failure is not None:
+        print(f"bench regression gate: {failure}", file=sys.stderr)
+        return 1
+    if args.gate_regression:
+        print("bench regression gate: ok (or no comparable prior entry)")
     return 0
 
 
@@ -563,6 +578,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--cache-dir", dest="cache_dir", default=None,
         help="result cache directory for the warm run",
+    )
+    p_bench.add_argument(
+        "--gate-regression", action="store_true",
+        help="exit 1 when serial cold regresses >25%% vs the most recent "
+        "trajectory entry for the same backend and slice (skipped when "
+        "no comparable entry exists)",
     )
     _add_numeric_arg(p_bench)
     p_bench.set_defaults(func=_cmd_bench)

@@ -21,6 +21,7 @@ and re-solving at higher urgency can only raise speeds toward ``s_up``.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +32,7 @@ from repro.models.platform import Platform
 from repro.models.task import Task, TaskSet
 from repro.schedule.timeline import ExecutionInterval
 from repro.sim.cores import CoreAllocator
+from repro.utils.solvers import add_solver_seconds
 
 __all__ = ["SdemOnlinePolicy"]
 
@@ -100,21 +102,24 @@ class SdemOnlinePolicy:
         out: List[Tuple[int, ExecutionInterval]] = []
         if not self._jobs:
             return out
-        start = max(self._wake, now)
+        wake = self._wake
+        start = wake if wake > now else now
         if until <= start + _EPS:
             return out
         finished: List[Tuple[str, float]] = []
         for job in self._jobs.values():
-            duration = job.remaining / job.speed
-            seg_end = min(until, start + duration)
+            speed = job.speed
+            natural_end = start + job.remaining / speed
+            seg_end = until if until < natural_end else natural_end
             if seg_end <= start + _EPS:
                 continue
             core = self._allocator.acquire(job.name, start)
             out.append(
-                (core, ExecutionInterval(job.name, start, seg_end, job.speed))
+                (core, ExecutionInterval(job.name, start, seg_end, speed))
             )
-            job.remaining -= job.speed * (seg_end - start)
-            if job.remaining <= max(_EPS, 1e-9 * job.speed):
+            job.remaining -= speed * (seg_end - start)
+            slack = 1e-9 * speed
+            if job.remaining <= (slack if slack > _EPS else _EPS):
                 finished.append((job.name, seg_end))
         for name, at in finished:
             del self._jobs[name]
@@ -138,13 +143,27 @@ class SdemOnlinePolicy:
         if not live:
             self._wake = math.inf
             return
-        relaxed = TaskSet(
-            Task(now, job.deadline, job.remaining, job.name) for job in live
+        # Same ordering TaskSet.__init__ would produce: releases are all
+        # `now`, so (deadline, release, workload) reduces to this key, and
+        # the stable sort preserves arrival order on full ties.
+        live.sort(key=lambda job: (job.deadline, job.remaining))
+        relaxed = TaskSet.presorted(
+            tuple([Task(now, job.deadline, job.remaining, job.name) for job in live])
         )
+        # Timed via the per-process accumulator so the engine can ship a
+        # solver/engine wall split back from pool workers (repro bench).
+        solve_started = time.perf_counter()
         if self._use_overhead_scheme:
-            solution = solve_common_release_with_overhead(relaxed, self.platform)
+            # check_inputs=False: the relaxed set is common-release by
+            # construction (every job re-anchored at `now`) and replanning
+            # preserves feasibility, so the solver's input guards are
+            # redundant on this hot path.
+            solution = solve_common_release_with_overhead(
+                relaxed, self.platform, check_inputs=False
+            )
         else:
             solution = solve_common_release(relaxed, self.platform)
+        add_solver_seconds(time.perf_counter() - solve_started)
         wake = math.inf
         for job in live:
             duration = solution.finish_times[job.name] - now

@@ -135,6 +135,7 @@ def solve_common_release_with_overhead(
     platform: Platform,
     *,
     horizon_end: Optional[float] = None,
+    check_inputs: bool = True,
 ) -> CommonReleaseSolution:
     """Section 7's overhead-aware common-release scheme (Theorem 5).
 
@@ -147,14 +148,24 @@ def solve_common_release_with_overhead(
     transitions, so the returned ``predicted_energy`` equals pricing the
     emitted schedule over ``[release, horizon_end]`` with
     ``SleepPolicy.BREAK_EVEN``.
+
+    ``check_inputs=False`` skips the common-release / feasibility input
+    guards for callers that guarantee them structurally -- the online
+    replan loop re-anchors every task at the same instant and only ever
+    tightens speeds toward ``s_up``, and re-checking on each of its
+    thousands of solves is measurable (docs/PERFORMANCE.md).  The solver's
+    output is identical either way.
     """
     record_solver_call("overhead_delta")
     core = platform.core
     memory = platform.memory
-    if not tasks.has_common_release():
-        raise ValueError("the Section 7 scheme requires a common release time")
-    if not tasks.is_feasible_at(core.s_up):
-        raise ValueError("task set infeasible even at s_up")
+    if check_inputs:
+        if not tasks.has_common_release():
+            raise ValueError(
+                "the Section 7 scheme requires a common release time"
+            )
+        if not tasks.is_feasible_at(core.s_up):
+            raise ValueError("task set infeasible even at s_up")
 
     release = tasks[0].release
     lam, beta = core.lam, core.beta
@@ -164,7 +175,23 @@ def solve_common_release_with_overhead(
         if horizon_end is None
         else horizon_end - release
     )
-    if use_numpy:
+    best: Optional[Tuple[float, float, int]] = None
+    fused = use_numpy and len(tasks) <= vectorized._SMALL_N
+    if fused:
+        # The online replan loop solves thousands of 1-8 task instances;
+        # the fused kernel runs the same geometry / scan / candidate fold
+        # in one frame (identical floats, see its docstring).
+        horizon, ends, order_idx, best = vectorized.overhead_solve_small(
+            tasks, platform, rel_end
+        )
+        if best is None and rel_end < horizon - 1e-9:
+            raise ValueError(
+                f"horizon_end {horizon_end} precedes the schedule end "
+                f"{release + horizon}"
+            )
+        ordered_tasks = tasks.tasks
+        order = [ordered_tasks[k] for k in order_idx]
+    elif use_numpy:
         # One geometry + prefix-scan build per solve prices every candidate
         # in O(log n): the scalar path recomputes the geometry inside each
         # `overhead_energy_at_delta` call, which profiling shows dominates
@@ -173,7 +200,8 @@ def solve_common_release_with_overhead(
         horizon = scan.horizon
         ends = scan.ends
         workloads = scan.workloads
-        order = [tasks[k] for k in scan.order]
+        ordered_tasks = tasks.tasks
+        order = [ordered_tasks[k] for k in scan.order]
         if rel_end < horizon - 1e-9:
             # The scalar path raises this from its first per-candidate call.
             raise ValueError(
@@ -182,75 +210,71 @@ def solve_common_release_with_overhead(
             )
     else:
         horizon, ends, workloads, order = _schedule_geometry(tasks, platform)
-    n = len(order)
-    # Gap lengths exceed the in-|I| sleep by this trailing allowance, which
-    # shifts the break-even kink positions on the Delta axis.
-    shift = rel_end - horizon
+    if not fused:
+        n = len(order)
+        # Gap lengths exceed the in-|I| sleep by this trailing allowance,
+        # which shifts the break-even kink positions on the Delta axis.
+        shift = rel_end - horizon
 
-    delta_bp = [_INF] + [horizon - c for c in ends]
-    if use_numpy:
-        # The scan already built the same right-to-left accumulations
-        # (identical op order, hence identical floats); re-index them to
-        # this loop's 1-based convention instead of rebuilding.
-        suffix_wlam = [0.0, *scan.suffix_wlam]
-        suffix_max_w = [0.0, *scan.suffix_max_w]
-    else:
-        suffix_wlam = [0.0] * (n + 2)
-        suffix_max_w = [0.0] * (n + 2)
-        for j in range(n, 0, -1):
-            suffix_wlam[j] = suffix_wlam[j + 1] + workloads[j - 1] ** lam
-            suffix_max_w[j] = max(suffix_max_w[j + 1], workloads[j - 1])
-
-    beta_lam = beta * (lam - 1.0)
-    inv_lam = 1.0 / lam
-    alpha, alpha_m = core.alpha, memory.alpha_m
-    s_up, core_xi, mem_xi = core.s_up, core.xi, memory.xi_m
-
-    def stationary(i: int, effective_static: float) -> Optional[float]:
-        """Eq. (8)-type stationary point with a chosen static coefficient."""
-        if effective_static <= 0.0:
-            return None
-        return horizon - (
-            beta_lam * suffix_wlam[i] / effective_static
-        ) ** inv_lam
-
-    best: Optional[Tuple[float, float, int]] = None
-    pending: List[Tuple[float, int]] = []
-    for i in range(1, n + 1):
-        lo = delta_bp[i]
-        cap = horizon - suffix_max_w[i] / s_up
-        hi = min(delta_bp[i - 1], cap, horizon)
-        if hi < lo:
-            continue
-        aligned = n - i + 1
-        candidates = {lo, hi if math.isfinite(hi) else lo}
-        for coeff in (
-            aligned * alpha + alpha_m,  # both sleep
-            alpha_m,  # cores idle awake
-            aligned * alpha,  # memory stays awake
-        ):
-            point = stationary(i, coeff)
-            if point is not None:
-                candidates.add(min(max(point, lo), hi))
-        for kink in (0.0, core_xi - shift, mem_xi - shift):
-            if lo <= kink <= hi:
-                candidates.add(kink)
+        delta_bp = [_INF] + [horizon - c for c in ends]
         if use_numpy:
-            pending.extend((delta, i) for delta in candidates)
-            continue
-        for delta in candidates:
-            energy = overhead_energy_at_delta(
-                tasks, platform, delta, horizon_end=horizon_end
+            # The scan already built the same right-to-left accumulations
+            # (identical op order, hence identical floats); suffix index j
+            # covers tasks [j, n), so case i reads slot i - 1.
+            suffix_wlam = scan.suffix_wlam
+            suffix_max_w = scan.suffix_max_w
+        else:
+            suffix_wlam = [0.0] * (n + 1)
+            suffix_max_w = [0.0] * (n + 1)
+            for j in range(n - 1, -1, -1):
+                suffix_wlam[j] = suffix_wlam[j + 1] + workloads[j] ** lam
+                suffix_max_w[j] = max(suffix_max_w[j + 1], workloads[j])
+
+        beta_lam = beta * (lam - 1.0)
+        inv_lam = 1.0 / lam
+        alpha, alpha_m = core.alpha, memory.alpha_m
+        s_up, core_xi, mem_xi = core.s_up, core.xi, memory.xi_m
+        kinks = (0.0, core_xi - shift, mem_xi - shift)
+
+        pending: List[Tuple[float, int]] = []
+        for i in range(1, n + 1):
+            lo = delta_bp[i]
+            cap = horizon - suffix_max_w[i - 1] / s_up
+            hi = min(delta_bp[i - 1], cap, horizon)
+            if hi < lo:
+                continue
+            aligned = n - i + 1
+            candidates = {lo, hi if math.isfinite(hi) else lo}
+            # Eq. (8)-type stationary point per sleep/stay-awake regime,
+            # each with its own effective static coefficient (Table 3).
+            factor = beta_lam * suffix_wlam[i - 1]
+            for coeff in (
+                aligned * alpha + alpha_m,  # both sleep
+                alpha_m,  # cores idle awake
+                aligned * alpha,  # memory stays awake
+            ):
+                if coeff > 0.0:
+                    point = horizon - (factor / coeff) ** inv_lam
+                    candidates.add(min(max(point, lo), hi))
+            for kink in kinks:
+                if lo <= kink <= hi:
+                    candidates.add(kink)
+            if use_numpy:
+                pending.extend((delta, i) for delta in candidates)
+                continue
+            for delta in candidates:
+                energy = overhead_energy_at_delta(
+                    tasks, platform, delta, horizon_end=horizon_end
+                )
+                if best is None or energy < best[1] - 1e-12:
+                    best = (delta, energy, i)
+        if use_numpy and pending:
+            energies = vectorized.overhead_energy_batch(
+                scan, platform, rel_end, [p[0] for p in pending]
             )
-            if best is None or energy < best[1] - 1e-12:
-                best = (delta, energy, i)
-    if use_numpy and pending:
-        energies = vectorized.overhead_energy_batch(
-            scan, platform, rel_end, [p[0] for p in pending]
-        )
-        for (delta, i), energy in zip(pending, energies):
-            if best is None or energy < best[1] - 1e-12:
-                best = (delta, energy, i)
+            for (delta, i), energy in zip(pending, energies):
+                if best is None or energy < best[1] - 1e-12:
+                    best = (delta, energy, i)
     if best is None:  # pragma: no cover - guarded by feasibility check
         raise RuntimeError("no feasible case found")
     delta_opt, energy_opt, case_idx = best

@@ -35,7 +35,9 @@ keep pinning the closed forms no matter which backend runs them.
 
 from __future__ import annotations
 
+import math
 import os
+from bisect import bisect_left
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -67,6 +69,15 @@ __all__ = [
     "OverheadScan",
     "overhead_scan",
     "overhead_energy_batch",
+    "overhead_solve_small",
+    "TimelineArrays",
+    "timeline_arrays",
+    "accounting_batch",
+    "uniform_from_draws",
+    "running_sum",
+    "fft_trace_columns",
+    "synthetic_trace_columns",
+    "segments_feasible_batch",
 ]
 
 HAS_NUMPY = np is not None
@@ -459,18 +470,17 @@ def _overhead_scan_small(
         annotated = []
         for i, t in enumerate(tasks):
             w = t.workload
-            candidate = min(max(s_m, t.filled_speed), s_up)
+            filled = w / (t.deadline - t.release)
+            candidate = min(max(s_m, filled), s_up)
             ref = candidate if reference is None else reference
             if ref <= 0.0 or outer - w / ref >= xi:
                 s_c = candidate
             else:
-                s_c = min(t.filled_speed, s_up)
+                s_c = min(filled, s_up)
             annotated.append((w / s_c, i, w))
-    horizon = max(end for end, _, _ in annotated)
     annotated.sort(key=lambda pair: pair[0])
-    ends = [end for end, _, _ in annotated]
-    order = [i for _, i, _ in annotated]
-    workloads = [w for _, _, w in annotated]
+    ends, order, workloads = zip(*annotated)
+    horizon = ends[-1]
 
     lam, beta = core.lam, core.beta
     one_lam = 1.0 - lam
@@ -584,8 +594,6 @@ def _overhead_energy_small(
     deltas: Sequence[float],
 ) -> List[float]:
     """Python evaluation of the scan objective at each candidate."""
-    from bisect import bisect_left
-
     core = platform.core
     memory = platform.memory
     horizon = scan.horizon
@@ -683,3 +691,533 @@ def overhead_energy_batch(
             )
     total = np.where(overspeed, _INF, total)
     return np.where(busy_end <= 0.0, _INF, total).tolist()
+
+
+def overhead_solve_small(
+    tasks: TaskSet, platform: Platform, rel_end: float
+) -> Tuple[
+    float,
+    Sequence[float],
+    Sequence[int],
+    Optional[Tuple[float, float, int]],
+]:
+    """Fused small-n Section 7 solve: geometry, scan and candidate sweep.
+
+    The online replan loop solves thousands of 1-8 task instances, where
+    the cost is pure Python call overhead rather than arithmetic; fusing
+    :func:`_overhead_scan_small`, the transition-module case loop and
+    :func:`_overhead_energy_small` into one frame erases that overhead.
+    Every formula and evaluation order matches the unfused path (identical
+    floats, identical candidate fold), which the backend property tests
+    pin.
+
+    Returns ``(horizon, natural_ends, order, best)`` with ``best`` the
+    ``(delta, energy, case_index)`` winner -- or ``None`` when ``rel_end``
+    precedes the schedule end, which the caller turns into the same
+    ``ValueError`` the unfused path raises.
+    """
+    core = platform.core
+    memory = platform.memory
+    release = tasks[0].release
+    if core.alpha == 0.0:
+        annotated = [
+            (t.deadline - release, i, t.workload) for i, t in enumerate(tasks)
+        ]
+    else:
+        outer = tasks.latest_deadline - release
+        s_m, s_up, xi = core.s_m, core.s_up, core.xi
+        reference = min(s_m, s_up) if s_m > 0.0 else None
+        annotated = []
+        for i, t in enumerate(tasks):
+            w = t.workload
+            filled = w / (t.deadline - t.release)
+            candidate = min(max(s_m, filled), s_up)
+            ref = candidate if reference is None else reference
+            if ref <= 0.0 or outer - w / ref >= xi:
+                s_c = candidate
+            else:
+                s_c = min(filled, s_up)
+            annotated.append((w / s_c, i, w))
+    annotated.sort(key=lambda pair: pair[0])
+    ends, order, workloads = zip(*annotated)
+    horizon = ends[-1]
+    if rel_end < horizon - 1e-9:
+        return horizon, ends, order, None
+
+    lam, beta = core.lam, core.beta
+    one_lam = 1.0 - lam
+    alpha, xi = core.alpha, core.xi
+    s_up = core.s_up
+    up_thresh = s_up * (1.0 + 1e-9)
+    gapped = alpha != 0.0 and xi != 0.0
+    axi = alpha * xi
+    pe = [0.0]
+    pb = [0.0]
+    pg = [0.0] if gapped else None
+    overspeed = False
+    acc_e = acc_b = acc_g = 0.0
+    for end, w in zip(ends, workloads):
+        acc_e += end
+        pe.append(acc_e)
+        acc_b += (beta * w ** lam) * end ** one_lam
+        pb.append(acc_b)
+        if gapped:
+            gap = rel_end - end
+            if gap > 0.0:
+                ag = alpha * gap
+                acc_g += ag if ag < axi else axi
+            pg.append(acc_g)
+        if w / end > up_thresh:
+            overspeed = True
+    po: Optional[List[int]] = None
+    if overspeed:
+        po = [0]
+        acc_o = 0
+        for end, w in zip(ends, workloads):
+            acc_o += 1 if w / end > up_thresh else 0
+            po.append(acc_o)
+    n = len(ends)
+    sw = [0.0] * (n + 1)
+    sm = [0.0] * (n + 1)
+    for j in range(n - 1, -1, -1):
+        sw[j] = sw[j + 1] + workloads[j] ** lam
+        wj = workloads[j]
+        prev = sm[j + 1]
+        sm[j] = prev if prev >= wj else wj
+
+    alpha_m = memory.alpha_m
+    am_xi = alpha_m * memory.xi_m
+    shift = rel_end - horizon
+    beta_lam = beta * (lam - 1.0)
+    inv_lam = 1.0 / lam
+    kinks = (0.0, xi - shift, memory.xi_m - shift)
+    delta_bp = [_INF] + [horizon - c for c in ends]
+
+    best: Optional[Tuple[float, float, int]] = None
+    for i in range(1, n + 1):
+        lo = delta_bp[i]
+        cap = horizon - sm[i - 1] / s_up
+        hi = delta_bp[i - 1]
+        if cap < hi:
+            hi = cap
+        if horizon < hi:
+            hi = horizon
+        if hi < lo:
+            continue
+        aligned = n - i + 1
+        candidates = {lo, hi if math.isfinite(hi) else lo}
+        factor = beta_lam * sw[i - 1]
+        for coeff in (
+            aligned * alpha + alpha_m,  # both sleep
+            alpha_m,  # cores idle awake
+            aligned * alpha,  # memory stays awake
+        ):
+            if coeff > 0.0:
+                point = horizon - (factor / coeff) ** inv_lam
+                if point < lo:
+                    point = lo
+                if point > hi:
+                    point = hi
+                candidates.add(point)
+        for kink in kinks:
+            if lo <= kink <= hi:
+                candidates.add(kink)
+        for delta in candidates:
+            busy = horizon - delta
+            if busy <= 0.0:
+                energy = _INF
+            else:
+                k = bisect_left(ends, busy)
+                if (po is not None and po[k] > 0) or sm[k] > up_thresh * busy:
+                    energy = _INF
+                else:
+                    behind = n - k
+                    energy = (
+                        alpha_m * busy
+                        + alpha * pe[k]
+                        + pb[k]
+                        + alpha * behind * busy
+                        + sw[k] * (beta * busy ** one_lam)
+                    )
+                    trailing = rel_end - busy
+                    if trailing > 0.0:
+                        if alpha_m != 0.0:
+                            mt = alpha_m * trailing
+                            energy += mt if mt < am_xi else am_xi
+                        if gapped:
+                            ct = alpha * trailing
+                            energy += behind * (ct if ct < axi else axi)
+                    if gapped:
+                        energy += pg[k]
+            if best is None or energy < best[1] - 1e-12:
+                best = (delta, energy, i)
+    return horizon, ends, order, best
+
+
+# ---------------------------------------------------------------------------
+# Batched timeline / accounting kernel (the non-solver work-unit share)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimelineArrays:
+    """A priced schedule as structure-of-arrays segment columns.
+
+    One row per execution segment, sorted by ``(core, start)`` so each
+    core's segments are contiguous and chronological -- the layout every
+    kernel below assumes.  ``horizon`` is the accounting window the
+    segments will be priced over.
+    """
+
+    cores: "np.ndarray"
+    starts: "np.ndarray"
+    ends: "np.ndarray"
+    speeds: "np.ndarray"
+    horizon: Tuple[float, float]
+
+    @property
+    def n(self) -> int:
+        return int(self.starts.shape[0])
+
+
+def timeline_arrays(
+    segments: Sequence[Tuple[int, float, float, float]],
+    horizon: Tuple[float, float],
+) -> TimelineArrays:
+    """Build the segment-table columns for ``(core, start, end, speed)`` rows."""
+    if np is None:  # pragma: no cover - callers gate on use_numpy()
+        raise RuntimeError("numpy is not available")
+    raw = np.asarray(
+        [(c, s, e, v) for c, s, e, v in segments], dtype=np.float64
+    ).reshape(len(segments), 4)
+    order = np.lexsort((raw[:, 1], raw[:, 0]))
+    raw = raw[order]
+    return TimelineArrays(
+        cores=raw[:, 0].astype(np.int64),
+        starts=raw[:, 1],
+        ends=raw[:, 2],
+        speeds=raw[:, 3],
+        horizon=horizon,
+    )
+
+
+def _coalesce_keyed(
+    keys: "np.ndarray", starts: "np.ndarray", ends: "np.ndarray", eps: float
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Merge ``(start, end)`` spans within each key group.
+
+    Inputs must be sorted by ``(key, start)``.  Spans closer than ``eps``
+    coalesce, mirroring :func:`repro.schedule.timeline.merge_intervals`.
+    Returns ``(span_keys, span_starts, span_ends)``.
+    """
+    if starts.shape[0] == 0:
+        return keys[:0], starts[:0], ends[:0]
+    # Offsetting every span by its key times a spacer larger than the whole
+    # time range makes the groups disjoint on one axis, so a single
+    # cumulative-max pass merges all groups at once.
+    span = float(ends.max() - min(starts.min(), 0.0)) + 1.0
+    shift = keys.astype(np.float64) * (2.0 * span + 2.0 * eps)
+    s = starts + shift
+    e = ends + shift
+    reach = np.maximum.accumulate(e)
+    new_span = np.empty(s.shape[0], dtype=bool)
+    new_span[0] = True
+    new_span[1:] = s[1:] > reach[:-1] + eps
+    first = np.flatnonzero(new_span)
+    merged_end = np.maximum.reduceat(e, first)
+    return keys[first], s[first] - shift[first], merged_end - shift[first]
+
+
+def _gap_lengths_keyed(
+    keys: "np.ndarray",
+    span_starts: "np.ndarray",
+    span_ends: "np.ndarray",
+    horizon: Tuple[float, float],
+    eps: float,
+) -> "np.ndarray":
+    """Idle-gap lengths per key group within ``horizon``, concatenated.
+
+    Inputs are merged spans sorted by ``(key, start)``.  Gap *positions*
+    never matter to the pricing policies -- only lengths do -- so the
+    kernel returns one flat vector: interior gaps between consecutive
+    spans of the same key plus the two horizon-edge gaps of every key.
+    Mirrors :func:`repro.schedule.timeline.complement_within`, including
+    the clamping of spans that poke past the horizon and the ``eps``
+    suppression of hairline gaps.
+    """
+    lo, hi = horizon
+    s = np.clip(span_starts, lo, hi)
+    e = np.clip(span_ends, lo, hi)
+    keep = e > s
+    keys, s, e = keys[keep], s[keep], e[keep]
+    if s.shape[0] == 0:
+        return np.full(int(np.unique(keys).shape[0]) or 0, hi - lo)
+    same = keys[1:] == keys[:-1]
+    interior = (s[1:] - e[:-1])[same]
+    first = np.empty(keys.shape[0], dtype=bool)
+    first[0] = True
+    first[1:] = ~same
+    head = s[first] - lo
+    tail = hi - e[np.append(np.flatnonzero(first)[1:] - 1, keys.shape[0] - 1)]
+    gaps = np.concatenate([interior, head, tail])
+    return gaps[gaps > eps]
+
+
+def _price_gaps(
+    gaps: "np.ndarray", static_power: float, break_even: float, policy: str
+) -> Tuple[float, float]:
+    """``(energy, sleep_time)`` over gap lengths under one sleep policy.
+
+    ``policy`` is a :class:`repro.energy.accounting.SleepPolicy` value
+    string; the enum itself lives upstream of this module.
+    """
+    if policy == "never":
+        return float(static_power * gaps.sum()), 0.0
+    if policy == "always":
+        return (
+            float(static_power * break_even * gaps.shape[0]),
+            float(gaps.sum()),
+        )
+    sleeps = gaps >= break_even
+    count = float(np.count_nonzero(sleeps))
+    energy = static_power * break_even * count + static_power * float(
+        gaps[~sleeps].sum()
+    )
+    return float(energy), float(gaps[sleeps].sum())
+
+
+def accounting_batch(
+    arrays: TimelineArrays,
+    platform: Platform,
+    *,
+    memory_policies: Sequence[str],
+    core_policy: str,
+    eps: float = 1e-9,
+) -> List[Tuple[float, float, float, float, float, float, float]]:
+    """Price one segment table under several memory sleep policies at once.
+
+    Returns one ``(core_dynamic, core_static_active, core_idle,
+    memory_active, memory_idle, memory_sleep_time, memory_busy_time)``
+    tuple per entry of ``memory_policies`` -- the field order of
+    :class:`repro.energy.accounting.EnergyBreakdown`.  The core-side terms
+    and the memory busy union are computed once and shared, which is what
+    lets the experiment pipeline price MBKPS and MBKP from a single
+    simulated schedule.
+
+    Matches the scalar accountant to within float re-association (sums are
+    pairwise here, sequential there); ``repro.energy.accounting`` owns the
+    dispatch and keeps the scalar path as the bit-exact reference.
+    """
+    if np is None:  # pragma: no cover - callers gate on use_numpy()
+        raise RuntimeError("numpy is not available")
+    core_model = platform.core
+    memory_model = platform.memory
+    durations = arrays.ends - arrays.starts
+    core_dynamic = float(
+        (core_model.beta * arrays.speeds**core_model.lam * durations).sum()
+    )
+    core_static_active = float(core_model.alpha * durations.sum())
+
+    span_cores, span_starts, span_ends = _coalesce_keyed(
+        arrays.cores, arrays.starts, arrays.ends, eps
+    )
+    core_idle = 0.0
+    if core_model.alpha > 0.0:
+        core_gaps = _gap_lengths_keyed(
+            span_cores, span_starts, span_ends, arrays.horizon, eps
+        )
+        core_idle, _ = _price_gaps(
+            core_gaps, core_model.alpha, core_model.xi, core_policy
+        )
+
+    # Memory view: union across cores = merge the per-core spans again
+    # under one key.  They are re-sorted by start first (span_starts is
+    # sorted within each core, not globally).
+    union_order = np.argsort(span_starts, kind="stable")
+    zeros = np.zeros(span_starts.shape[0], dtype=np.int64)
+    _, busy_starts, busy_ends = _coalesce_keyed(
+        zeros, span_starts[union_order], span_ends[union_order], eps
+    )
+    memory_busy_time = float((busy_ends - busy_starts).sum())
+    memory_active = memory_model.alpha_m * memory_busy_time
+    memory_gaps = _gap_lengths_keyed(
+        np.zeros(busy_starts.shape[0], dtype=np.int64),
+        busy_starts,
+        busy_ends,
+        arrays.horizon,
+        eps,
+    )
+    out: List[Tuple[float, float, float, float, float, float, float]] = []
+    for policy in memory_policies:
+        memory_idle, memory_sleep_time = _price_gaps(
+            memory_gaps, memory_model.alpha_m, memory_model.xi_m, policy
+        )
+        out.append(
+            (
+                core_dynamic,
+                core_static_active,
+                core_idle,
+                memory_active,
+                memory_idle,
+                memory_sleep_time,
+                memory_busy_time,
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Batched trace-generation arithmetic
+# ---------------------------------------------------------------------------
+
+
+def uniform_from_draws(
+    draws: Sequence[float], a: float, b: float
+) -> "np.ndarray":
+    """Map unit draws to ``Uniform(a, b)`` exactly as ``random.uniform``.
+
+    CPython computes ``a + (b - a) * random()``; evaluating the same
+    expression elementwise in float64 is IEEE-identical, so a trace built
+    from pre-drawn unit variates matches the scalar generator bit for bit.
+    """
+    if np is None:  # pragma: no cover - callers gate on use_numpy()
+        raise RuntimeError("numpy is not available")
+    return a + (b - a) * np.asarray(draws, dtype=np.float64)
+
+
+def running_sum(values: Sequence[float], initial: float = 0.0) -> "np.ndarray":
+    """Running clock: ``out[0] = initial``, ``out[i] = out[i-1] + values[i-1]``.
+
+    ``np.cumsum`` accumulates left to right exactly like a ``+=`` loop,
+    and ``initial`` is folded in as the first accumulation term (not added
+    afterwards, which would re-associate the sum), so the result is
+    bit-identical to the scalar clock advance it replaces.
+    """
+    if np is None:  # pragma: no cover - callers gate on use_numpy()
+        raise RuntimeError("numpy is not available")
+    seq = np.empty(len(values) + 1, dtype=np.float64)
+    seq[0] = initial
+    seq[1:] = values
+    return seq.cumsum()
+
+
+def fft_trace_columns(
+    phase_draws: Sequence[float],
+    workload_draws: Sequence[float],
+    period_draws: Sequence[float],
+    *,
+    streams: int,
+    base_kilocycles: float,
+    jitter: float,
+    reference_mhz: float,
+    utilization_factor: float,
+    phase_range: Tuple[float, float],
+    period_jitter: Tuple[float, float],
+) -> Tuple[List[float], List[float], List[float]]:
+    """Batched ``(releases, spans, workloads)`` for one DSPstone FFT trace.
+
+    The caller pre-draws the unit variates in the scalar generator's exact
+    call order (phases first, then one workload + one period draw per
+    instance); every arithmetic step below reproduces the scalar
+    expressions with the same association, so the columns -- and therefore
+    the :class:`~repro.models.task.Task` objects built from them -- are
+    bit-identical to the per-task loop.  Instance ``i`` belongs to stream
+    ``i % streams``; each stream's release clock is a running sum of its
+    own period increments seeded by its phase.
+    """
+    if np is None:  # pragma: no cover - callers gate on use_numpy()
+        raise RuntimeError("numpy is not available")
+    workloads = base_kilocycles * uniform_from_draws(
+        workload_draws, 1.0 - jitter, 1.0 + jitter
+    )
+    spans = workloads / reference_mhz
+    increments = (
+        spans
+        * utilization_factor
+        * uniform_from_draws(period_draws, *period_jitter)
+    )
+    phases = uniform_from_draws(phase_draws, *phase_range)
+    releases = np.empty(workloads.shape[0], dtype=np.float64)
+    for stream in range(streams):
+        lane = increments[stream::streams]
+        releases[stream::streams] = running_sum(
+            lane, initial=float(phases[stream])
+        )[:-1]
+    return releases.tolist(), spans.tolist(), workloads.tolist()
+
+
+def synthetic_trace_columns(
+    gap_draws: Sequence[float],
+    span_draws: Sequence[float],
+    workload_draws: Sequence[float],
+    *,
+    min_interarrival: float,
+    max_interarrival: float,
+    span_range: Tuple[float, float],
+    workload_range: Tuple[float, float],
+) -> Tuple[List[float], List[float], List[float]]:
+    """Batched ``(releases, spans, workloads)`` for one synthetic trace.
+
+    Same bit-identity contract as :func:`fft_trace_columns`: the caller
+    supplies the unit draws in scalar call order (``gap_draws`` has one
+    entry per task after the first), and the release clock accumulates the
+    inter-arrival gaps exactly like the scalar ``t +=`` loop.
+    """
+    if np is None:  # pragma: no cover - callers gate on use_numpy()
+        raise RuntimeError("numpy is not available")
+    spans = uniform_from_draws(span_draws, *span_range)
+    workloads = uniform_from_draws(workload_draws, *workload_range)
+    gaps = uniform_from_draws(gap_draws, min_interarrival, max_interarrival)
+    releases = running_sum(gaps, initial=0.0)
+    return releases.tolist(), spans.tolist(), workloads.tolist()
+
+
+def segments_feasible_batch(
+    releases: Sequence[float],
+    deadlines: Sequence[float],
+    workload_need: Sequence[float],
+    seg_task: Sequence[int],
+    seg_starts: Sequence[float],
+    seg_ends: Sequence[float],
+    seg_speeds: Sequence[float],
+    seg_cores: Sequence[int],
+    *,
+    max_speed: float,
+    rel_tol: float,
+    abs_tol: float,
+) -> bool:
+    """Vectorized feasibility predicate over a segment table.
+
+    Array counterpart of the checks in
+    :func:`repro.schedule.validation.validate_segments`: per-segment
+    release/deadline/speed bounds, per-task executed-workload totals and
+    per-core non-overlap.  ``seg_task`` holds per-segment indices into the
+    task columns.  Returns ``False`` on any violation -- the caller
+    re-runs the scalar validator to raise the precise error.
+    """
+    if np is None:  # pragma: no cover - callers gate on use_numpy()
+        raise RuntimeError("numpy is not available")
+    releases = np.asarray(releases, dtype=np.float64)
+    deadlines = np.asarray(deadlines, dtype=np.float64)
+    workload_need = np.asarray(workload_need, dtype=np.float64)
+    seg_task = np.asarray(seg_task, dtype=np.int64)
+    starts = np.asarray(seg_starts, dtype=np.float64)
+    ends = np.asarray(seg_ends, dtype=np.float64)
+    speeds = np.asarray(seg_speeds, dtype=np.float64)
+    cores = np.asarray(seg_cores, dtype=np.int64)
+    if bool((starts < releases[seg_task] - abs_tol).any()):
+        return False
+    if bool((ends > deadlines[seg_task] + abs_tol).any()):
+        return False
+    if bool((speeds > max_speed * (1.0 + rel_tol) + abs_tol).any()):
+        return False
+    executed = np.zeros(releases.shape[0], dtype=np.float64)
+    np.add.at(executed, seg_task, speeds * (ends - starts))
+    tolerance = np.maximum(abs_tol, rel_tol * workload_need)
+    if bool((np.abs(executed - workload_need) > tolerance).any()):
+        return False
+    order = np.lexsort((starts, cores))
+    o_cores, o_starts, o_ends = cores[order], starts[order], ends[order]
+    same_core = o_cores[1:] == o_cores[:-1]
+    overlap = o_starts[1:] < o_ends[:-1] - abs_tol
+    return not bool((same_core & overlap).any())

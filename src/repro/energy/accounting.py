@@ -28,13 +28,25 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.models.platform import Platform
-from repro.schedule.timeline import Schedule, complement_within, total_length
+from repro.schedule.timeline import (
+    ExecutionInterval,
+    Schedule,
+    complement_within,
+    merge_intervals,
+    total_length,
+)
 from repro.units import UJ, unit
 
-__all__ = ["SleepPolicy", "EnergyBreakdown", "account", "memory_energy_for_gaps"]
+__all__ = [
+    "SleepPolicy",
+    "EnergyBreakdown",
+    "account",
+    "account_segments",
+    "memory_energy_for_gaps",
+]
 
 
 class SleepPolicy(enum.Enum):
@@ -203,4 +215,119 @@ def account(
         memory_idle=memory_idle,
         memory_sleep_time=memory_sleep_time,
         memory_busy_time=memory_busy_time,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Segment-table fast path
+# ---------------------------------------------------------------------------
+
+#: Raw execution segment: ``(core index, interval)`` as emitted by the
+#: online policies, before any :class:`~repro.schedule.timeline.Schedule`
+#: is assembled.
+Segment = Tuple[int, ExecutionInterval]
+
+
+def _account_segments_scalar(
+    segments: Sequence[Segment],
+    platform: Platform,
+    horizon: Tuple[float, float],
+    memory_policies: Sequence[SleepPolicy],
+    core_policy: SleepPolicy,
+) -> List[EnergyBreakdown]:
+    """Reference pricing over raw segments, bit-identical to :func:`account`.
+
+    Mirrors the accountant's arithmetic order exactly -- cores visited in
+    index order, each core's intervals in start order, the busy union
+    merged from per-core spans in the same sequence -- so pricing segments
+    directly produces the same floats as building the
+    :class:`~repro.schedule.timeline.Schedule` first.  The shared terms
+    (core side, busy union, gap list) are computed once and re-priced per
+    memory policy.
+    """
+    core_model = platform.core
+    memory_model = platform.memory
+    per_core: Dict[int, List[ExecutionInterval]] = {}
+    for index, interval in segments:
+        per_core.setdefault(index, []).append(interval)
+
+    core_dynamic = 0.0
+    core_static_active = 0.0
+    core_idle = 0.0
+    all_spans: List[Tuple[float, float]] = []
+    for index in sorted(per_core):
+        intervals = sorted(per_core[index], key=lambda iv: iv.start)
+        for interval in intervals:
+            core_dynamic += core_model.dynamic_power(interval.speed) * interval.duration
+            core_static_active += core_model.alpha * interval.duration
+        busy_spans = merge_intervals((iv.start, iv.end) for iv in intervals)
+        if core_model.alpha > 0.0:
+            gaps = complement_within(busy_spans, horizon)
+            idle_energy, _ = _gap_energy(
+                gaps, core_model.alpha, core_model.xi, core_policy
+            )
+            core_idle += idle_energy
+        all_spans.extend(busy_spans)
+
+    busy_union = merge_intervals(all_spans) if all_spans else []
+    memory_busy_time = total_length(busy_union)
+    memory_active = memory_model.alpha_m * memory_busy_time
+    memory_gaps = complement_within(busy_union, horizon)
+    out: List[EnergyBreakdown] = []
+    for memory_policy in memory_policies:
+        memory_idle, memory_sleep_time = _gap_energy(
+            memory_gaps, memory_model.alpha_m, memory_model.xi_m, memory_policy
+        )
+        out.append(
+            EnergyBreakdown(
+                core_dynamic=core_dynamic,
+                core_static_active=core_static_active,
+                core_idle=core_idle,
+                memory_active=memory_active,
+                memory_idle=memory_idle,
+                memory_sleep_time=memory_sleep_time,
+                memory_busy_time=memory_busy_time,
+            )
+        )
+    return out
+
+
+def account_segments(
+    segments: Sequence[Segment],
+    platform: Platform,
+    *,
+    horizon: Tuple[float, float],
+    memory_policies: Sequence[SleepPolicy],
+    core_policy: SleepPolicy = SleepPolicy.BREAK_EVEN,
+) -> List[EnergyBreakdown]:
+    """Price raw execution segments under several memory policies at once.
+
+    The segment-table counterpart of :func:`account`: no
+    :class:`~repro.schedule.timeline.Schedule` is materialized, and the
+    core-side terms plus the memory busy union are shared across every
+    requested memory policy -- which is how the experiment pipeline prices
+    MBKPS and MBKP from one simulated schedule.
+
+    Dispatch follows the numeric backend: large tables go through
+    :func:`repro.core.vectorized.accounting_batch` (agreement to float
+    re-association, covered by the backend property tests); small tables
+    and the scalar backend use the bit-exact reference loop above.
+    """
+    # Imported lazily: repro.core.online (pulled in by the repro.core
+    # package init) imports this module for SleepPolicy.
+    from repro.core import vectorized
+
+    if vectorized.use_numpy() and len(segments) > vectorized._SMALL_N:
+        arrays = vectorized.timeline_arrays(
+            [(c, iv.start, iv.end, iv.speed) for c, iv in segments], horizon
+        )
+        priced = vectorized.accounting_batch(
+            arrays,
+            platform,
+            memory_policies=[policy.value for policy in memory_policies],
+            core_policy=core_policy.value,
+        )
+        return [EnergyBreakdown(*fields) for fields in priced]
+    return _account_segments_scalar(
+        segments, platform, horizon, memory_policies, core_policy
     )

@@ -45,7 +45,13 @@ from repro.experiments.parallel import resolve_workers, run_series
 from repro.experiments.runner import SeriesResult
 from repro.utils.solvers import reset_solver_counts, solver_call_total
 
-__all__ = ["run_bench", "render_bench_table", "write_bench_json"]
+__all__ = [
+    "check_serial_regression",
+    "load_trajectory",
+    "run_bench",
+    "render_bench_table",
+    "write_bench_json",
+]
 
 #: Default Fig. 6 slice: the full U sweep at a moderate seed count.
 BENCH_U_VALUES: List[int] = [2, 3, 4, 5, 6, 7, 8, 9]
@@ -228,13 +234,39 @@ def run_bench(
     assert identical, "bench modes disagree -- engine determinism is broken"
 
     def mode_report(mode: Dict[str, object]) -> Dict[str, object]:
+        # Wall-time split (additive, in seconds): time inside the solver
+        # entry points, the rest of each work unit (trace generation,
+        # simulation, validation, accounting), and everything outside the
+        # units (scheduling, pool transport, cache lookups, reduction).
+        # Solver seconds are accumulated in-process by the online replan
+        # loop and shipped back per unit, so the split survives pool runs.
+        series: SeriesResult = mode["series"]
+        wall_s = mode["seconds"]
+        unit_s = sum(p.wall_ms for p in series.points) / 1000.0
+        solver_s = series.total_solver_ms() / 1000.0
         return {
-            "seconds": round(mode["seconds"], 4),
+            "seconds": round(wall_s, 4),
             "solver_calls": mode["solver_calls"],
             "cached_units": mode["cached_units"],
+            "split": {
+                "solver_s": round(solver_s, 4),
+                "engine_s": round(max(0.0, unit_s - solver_s), 4),
+                "other_s": round(max(0.0, wall_s - unit_s), 4),
+            },
         }
 
     serial_s = serial["seconds"]
+    cpu_count = os.cpu_count()
+    # A single worker (or a single-core container) cannot show parallel
+    # speedup; run 2 still happens (it populates the cache for run 3) but
+    # its row measures pool overhead, not parallelism.
+    pool_meaningless = pool_workers <= 1 or (cpu_count or 1) <= 1
+    parallel_report = mode_report(parallel)
+    if pool_meaningless:
+        parallel_report["annotation"] = (
+            "single worker/core: pool overhead only, "
+            "not a parallelism measurement"
+        )
     report: Dict[str, object] = {
         "slice": {
             "benchmark": benchmark,
@@ -244,16 +276,16 @@ def run_bench(
             "units": len(u_values) * seeds,
         },
         "workers": pool_workers,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "backend": vectorized.get_backend(),
         "modes": {
             "serial_cold": mode_report(serial),
-            "parallel_cold": mode_report(parallel),
+            "parallel_cold": parallel_report,
             "warm_cache": mode_report(warm),
         },
         "speedup": {
             "parallel_vs_serial": round(serial_s / parallel["seconds"], 3)
-            if parallel["seconds"] > 0
+            if parallel["seconds"] > 0 and not pool_meaningless
             else None,
             "warm_vs_serial": round(serial_s / warm["seconds"], 3)
             if warm["seconds"] > 0
@@ -267,6 +299,51 @@ def run_bench(
         "numeric": _compare_backends(specs, seeds=seeds),
     }
     return report
+
+
+def check_serial_regression(
+    report: Dict[str, object],
+    trajectory: List[Dict[str, object]],
+    *,
+    threshold: float = 0.25,
+    min_delta_s: float = 0.05,
+) -> Optional[str]:
+    """Gate a fresh report against the recorded performance history.
+
+    Compares the new ``serial_cold`` wall time against the most recent
+    trajectory entry with the same backend and the same slice; returns a
+    failure message when the new run is more than ``threshold`` slower
+    *and* at least ``min_delta_s`` slower in absolute terms (quick slices
+    finish in ~10ms, where a 25% relative gate alone would trip on timer
+    noise), ``None`` otherwise.  With no comparable prior entry (first
+    run, new slice, other backend) the gate is skipped.
+    """
+    prior: Optional[Dict[str, object]] = None
+    for entry in reversed(trajectory):
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("backend") != report.get("backend"):
+            continue
+        if entry.get("slice") != report.get("slice"):
+            continue
+        prior = entry
+        break
+    if prior is None:
+        return None
+    try:
+        prev_s = float(prior["modes"]["serial_cold"]["seconds"])  # type: ignore[index]
+        new_s = float(report["modes"]["serial_cold"]["seconds"])  # type: ignore[index]
+    except (KeyError, TypeError, ValueError):
+        return None
+    if prev_s <= 0.0:
+        return None
+    if new_s > prev_s * (1.0 + threshold) and new_s - prev_s >= min_delta_s:
+        return (
+            f"serial_cold regression: {new_s:.3f}s vs {prev_s:.3f}s recorded "
+            f"({(new_s / prev_s - 1.0) * 100.0:+.0f}% exceeds the "
+            f"{threshold * 100.0:.0f}% gate)"
+        )
+    return None
 
 
 def render_bench_table(report: Dict[str, object]) -> str:
@@ -283,16 +360,35 @@ def render_bench_table(report: Dict[str, object]) -> str:
         f"{'mode':<14s} {'seconds':>9s} {'speedup':>9s} "
         f"{'solver calls':>13s} {'cached units':>13s}",
     ]
-    for label, key in (
+    mode_rows = (
         ("serial cold", "serial_cold"),
         ("parallel cold", "parallel_cold"),
         ("warm cache", "warm_cache"),
-    ):
+    )
+    for label, key in mode_rows:
         mode = modes[key]
-        speedup = serial_s / mode["seconds"] if mode["seconds"] > 0 else 0.0
+        if key == "parallel_cold" and "annotation" in mode:
+            speedup_cell = "     n/a "
+        else:
+            speedup = serial_s / mode["seconds"] if mode["seconds"] > 0 else 0.0
+            speedup_cell = f"{speedup:>8.2f}x"
         lines.append(
-            f"{label:<14s} {mode['seconds']:>9.3f} {speedup:>8.2f}x "
+            f"{label:<14s} {mode['seconds']:>9.3f} {speedup_cell} "
             f"{mode['solver_calls']:>13d} {mode['cached_units']:>13d}"
+        )
+    annotation = modes["parallel_cold"].get("annotation")
+    if annotation:
+        lines.append(f"note: parallel cold -- {annotation}")
+    lines.append(
+        f"{'wall split':<14s} {'solver s':>9s} {'engine s':>9s} {'other s':>9s}"
+    )
+    for label, key in mode_rows:
+        split = modes[key].get("split")
+        if not split:
+            continue
+        lines.append(
+            f"{label:<14s} {split['solver_s']:>9.3f} "
+            f"{split['engine_s']:>9.3f} {split['other_s']:>9.3f}"
         )
     lines.append(
         f"rows identical across modes: {report['rows_identical']}; "
@@ -329,7 +425,7 @@ def render_bench_table(report: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-def _load_trajectory(path: str) -> List[Dict[str, object]]:
+def load_trajectory(path: str) -> List[Dict[str, object]]:
     """Existing bench history at ``path``, tolerating the legacy layout.
 
     Early revisions wrote one bare report dict; wrap it as the first
@@ -358,7 +454,7 @@ def write_bench_json(report: Dict[str, object], path: str) -> None:
     bench runs build a performance history CI can plot or diff; a legacy
     single-report file is migrated in place, not clobbered.
     """
-    trajectory = _load_trajectory(path)
+    trajectory = load_trajectory(path)
     stamped = dict(report)
     # Report metadata, not result rows: the trajectory file is a wall-clock
     # performance history, so the timestamp is the point.

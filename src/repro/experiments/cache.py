@@ -48,7 +48,10 @@ __all__ = [
 
 #: Bump when simulator/policy numerics change: every key changes, so stale
 #: results can never be served after a semantic code change.
-CODE_SALT = "sdem-experiments-v1"
+#: v2: the batched fast path re-associates numpy-backend float sums
+#: (~1e-15 relative vs v1); scalar-backend outputs are unchanged, but the
+#: salt is shared so both backends' caches roll together.
+CODE_SALT = "sdem-experiments-v2"
 
 #: Environment override for the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -23,10 +23,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import mbkp, mbkps
 from repro.core.online import SdemOnlinePolicy
+from repro.energy.accounting import SleepPolicy, account_segments
 from repro.models.platform import Platform
 from repro.models.task import Task
-from repro.sim.engine import SimulationResult, simulate
-from repro.utils.solvers import solver_call_total
+from repro.schedule.validation import validate_segments
+from repro.sim.engine import prepare_trace, simulate_segments
+from repro.utils.solvers import solver_call_total, solver_seconds_total
 
 __all__ = [
     "POLICY_ORDER",
@@ -64,10 +66,10 @@ class ComparisonPoint:
     ``sdem_saving_samples`` carries the per-seed system savings so reports
     can state the spread (the paper reports means only).
 
-    ``wall_ms``/``solver_calls``/``cached_units`` are engine telemetry
-    summed over the point's work units; they are *not* part of the CSV
-    rows by default so that serial, parallel and warm-cache runs stay
-    byte-identical.
+    ``wall_ms``/``solver_ms``/``solver_calls``/``cached_units`` are engine
+    telemetry summed over the point's work units; they are *not* part of
+    the CSV rows by default so that serial, parallel and warm-cache runs
+    stay byte-identical.
     """
 
     label: str
@@ -79,6 +81,7 @@ class ComparisonPoint:
     mbkp_memory: float
     sdem_saving_samples: Tuple[float, ...] = ()
     wall_ms: float = 0.0
+    solver_ms: float = 0.0
     solver_calls: int = 0
     cached_units: int = 0
 
@@ -150,6 +153,7 @@ class SeriesResult:
             )
             if include_timing:
                 row["wall_ms"] = round(p.wall_ms, 1)
+                row["solver_ms"] = round(p.solver_ms, 1)
                 row["solver_calls"] = p.solver_calls
                 row["cached_units"] = p.cached_units
             out.append(row)
@@ -166,6 +170,15 @@ class SeriesResult:
     def total_wall_ms(self) -> float:
         """Summed per-unit wall-clock across every point (telemetry)."""
         return sum(p.wall_ms for p in self.points)
+
+    def total_solver_ms(self) -> float:
+        """Summed wall-clock spent inside solver entry points (telemetry).
+
+        Accumulated per unit around the online replan's solve calls, so it
+        survives process-pool boundaries; ``repro bench`` reports the
+        solver / engine / other wall split from this.
+        """
+        return sum(p.solver_ms for p in self.points)
 
 
 # ---------------------------------------------------------------------------
@@ -185,6 +198,7 @@ class UnitResult:
     totals: Tuple[float, float, float]
     memory: Tuple[float, float, float]
     wall_ms: float = 0.0
+    solver_ms: float = 0.0
     solver_calls: int = 0
     from_cache: bool = False
 
@@ -204,6 +218,15 @@ def simulate_unit(
     overrides the default ``[min release, max deadline]`` window (a
     single-task trace degenerates to that task's own feasible region,
     which is still a valid window).
+
+    This is the experiment fast path: each policy is driven once via
+    :func:`repro.sim.engine.simulate_segments` and priced straight off its
+    raw segment table -- no per-policy
+    :class:`~repro.schedule.timeline.Schedule` is materialized.  Because
+    MBKP and MBKPS emit the *same* schedule (they differ only in how idle
+    memory is priced -- see :mod:`repro.baselines.mbkp`), the baseline is
+    simulated once and priced under both memory policies over one shared
+    segment table.
     """
     trace = list(trace_factory(seed))
     if not trace:
@@ -221,19 +244,42 @@ def simulate_unit(
         )
     start = time.perf_counter()
     calls_before = solver_call_total()
-    totals: List[float] = []
-    memories: List[float] = []
-    for policy_name in POLICY_ORDER:
-        result: SimulationResult = simulate(
-            _build_policy(policy_name, platform), trace, platform, horizon=horizon
-        )
-        totals.append(result.breakdown.total)
-        memories.append(result.breakdown.memory_total)
+    seconds_before = solver_seconds_total()
+    max_speed = platform.core.s_up
+    prepared = prepare_trace(trace, horizon)
+
+    sdem_run = simulate_segments(SdemOnlinePolicy(platform), prepared=prepared)
+    validate_segments(sdem_run.segments, sdem_run.task_set, max_speed=max_speed)
+    (sdem,) = account_segments(
+        sdem_run.segments,
+        platform,
+        horizon=horizon,
+        memory_policies=(SleepPolicy.BREAK_EVEN,),
+        core_policy=SleepPolicy.BREAK_EVEN,
+    )
+
+    baseline_run = simulate_segments(mbkps(platform), prepared=prepared)
+    validate_segments(
+        baseline_run.segments, baseline_run.task_set, max_speed=max_speed
+    )
+    priced_mbkps, priced_mbkp = account_segments(
+        baseline_run.segments,
+        platform,
+        horizon=horizon,
+        memory_policies=(SleepPolicy.ALWAYS, SleepPolicy.NEVER),
+        core_policy=SleepPolicy.BREAK_EVEN,
+    )
+
     return UnitResult(
         seed=seed,
-        totals=(totals[0], totals[1], totals[2]),
-        memory=(memories[0], memories[1], memories[2]),
+        totals=(sdem.total, priced_mbkps.total, priced_mbkp.total),
+        memory=(
+            sdem.memory_total,
+            priced_mbkps.memory_total,
+            priced_mbkp.memory_total,
+        ),
         wall_ms=(time.perf_counter() - start) * 1000.0,
+        solver_ms=(solver_seconds_total() - seconds_before) * 1000.0,
         solver_calls=solver_call_total() - calls_before,
     )
 
@@ -268,6 +314,7 @@ def reduce_units(label: str, units: Sequence[UnitResult]) -> ComparisonPoint:
         mbkp_memory=mems[2] / seeds,
         sdem_saving_samples=tuple(saving_samples),
         wall_ms=sum(u.wall_ms for u in ordered),
+        solver_ms=sum(u.solver_ms for u in ordered),
         solver_calls=sum(u.solver_calls for u in ordered),
         cached_units=sum(1 for u in ordered if u.from_cache),
     )

@@ -33,6 +33,8 @@ import tokenize
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
+from repro.lint.config import LintConfig, load_config
+
 __all__ = [
     "Finding",
     "SourceModule",
@@ -139,8 +141,14 @@ class SourceModule:
 class Project:
     """Every analyzed module, plus per-run shared rule state."""
 
-    def __init__(self, modules: Sequence[SourceModule]) -> None:
+    def __init__(
+        self,
+        modules: Sequence[SourceModule],
+        config: Optional[LintConfig] = None,
+    ) -> None:
         self.modules: List[SourceModule] = list(modules)
+        #: Per-project rule configuration ([tool.repro-lint]).
+        self.config: LintConfig = config if config is not None else LintConfig()
         #: Scratch space keyed by rule id for cross-module analyses.
         self.shared: Dict[str, object] = {}
 
@@ -355,7 +363,11 @@ def analyze_paths(
     """Parse every file under ``targets`` and run the rules.
 
     Returns ``(project, findings)``; pragma-suppressed findings are
-    already removed, baseline filtering is the caller's business.
+    already removed, baseline filtering is the caller's business.  Rule
+    configuration is read from ``<root>/pyproject.toml`` (the
+    ``[tool.repro-lint]`` table); a malformed table raises
+    :class:`repro.lint.config.ConfigError` (a ``ValueError``, so the CLI
+    reports it as a usage error).
     """
     modules: List[SourceModule] = []
     seen: set[str] = set()
@@ -374,7 +386,7 @@ def analyze_paths(
                     source=_read_source(path),
                 )
             )
-    project = Project(modules)
+    project = Project(modules, config=load_config(root))
     active = list(rules) if rules is not None else all_rules()
     findings: List[Finding] = []
     by_rel: Dict[str, SourceModule] = {m.rel: m for m in modules}

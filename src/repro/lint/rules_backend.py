@@ -5,7 +5,10 @@ The numeric core (PR 2) runs CI in two legs: one without numpy installed
 
 * numpy is imported in exactly the sanctioned modules, guarded by
   ``try/except ImportError`` so the scalar leg still imports cleanly
-  (``BCK001``/``BCK002``);
+  (``BCK001``/``BCK002``).  The sanctioned list defaults to
+  :data:`repro.lint.config.DEFAULT_SANCTIONED_NUMPY_MODULES` and can be
+  overridden per checkout via ``[tool.repro-lint]
+  sanctioned-numpy-modules`` in ``pyproject.toml``;
 * every other module reaches ndarray work through the dispatcher in
   :mod:`repro.core.vectorized` rather than importing numpy itself
   (``BCK002``);
@@ -20,6 +23,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Optional
 
+from repro.lint.config import DEFAULT_SANCTIONED_NUMPY_MODULES
 from repro.lint.engine import (
     Finding,
     Project,
@@ -35,7 +39,9 @@ __all__ = ["NumpyImportGuardRule", "NumpyImportScopeRule", "BackendEnvReadRule"]
 #: Modules allowed to import numpy directly.  ``core.vectorized`` is the
 #: dispatcher itself; ``utils.solvers`` hosts the batched primitives the
 #: dispatcher calls into (splitting them out would create an import cycle).
-SANCTIONED_NUMPY_MODULES = ("repro.core.vectorized", "repro.utils.solvers")
+#: This is the *default*; each run rescopes from ``project.config``
+#: ([tool.repro-lint] sanctioned-numpy-modules in pyproject.toml).
+SANCTIONED_NUMPY_MODULES = DEFAULT_SANCTIONED_NUMPY_MODULES
 
 #: The one module allowed to read the backend environment variable.
 BACKEND_ACCESSOR_MODULE = "repro.core.vectorized"
@@ -93,6 +99,11 @@ class NumpyImportGuardRule(Rule):
     )
     packages = SANCTIONED_NUMPY_MODULES
 
+    def run(self, project: Project) -> Iterator[Finding]:
+        # Rescope to the configured sanctioned list before walking.
+        self.packages = project.config.sanctioned_numpy_modules
+        yield from super().run(project)
+
     def check_module(
         self, module: SourceModule, project: Project
     ) -> Iterator[Finding]:
@@ -120,10 +131,17 @@ class NumpyImportScopeRule(Rule):
         "(or add one there) instead of importing numpy locally"
     )
 
+    #: Per-run sanctioned list (rescoped from project.config in run()).
+    _sanctioned: tuple[str, ...] = SANCTIONED_NUMPY_MODULES
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        self._sanctioned = project.config.sanctioned_numpy_modules
+        yield from super().run(project)
+
     def applies_to(self, module: SourceModule) -> bool:
         if not super().applies_to(module):
             return False
-        return module.name not in SANCTIONED_NUMPY_MODULES
+        return module.name not in self._sanctioned
 
     def check_module(
         self, module: SourceModule, project: Project
@@ -135,7 +153,7 @@ class NumpyImportScopeRule(Rule):
                     module,
                     node,
                     f"numpy import in {module.name}; only "
-                    f"{', '.join(SANCTIONED_NUMPY_MODULES)} may import it",
+                    f"{', '.join(self._sanctioned)} may import it",
                 )
 
 

@@ -120,6 +120,22 @@ class TaskSet:
         self._energy_signature: Optional[Tuple[Tuple[float, float, float], ...]] = None
         self._signature: Optional[Tuple[Tuple[float, float, float, str], ...]] = None
 
+    @classmethod
+    def presorted(cls, tasks: Tuple[Task, ...]) -> "TaskSet":
+        """Wrap an already (deadline, release, workload)-sorted, fully
+        named task tuple without re-sorting or renaming.
+
+        Hot-path constructor for the online replan loop, which rebuilds a
+        relaxed set on every arrival and guarantees the ordering itself.
+        """
+        if not tasks:
+            raise ValueError("a TaskSet must contain at least one task")
+        self = cls.__new__(cls)
+        self._tasks = tasks
+        self._energy_signature = None
+        self._signature = None
+        return self
+
     # -- container protocol -------------------------------------------------
 
     def __len__(self) -> int:

@@ -9,12 +9,17 @@ must emit schedules that pass it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.models.task import Task, TaskSet
-from repro.schedule.timeline import Schedule
+from repro.schedule.timeline import ExecutionInterval, Schedule
 
-__all__ = ["FeasibilityError", "validate_schedule", "is_feasible"]
+__all__ = [
+    "FeasibilityError",
+    "validate_schedule",
+    "validate_segments",
+    "is_feasible",
+]
 
 _REL_TOL = 1e-6
 _ABS_TOL = 1e-6
@@ -93,6 +98,105 @@ def validate_schedule(
                     "non-preemptive schedule"
                 )
             # single interval implies single core; nothing else to check
+
+
+def validate_segments(
+    segments: Sequence[Tuple[int, ExecutionInterval]],
+    tasks: TaskSet,
+    *,
+    max_speed: float = float("inf"),
+    rel_tol: float = _REL_TOL,
+    abs_tol: float = _ABS_TOL,
+) -> None:
+    """Validate raw ``(core, interval)`` segments without a Schedule.
+
+    Applies the same conditions and tolerances as
+    :func:`validate_schedule`, plus an explicit per-core overlap check:
+    segment tables never pass through
+    :class:`~repro.schedule.timeline.CoreTimeline`, which is what enforces
+    non-overlap structurally on the full-fat path.  Used by the experiment
+    fast path (:func:`repro.sim.engine.simulate_segments`).
+    """
+    by_name: Dict[str, Task] = {task.name: task for task in tasks}
+    if len(by_name) != len(tasks):
+        raise FeasibilityError("task names are not unique")
+
+    # Imported lazily: repro.core pulls this module in through its package
+    # init, before vectorized would be importable at module scope.
+    from repro.core import vectorized
+
+    if vectorized.use_numpy() and len(segments) > vectorized._SMALL_N:
+        index_of = {name: i for i, name in enumerate(by_name)}
+        seg_task = []
+        for _, interval in segments:
+            row = index_of.get(interval.task)
+            if row is None:
+                raise FeasibilityError(
+                    f"unknown task {interval.task!r} in schedule"
+                )
+            seg_task.append(row)
+        ordered_tasks = list(by_name.values())
+        if vectorized.segments_feasible_batch(
+            [t.release for t in ordered_tasks],
+            [t.deadline for t in ordered_tasks],
+            [t.workload for t in ordered_tasks],
+            seg_task,
+            [iv.start for _, iv in segments],
+            [iv.end for _, iv in segments],
+            [iv.speed for _, iv in segments],
+            [core for core, _ in segments],
+            max_speed=max_speed,
+            rel_tol=rel_tol,
+            abs_tol=abs_tol,
+        ):
+            return
+        # A violation exists; fall through so the scalar loop below raises
+        # the precise, human-readable error.
+
+    executed: Dict[str, float] = {name: 0.0 for name in by_name}
+    per_core: Dict[int, List[ExecutionInterval]] = {}
+
+    for core_index, interval in segments:
+        task = by_name.get(interval.task)
+        if task is None:
+            raise FeasibilityError(f"unknown task {interval.task!r} in schedule")
+        if interval.start < task.release - abs_tol:
+            raise FeasibilityError(
+                f"{interval.task}: starts at {interval.start} before "
+                f"release {task.release}"
+            )
+        if interval.end > task.deadline + abs_tol:
+            raise FeasibilityError(
+                f"{interval.task}: ends at {interval.end} after "
+                f"deadline {task.deadline}"
+            )
+        if interval.speed > max_speed * (1.0 + rel_tol) + abs_tol:
+            raise FeasibilityError(
+                f"{interval.task}: speed {interval.speed} exceeds "
+                f"s_up {max_speed}"
+            )
+        executed[interval.task] += interval.workload
+        per_core.setdefault(core_index, []).append(interval)
+
+    for name, task in by_name.items():
+        done = executed[name]
+        need = task.workload
+        if abs(done - need) > max(abs_tol, rel_tol * need):
+            raise FeasibilityError(
+                f"{name}: executed {done:.6f} kc of required {need:.6f} kc"
+            )
+
+    # CoreTimeline's structural guarantee, reproduced for raw segments:
+    # intervals on one core must not overlap (beyond float jitter).
+    for core_index, intervals in per_core.items():
+        ordered = sorted(intervals, key=lambda iv: iv.start)
+        for before, after in zip(ordered, ordered[1:]):
+            if after.start < before.end - abs_tol:
+                raise FeasibilityError(
+                    f"core {core_index}: {before.task} [{before.start}, "
+                    f"{before.end}) overlaps {after.task} [{after.start}, "
+                    f"{after.end})"
+                )
 
 
 def is_feasible(

@@ -16,6 +16,19 @@ A policy implements two callbacks:
 The engine is deliberately thin: *all* scheduling intelligence lives in
 policies, and all pricing lives in :mod:`repro.energy.accounting`, so every
 algorithm is measured by exactly the same ruler.
+
+Two entry points share the replay loop:
+
+* :func:`simulate` -- the full-fat path: assembles a
+  :class:`~repro.schedule.timeline.Schedule`, validates it, prices it and
+  reports peak concurrency.  Every fidelity test and ad-hoc caller uses
+  this.
+* :func:`simulate_segments` -- the experiment fast path: drives the policy
+  and returns the raw ``(core, interval)`` segment list plus the horizon,
+  *without* materializing per-core timelines.  The work-unit pipeline in
+  :mod:`repro.experiments.runner` validates and prices these segments
+  directly (batched on the numpy backend), which profiling shows erases
+  most of the non-solver share of a work unit -- see docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -30,7 +43,15 @@ from repro.models.task import Task, TaskSet
 from repro.schedule.timeline import CoreTimeline, ExecutionInterval, Schedule
 from repro.schedule.validation import validate_schedule
 
-__all__ = ["OnlinePolicy", "SimulationResult", "simulate"]
+__all__ = [
+    "OnlinePolicy",
+    "PreparedTrace",
+    "SegmentRun",
+    "SimulationResult",
+    "prepare_trace",
+    "simulate",
+    "simulate_segments",
+]
 
 
 class OnlinePolicy(Protocol):
@@ -65,6 +86,92 @@ class SimulationResult:
         return self.breakdown.total
 
 
+@dataclass(frozen=True)
+class SegmentRun:
+    """A driven-but-unpriced replay: raw segments plus their context."""
+
+    segments: List[Tuple[int, ExecutionInterval]]
+    task_set: TaskSet
+    horizon: Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class PreparedTrace:
+    """A trace sorted, horizon-resolved and grouped by arrival instant.
+
+    Replaying several policies over the same trace (the work-unit
+    pipeline) prepares once and drives each policy from the shared groups.
+    """
+
+    task_set: TaskSet
+    horizon: Tuple[float, float]
+    groups: List[Tuple[float, List[Task]]]
+
+
+def prepare_trace(
+    tasks: Iterable[Task], horizon: Optional[Tuple[float, float]] = None
+) -> PreparedTrace:
+    """Sort the trace, resolve the horizon and group arrivals by instant."""
+    task_list = sorted(tasks, key=lambda t: (t.release, t.deadline, t.name))
+    if not task_list:
+        raise ValueError("cannot simulate an empty task list")
+    task_set = TaskSet(task_list)
+    if horizon is None:
+        horizon = (task_set.earliest_release, task_set.latest_deadline)
+
+    groups: List[Tuple[float, List[Task]]] = []
+    for task in task_list:
+        if groups and math.isclose(groups[-1][0], task.release, abs_tol=1e-12):
+            groups[-1][1].append(task)
+        else:
+            groups.append((task.release, [task]))
+    return PreparedTrace(task_set=task_set, horizon=horizon, groups=groups)
+
+
+def _drive(
+    policy: OnlinePolicy, groups: List[Tuple[float, List[Task]]]
+) -> List[Tuple[int, ExecutionInterval]]:
+    """Replay the arrival groups through ``policy``, collecting segments."""
+    segments: List[Tuple[int, ExecutionInterval]] = []
+    now = groups[0][0]
+    for when, batch in groups:
+        if when > now:
+            segments.extend(policy.run_until(now, when))
+            now = when
+        policy.on_arrival(when, batch)
+    segments.extend(policy.run_until(now, math.inf))
+    return segments
+
+
+def simulate_segments(
+    policy: OnlinePolicy,
+    tasks: Optional[Iterable[Task]] = None,
+    *,
+    horizon: Optional[Tuple[float, float]] = None,
+    prepared: Optional[PreparedTrace] = None,
+) -> SegmentRun:
+    """Drive ``policy`` over the trace and return the raw segment table.
+
+    The fast-path counterpart of :func:`simulate`: no per-core timelines,
+    no validation, no pricing -- callers own those steps (the experiment
+    pipeline validates with
+    :func:`repro.schedule.validation.validate_segments` and prices with
+    :func:`repro.energy.accounting.account_segments`).  Pass ``prepared``
+    (from :func:`prepare_trace`) instead of ``tasks`` to replay several
+    policies without re-sorting and re-grouping the trace each time.
+    """
+    if prepared is None:
+        if tasks is None:
+            raise ValueError("simulate_segments needs tasks or prepared")
+        prepared = prepare_trace(tasks, horizon)
+    segments = _drive(policy, prepared.groups)
+    if not segments:
+        raise RuntimeError("policy emitted no executions")
+    return SegmentRun(
+        segments=segments, task_set=prepared.task_set, horizon=prepared.horizon
+    )
+
+
 def simulate(
     policy: OnlinePolicy,
     tasks: Iterable[Task],
@@ -80,30 +187,10 @@ def simulate(
     assembled schedule is validated against the task set and the
     platform's ``s_up`` unless ``validate=False``.
     """
-    task_list = sorted(tasks, key=lambda t: (t.release, t.deadline, t.name))
-    if not task_list:
-        raise ValueError("cannot simulate an empty task list")
-    task_set = TaskSet(task_list)
-    if horizon is None:
-        horizon = (task_set.earliest_release, task_set.latest_deadline)
-
-    # Group arrivals by release instant.
-    groups: List[Tuple[float, List[Task]]] = []
-    for task in task_list:
-        if groups and math.isclose(groups[-1][0], task.release, abs_tol=1e-12):
-            groups[-1][1].append(task)
-        else:
-            groups.append((task.release, [task]))
-
+    prepared = prepare_trace(tasks, horizon)
+    task_set, resolved = prepared.task_set, prepared.horizon
     per_core: Dict[int, List[ExecutionInterval]] = {}
-    now = groups[0][0]
-    for index, (when, batch) in enumerate(groups):
-        if when > now:
-            for core, interval in policy.run_until(now, when):
-                per_core.setdefault(core, []).append(interval)
-            now = when
-        policy.on_arrival(when, batch)
-    for core, interval in policy.run_until(now, math.inf):
+    for core, interval in _drive(policy, prepared.groups):
         per_core.setdefault(core, []).append(interval)
 
     if not per_core:
@@ -118,7 +205,7 @@ def simulate(
     breakdown = account(
         schedule,
         platform,
-        horizon=horizon,
+        horizon=resolved,
         memory_policy=policy.memory_policy,
         core_policy=policy.core_policy,
     )
@@ -126,7 +213,7 @@ def simulate(
     return SimulationResult(
         schedule=schedule,
         breakdown=breakdown,
-        horizon=horizon,
+        horizon=resolved,
         peak_concurrency=peak,
     )
 

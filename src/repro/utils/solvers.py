@@ -23,7 +23,7 @@ unit performed (see docs/PERFORMANCE.md).
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 try:  # the batched primitives need numpy; everything scalar does not
     import numpy as _np
@@ -58,9 +58,30 @@ def solver_call_total() -> int:
     return sum(_CALL_COUNTS.values())
 
 
+#: Per-process tally of wall-clock seconds spent inside solver entry
+#: points (see :func:`add_solver_seconds`).  Like the call counts, worker
+#: processes accumulate their own copy and the experiment engine ships the
+#: per-unit delta back with each result, so ``repro bench`` can report a
+#: measured solver/engine wall-time split for every mode -- including the
+#: pooled one, where wrapping module attributes in the parent process
+#: would see nothing.
+_SOLVER_SECONDS: List[float] = [0.0]
+
+
+def add_solver_seconds(seconds: float) -> None:
+    """Accumulate wall time spent inside a solver entry point."""
+    _SOLVER_SECONDS[0] += seconds
+
+
+def solver_seconds_total() -> float:
+    """Solver wall-clock seconds recorded in this process."""
+    return _SOLVER_SECONDS[0]
+
+
 def reset_solver_counts() -> None:
     """Zero every counter (test isolation / benchmark baselines)."""
     _CALL_COUNTS.clear()
+    _SOLVER_SECONDS[0] = 0.0
 
 
 def bisect_increasing(

@@ -128,6 +128,16 @@ def dspstone_trace(
     if n < 1 or streams < 1:
         raise ValueError("n and streams must be >= 1")
     rng = random.Random(seed)
+    # The FFT workload model is a single uniform draw per instance, so the
+    # whole trace vectorizes: pre-draw the unit variates in this loop's
+    # exact call order and evaluate the same arithmetic columnwise
+    # (bit-identical -- see fft_trace_columns).  The matmul model consumes
+    # a data-dependent number of randint() draws and stays scalar.
+    if benchmark == "fft" and n >= _BATCH_MIN:
+        from repro.core import vectorized
+
+        if vectorized.use_numpy():
+            return _fft_trace_batched(rng, utilization_factor, n, streams)
     draw = (
         fft_instance_kilocycles if benchmark == "fft" else matmul_instance_kilocycles
     )
@@ -143,5 +153,45 @@ def dspstone_trace(
         )
         period = span * utilization_factor
         clock[stream] += period * rng.uniform(1.0, 1.15)
+    tasks.sort(key=lambda t: (t.release, t.name))
+    return tasks
+
+
+#: Below this many instances the columnwise build cannot beat the loop.
+_BATCH_MIN = 16
+
+
+def _fft_trace_batched(
+    rng: random.Random, utilization_factor: float, n: int, streams: int
+) -> List[Task]:
+    """Columnwise FFT trace build, bit-identical to the scalar loop.
+
+    One ``rng.random()`` call per scalar ``rng.uniform()`` call, in the
+    same order (phases first, then workload + period jitter per instance),
+    keeps the RNG stream aligned; the arithmetic happens in
+    :func:`repro.core.vectorized.fft_trace_columns` with the scalar
+    expressions' exact association.
+    """
+    from repro.core import vectorized
+
+    draws = [rng.random() for _ in range(streams + 2 * n)]
+    releases, spans, workloads = vectorized.fft_trace_columns(
+        draws[:streams],
+        draws[streams::2],
+        draws[streams + 1 :: 2],
+        streams=streams,
+        base_kilocycles=FFT_BATCH * FFT_1024_KILOCYCLES,
+        jitter=_FFT_JITTER,
+        reference_mhz=REFERENCE_MHZ,
+        utilization_factor=utilization_factor,
+        phase_range=(0.0, 10.0),
+        period_jitter=(1.0, 1.15),
+    )
+    tasks = [
+        Task(release, release + span, workload, f"fft{index}")
+        for index, (release, span, workload) in enumerate(
+            zip(releases, spans, workloads)
+        )
+    ]
     tasks.sort(key=lambda t: (t.release, t.name))
     return tasks

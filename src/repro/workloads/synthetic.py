@@ -26,6 +26,9 @@ __all__ = ["synthetic_tasks", "utilization_of"]
 WORKLOAD_RANGE_KC: Tuple[float, float] = (2000.0, 5000.0)
 SPAN_RANGE_MS: Tuple[float, float] = (10.0, 120.0)
 
+#: Below this many tasks the columnwise build cannot beat the loop.
+_BATCH_MIN = 16
+
 
 def synthetic_tasks(
     *,
@@ -47,6 +50,30 @@ def synthetic_tasks(
     if not (0.0 <= min_interarrival <= max_interarrival):
         raise ValueError("need 0 <= min_interarrival <= max_interarrival")
     rng = random.Random(seed)
+    if n >= _BATCH_MIN:
+        # Pre-draw the unit variates in this loop's exact call order and
+        # evaluate the same arithmetic columnwise -- bit-identical to the
+        # scalar loop (see synthetic_trace_columns), so the dispatch can
+        # never change experiment outputs.
+        from repro.core import vectorized
+
+        if vectorized.use_numpy():
+            draws = [rng.random() for _ in range(3 * n - 1)]
+            releases, spans, workloads = vectorized.synthetic_trace_columns(
+                draws[2::3],
+                [draws[0], *draws[3::3]],
+                [draws[1], *draws[4::3]],
+                min_interarrival=min_interarrival,
+                max_interarrival=max_interarrival,
+                span_range=span_range,
+                workload_range=workload_range,
+            )
+            return [
+                Task(release, release + span, workload, f"S{index}")
+                for index, (release, span, workload) in enumerate(
+                    zip(releases, spans, workloads)
+                )
+            ]
     tasks: List[Task] = []
     t = 0.0
     for index in range(n):
