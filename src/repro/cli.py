@@ -463,9 +463,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _add_numeric_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--numeric", choices=["scalar", "numpy"], default=None,
+        "--numeric", choices=["scalar", "numpy", "jit"], default=None,
         help="numeric backend for the solver hot paths "
-        "(default: $REPRO_NUMERIC, else numpy when importable)",
+        "(default: $REPRO_NUMERIC, else numpy when importable; 'jit' uses "
+        "the compiled kernels and degrades to numpy/scalar with a warning "
+        "when no compiler backend is available)",
     )
 
 

@@ -188,8 +188,14 @@ def _block_energy_uncached(
 
     Dispatches on the numeric backend: :func:`_block_energy_scalar` below
     is the reference loop; the numpy path evaluates the same expression via
-    :func:`repro.core.vectorized.block_energy_batch` (a batch of one).
+    :func:`repro.core.vectorized.block_energy_batch` (a batch of one); the
+    jit path calls the compiled transcription directly, skipping the
+    ndarray round trip.
     """
+    if vectorized.use_jit():
+        from repro.core import kernels
+
+        return kernels.block_energy(tasks, platform, start, end)
     if vectorized.use_numpy():
         return float(
             vectorized.block_energy_batch(tasks, platform, (start,), (end,))[0]
@@ -420,7 +426,15 @@ def _solve_block_descent(tasks: TaskSet, platform: Platform) -> BlockSolution:
         (s_lo, e_lo if e_lo > s_lo else e_hi),
         (s_hi, e_hi),
     ]
-    if vectorized.use_numpy():
+    if vectorized.use_jit():
+        # One compiled call runs all starts' descents (same line-search
+        # sequence as _minimize_2d over the memoized scalar objective).
+        from repro.core import kernels
+
+        start, end, energy = kernels.solve_block_descent(
+            tasks, platform, (s_lo, s_hi), (e_lo, e_hi), starts
+        )
+    elif vectorized.use_numpy():
         xs, ys, values = _minimize_2d_batch(
             tasks,
             platform,
@@ -698,8 +712,19 @@ def _solve_cell_alpha_nonzero(
         if changed:
             s_cur, e_cur, _ = minimize_over_cell()
 
-    value = aligned_energy(s_cur, e_cur)
-    return s_cur, e_cur, value
+    # Polish the fixed point against the canonical convex cell objective.
+    # The Step-5 prolongation only ever *expands* the interval (Lemma 5) and
+    # is not re-minimized when it triggers without an eviction, so when a
+    # task sits exactly on the s_1 threshold (stationarity puts the filling
+    # task there) the loop can exit on an over-extended interval.  The cell
+    # objective is convex, so one descent from the fixed point can only
+    # improve and lands on the true cell optimum.
+    return _minimize_2d(
+        lambda s, e: block_energy(tasks, platform, s, e),
+        s_cell,
+        e_cell,
+        [(s_cur, e_cur)],
+    )
 
 
 def _sweep_cells_alpha_zero_numpy(
@@ -767,9 +792,27 @@ def _sweep_cells_alpha_zero_numpy(
                 )
             return np.where(bad, _INF, powed.sum(axis=1) - target)
 
-        s_star[s_rows] = bisect_increasing_batch(
-            head_slope, s_lo[s_rows], s_hi_eff[s_rows]
-        )
+        if vectorized.use_jit():
+            from repro.core import kernels
+
+            masks = np.ascontiguousarray(
+                head_mask[s_rows], dtype=np.uint8
+            ).tobytes()
+            s_star[s_rows] = kernels.powersum_roots(
+                deadlines.tolist(),
+                workloads.tolist(),
+                masks,
+                int(s_rows.shape[0]),
+                s_lo[s_rows].tolist(),
+                s_hi_eff[s_rows].tolist(),
+                target,
+                lam,
+                0,
+            )
+        else:
+            s_star[s_rows] = bisect_increasing_batch(
+                head_slope, s_lo[s_rows], s_hi_eff[s_rows]
+            )
 
     e_star = e_lo_eff.copy()
     e_rows = np.flatnonzero(e_ok & tail_mask.any(axis=1))
@@ -787,9 +830,27 @@ def _sweep_cells_alpha_zero_numpy(
                 )
             return np.where(bad, -_INF, target - powed.sum(axis=1))
 
-        e_star[e_rows] = bisect_increasing_batch(
-            tail_condition, e_lo_eff[e_rows], e_hi[e_rows]
-        )
+        if vectorized.use_jit():
+            from repro.core import kernels
+
+            masks = np.ascontiguousarray(
+                tail_mask[e_rows], dtype=np.uint8
+            ).tobytes()
+            e_star[e_rows] = kernels.powersum_roots(
+                releases.tolist(),
+                workloads.tolist(),
+                masks,
+                int(e_rows.shape[0]),
+                e_lo_eff[e_rows].tolist(),
+                e_hi[e_rows].tolist(),
+                target,
+                lam,
+                1,
+            )
+        else:
+            e_star[e_rows] = bisect_increasing_batch(
+                tail_condition, e_lo_eff[e_rows], e_hi[e_rows]
+            )
 
     num_s, num_e = s_lo.shape[0], e_lo.shape[0]
     consider = e_hi[None, :] > s_lo[:, None]  # the scalar empty-interval skip

@@ -1,0 +1,694 @@
+"""numba provider: the preferred JIT tier when ``numba`` imports.
+
+The kernel bodies are written as plain-Python/numpy scalar loops mirroring
+:mod:`repro.core.kernels._csource` statement for statement, then wrapped
+with ``numba.njit(cache=True, fastmath=False)`` at :func:`build` time.
+Keeping the bodies importable without numba means the algorithm logic is
+unit-testable on hosts where only cffi (or neither) is available; the
+load-time self-check in :mod:`repro.core.kernels` still gates the jitted
+artifacts before the provider is accepted, so an LLVM lowering that
+changes the last bit demotes this provider to the cffi tier instead of
+corrupting results.
+
+``fastmath`` stays off for the same reason the C build uses
+``-ffp-contract=off``: evaluation order is the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # numba requires numpy; without it this provider is unavailable
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy-less hosts use cffi/scalar
+    np = None  # type: ignore[assignment]
+
+from repro.core.kernels._csource import REPRO_MAX_SMALL
+
+__all__ = ["NumbaKernels", "build"]
+
+_INF = float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Plain-Python kernel bodies (njit-wrapped in build()).
+# ---------------------------------------------------------------------------
+
+
+def _block_energy_eval(rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m, start, end):  # type: ignore[no-untyped-def]
+    if end <= start:
+        return 1e30 * (1.0 + (start - end))
+    total = alpha_m * (end - start)
+    violation = 0.0
+    for i in range(rel.shape[0]):
+        lo = rel[i] if rel[i] > start else start
+        hi = dl[i] if dl[i] < end else end
+        window = hi - lo
+        w = wl[i]
+        min_duration = w / s_up
+        if window < min_duration * (1.0 - 1e-12) - 1e-12:
+            violation += min_duration - window
+            continue
+        eff = window if window > min_duration else min_duration
+        if alpha == 0.0:
+            duration = eff
+        else:
+            filled = w / (dl[i] - rel[i])
+            s0 = s_m if s_m > filled else filled
+            if s0 > s_up:
+                s0 = s_up
+            preferred = w / s0
+            if preferred < min_duration:
+                preferred = min_duration
+            duration = preferred if preferred < eff else eff
+        if w == 0.0:
+            continue
+        speed = w / duration
+        total += (alpha + beta * speed**lam) * w / speed
+    if violation > 0.0:
+        return 1e30 * (1.0 + violation)
+    return total
+
+
+def _block_energy_batch(rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m, starts, ends, out):  # type: ignore[no-untyped-def]
+    for p in range(starts.shape[0]):
+        out[p] = _block_energy_eval(
+            rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m,
+            starts[p], ends[p],
+        )
+
+
+def _descent(rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m, x_lo, x_hi, y_lo, y_hi, sx, sy, tol, max_rounds, out):  # type: ignore[no-untyped-def]
+    g = (5.0**0.5 - 1.0) / 2.0
+    best_x = 0.0
+    best_y = 0.0
+    best_v = 0.0
+    have = False
+    for k in range(sx.shape[0]):
+        x = sx[k]
+        y = sy[k]
+        if x < x_lo:
+            x = x_lo
+        if x > x_hi:
+            x = x_hi
+        if y < y_lo:
+            y = y_lo
+        if y > y_hi:
+            y = y_hi
+        value = _block_energy_eval(
+            rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m, x, y
+        )
+        for _ in range(max_rounds):
+            nv = value
+            for step in range(4):
+                if step == 0:
+                    dx, dy = 1.0, 0.0
+                elif step == 1:
+                    dx, dy = 0.0, 1.0
+                elif step == 2:
+                    dx, dy = 1.0, 1.0
+                else:
+                    dx, dy = -1.0, 1.0
+                t_lo = -_INF
+                t_hi = _INF
+                if dx > 0.0:
+                    t = (x_lo - x) / dx
+                    if t > t_lo:
+                        t_lo = t
+                    t = (x_hi - x) / dx
+                    if t < t_hi:
+                        t_hi = t
+                elif dx < 0.0:
+                    t = (x_hi - x) / dx
+                    if t > t_lo:
+                        t_lo = t
+                    t = (x_lo - x) / dx
+                    if t < t_hi:
+                        t_hi = t
+                if dy > 0.0:
+                    t = (y_lo - y) / dy
+                    if t > t_lo:
+                        t_lo = t
+                    t = (y_hi - y) / dy
+                    if t < t_hi:
+                        t_hi = t
+                elif dy < 0.0:
+                    t = (y_hi - y) / dy
+                    if t > t_lo:
+                        t_lo = t
+                    t = (y_lo - y) / dy
+                    if t < t_hi:
+                        t_hi = t
+                if t_hi <= t_lo:
+                    nv = _block_energy_eval(
+                        rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m, x, y
+                    )
+                    continue
+                # golden section along (dx, dy), first-minimum-wins
+                if t_hi - t_lo <= tol:
+                    tb = 0.5 * (t_lo + t_hi)
+                    val = _block_energy_eval(
+                        rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m,
+                        x + tb * dx, y + tb * dy,
+                    )
+                else:
+                    a = t_lo
+                    b = t_hi
+                    x1 = b - g * (b - a)
+                    x2 = a + g * (b - a)
+                    f1 = _block_energy_eval(
+                        rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m,
+                        x + x1 * dx, y + x1 * dy,
+                    )
+                    f2 = _block_energy_eval(
+                        rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m,
+                        x + x2 * dx, y + x2 * dy,
+                    )
+                    if f1 <= f2:
+                        tb = x1
+                        val = f1
+                    else:
+                        tb = x2
+                        val = f2
+                    for _it in range(200):
+                        if b - a <= tol:
+                            break
+                        if f1 <= f2:
+                            b = x2
+                            x2 = x1
+                            f2 = f1
+                            x1 = b - g * (b - a)
+                            f1 = _block_energy_eval(
+                                rel, dl, wl, alpha, beta, lam, s_m, s_up,
+                                alpha_m, x + x1 * dx, y + x1 * dy,
+                            )
+                            if f1 < val:
+                                val = f1
+                                tb = x1
+                        else:
+                            a = x1
+                            x1 = x2
+                            f1 = f2
+                            x2 = a + g * (b - a)
+                            f2 = _block_energy_eval(
+                                rel, dl, wl, alpha, beta, lam, s_m, s_up,
+                                alpha_m, x + x2 * dx, y + x2 * dy,
+                            )
+                            if f2 < val:
+                                val = f2
+                                tb = x2
+                    mid = 0.5 * (a + b)
+                    for cand in (mid, t_lo, t_hi):
+                        fv = _block_energy_eval(
+                            rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m,
+                            x + cand * dx, y + cand * dy,
+                        )
+                        if fv < val:
+                            val = fv
+                            tb = cand
+                here = _block_energy_eval(
+                    rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m, x, y
+                )
+                if here <= val:
+                    nv = here
+                    continue
+                x = x + tb * dx
+                y = y + tb * dy
+                nv = val
+            thresh = tol * abs(value)
+            if tol > thresh:
+                thresh = tol
+            if value - nv <= thresh:
+                if nv < value:
+                    value = nv
+                break
+            value = nv
+        if (not have) or value < best_v:
+            have = True
+            best_x = x
+            best_y = y
+            best_v = value
+    out[0] = best_x
+    out[1] = best_y
+    out[2] = best_v
+
+
+def _bisect_left(a, n, x):  # type: ignore[no-untyped-def]
+    lo = 0
+    hi = n
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if a[mid] < x:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _overhead_objective(n, ends, pe, pb, pg, po, sw, sm, horizon, alpha, beta, one_lam, axi, alpha_m, am_xi, up_thresh, gapped, has_po, rel_end, delta):  # type: ignore[no-untyped-def]
+    busy = horizon - delta
+    if busy <= 0.0:
+        return _INF
+    k = _bisect_left(ends, n, busy)
+    if (has_po and po[k] > 0) or sm[k] > up_thresh * busy:
+        return _INF
+    behind = n - k
+    energy = (
+        alpha_m * busy
+        + alpha * pe[k]
+        + pb[k]
+        + alpha * behind * busy
+        + sw[k] * (beta * busy**one_lam)
+    )
+    trailing = rel_end - busy
+    if trailing > 0.0:
+        if alpha_m != 0.0:
+            mt = alpha_m * trailing
+            energy += mt if mt < am_xi else am_xi
+        if gapped:
+            ct = alpha * trailing
+            energy += behind * (ct if ct < axi else axi)
+    if gapped:
+        energy += pg[k]
+    return energy
+
+
+def _overhead_energy_small(n, ends, pe, pb, pg, po, sw, sm, horizon, alpha, beta, lam, xi, alpha_m, xi_m, s_up, rel_end, gapped, has_po, deltas, out):  # type: ignore[no-untyped-def]
+    one_lam = 1.0 - lam
+    axi = alpha * xi
+    am_xi = alpha_m * xi_m
+    up_thresh = s_up * (1.0 + 1e-9)
+    for p in range(deltas.shape[0]):
+        out[p] = _overhead_objective(
+            n, ends, pe, pb, pg, po, sw, sm, horizon, alpha, beta,
+            one_lam, axi, alpha_m, am_xi, up_thresh, gapped, has_po,
+            rel_end, deltas[p],
+        )
+
+
+def _overhead_solve_small(n, rel, dl, wl, latest_deadline, alpha, beta, lam, s_m, s_up, xi, alpha_m, xi_m, rel_end, ends_out, order_out, best_out):  # type: ignore[no-untyped-def]
+    ends = np.empty(n, dtype=np.float64)
+    wls = np.empty(n, dtype=np.float64)
+    order = np.empty(n, dtype=np.int64)
+    release = rel[0]
+    if alpha == 0.0:
+        for i in range(n):
+            ends[i] = dl[i] - release
+            order[i] = i
+            wls[i] = wl[i]
+    else:
+        outer = latest_deadline - release
+        reference = s_m if s_m < s_up else s_up
+        has_ref = s_m > 0.0
+        for i in range(n):
+            w = wl[i]
+            filled = w / (dl[i] - rel[i])
+            candidate = s_m if s_m > filled else filled
+            if candidate > s_up:
+                candidate = s_up
+            ref = reference if has_ref else candidate
+            if ref <= 0.0 or outer - w / ref >= xi:
+                s_c = candidate
+            else:
+                s_c = filled if filled < s_up else s_up
+            ends[i] = w / s_c
+            order[i] = i
+            wls[i] = w
+    for i in range(1, n):
+        ev = ends[i]
+        ov = order[i]
+        wv = wls[i]
+        j = i - 1
+        while j >= 0 and ends[j] > ev:
+            ends[j + 1] = ends[j]
+            order[j + 1] = order[j]
+            wls[j + 1] = wls[j]
+            j -= 1
+        ends[j + 1] = ev
+        order[j + 1] = ov
+        wls[j + 1] = wv
+    horizon = ends[n - 1]
+    for i in range(n):
+        ends_out[i] = ends[i]
+        order_out[i] = order[i]
+    if rel_end < horizon - 1e-9:
+        return 1
+
+    one_lam = 1.0 - lam
+    up_thresh = s_up * (1.0 + 1e-9)
+    gapped = alpha != 0.0 and xi != 0.0
+    axi = alpha * xi
+    pe = np.zeros(n + 1, dtype=np.float64)
+    pb = np.zeros(n + 1, dtype=np.float64)
+    pg = np.zeros(n + 1, dtype=np.float64)
+    po = np.zeros(n + 1, dtype=np.int64)
+    acc_e = 0.0
+    acc_b = 0.0
+    acc_g = 0.0
+    overspeed = False
+    for i in range(n):
+        end = ends[i]
+        w = wls[i]
+        acc_e += end
+        pe[i + 1] = acc_e
+        acc_b += (beta * w**lam) * end**one_lam
+        pb[i + 1] = acc_b
+        if gapped:
+            gap = rel_end - end
+            if gap > 0.0:
+                ag = alpha * gap
+                acc_g += ag if ag < axi else axi
+            pg[i + 1] = acc_g
+        if w / end > up_thresh:
+            overspeed = True
+    if overspeed:
+        acc_o = 0
+        for i in range(n):
+            if wls[i] / ends[i] > up_thresh:
+                acc_o += 1
+            po[i + 1] = acc_o
+    sw = np.zeros(n + 1, dtype=np.float64)
+    smx = np.zeros(n + 1, dtype=np.float64)
+    for j in range(n - 1, -1, -1):
+        wj = wls[j]
+        prev = smx[j + 1]
+        sw[j] = sw[j + 1] + wj**lam
+        smx[j] = prev if prev >= wj else wj
+
+    am_xi = alpha_m * xi_m
+    shift = rel_end - horizon
+    beta_lam = beta * (lam - 1.0)
+    inv_lam = 1.0 / lam
+    kinks = np.empty(3, dtype=np.float64)
+    kinks[0] = 0.0
+    kinks[1] = xi - shift
+    kinks[2] = xi_m - shift
+
+    found = False
+    best_delta = 0.0
+    best_energy = 0.0
+    best_case = 0
+    cand = np.empty(8, dtype=np.float64)
+    coeffs = np.empty(3, dtype=np.float64)
+    for i in range(1, n + 1):
+        lo = horizon - ends[i - 1]
+        cap = horizon - smx[i - 1] / s_up
+        hi = _INF if i == 1 else horizon - ends[i - 2]
+        if cap < hi:
+            hi = cap
+        if horizon < hi:
+            hi = horizon
+        if hi < lo:
+            continue
+        aligned = n - i + 1
+        nc = 0
+        cand[nc] = lo
+        nc += 1
+        cand[nc] = hi if np.isfinite(hi) else lo
+        nc += 1
+        factor = beta_lam * sw[i - 1]
+        coeffs[0] = aligned * alpha + alpha_m
+        coeffs[1] = alpha_m
+        coeffs[2] = aligned * alpha
+        for c in range(3):
+            if coeffs[c] > 0.0:
+                point = horizon - (factor / coeffs[c]) ** inv_lam
+                if point < lo:
+                    point = lo
+                if point > hi:
+                    point = hi
+                cand[nc] = point
+                nc += 1
+        for c in range(3):
+            if kinks[c] >= lo and kinks[c] <= hi:
+                cand[nc] = kinks[c]
+                nc += 1
+        for a in range(1, nc):
+            v = cand[a]
+            b = a - 1
+            while b >= 0 and cand[b] > v:
+                cand[b + 1] = cand[b]
+                b -= 1
+            cand[b + 1] = v
+        for c in range(nc):
+            delta = cand[c]
+            energy = _overhead_objective(
+                n, ends, pe, pb, pg, po, sw, smx, horizon, alpha, beta,
+                one_lam, axi, alpha_m, am_xi, up_thresh, gapped,
+                overspeed, rel_end, delta,
+            )
+            if (not found) or energy < best_energy - 1e-12:
+                found = True
+                best_delta = delta
+                best_energy = energy
+                best_case = i
+    if not found:
+        return 2
+    best_out[0] = best_delta
+    best_out[1] = best_energy
+    best_out[2] = float(best_case)
+    return 0
+
+
+def _powersum_roots(vals, wl, masks, lo_in, hi_in, target, lam, mode, tol, max_iter, out):  # type: ignore[no-untyped-def]
+    n = vals.shape[0]
+    for p in range(masks.shape[0]):
+        lo = lo_in[p]
+        hi = hi_in[p]
+        flo = _powersum_eval(n, vals, wl, masks, p, lam, target, mode, lo)
+        if flo >= 0.0:
+            out[p] = lo
+            continue
+        fhi = _powersum_eval(n, vals, wl, masks, p, lam, target, mode, hi)
+        if fhi <= 0.0:
+            out[p] = hi
+            continue
+        done = False
+        for _ in range(max_iter):
+            mid = 0.5 * (lo + hi)
+            if hi - lo <= tol:
+                out[p] = mid
+                done = True
+                break
+            fmid = _powersum_eval(n, vals, wl, masks, p, lam, target, mode, mid)
+            if fmid < 0.0:
+                lo = mid
+            else:
+                hi = mid
+        if not done:
+            out[p] = 0.5 * (lo + hi)
+
+
+def _powersum_eval(n, vals, wl, masks, row, lam, target, mode, x):  # type: ignore[no-untyped-def]
+    acc = 0.0
+    if mode == 0:
+        for i in range(n):
+            if masks[row, i] == 0:
+                continue
+            length = vals[i] - x
+            if length <= 0.0:
+                return _INF
+            acc += (wl[i] / length) ** lam
+        return acc - target
+    for i in range(n):
+        if masks[row, i] == 0:
+            continue
+        length = x - vals[i]
+        if length <= 0.0:
+            return -_INF
+        acc += (wl[i] / length) ** lam
+    return target - acc
+
+
+# ---------------------------------------------------------------------------
+# Provider
+# ---------------------------------------------------------------------------
+
+
+_JITTED: Optional[Dict[str, Any]] = None
+
+
+class NumbaKernels:
+    """Raw-array kernel protocol backed by numba-jitted loops."""
+
+    name = "numba"
+
+    def __init__(self, jitted: Dict[str, Any]) -> None:
+        self._fn = jitted
+        self._sig_cache: Dict[Any, Any] = {}
+
+    def _arrays(self, sig: Sequence[Tuple[float, float, float]]):  # type: ignore[no-untyped-def]
+        key = sig if isinstance(sig, tuple) else tuple(sig)
+        hit = self._sig_cache.get(key)
+        if hit is None:
+            rel = np.array([t[0] for t in key], dtype=np.float64)
+            dl = np.array([t[1] for t in key], dtype=np.float64)
+            wl = np.array([t[2] for t in key], dtype=np.float64)
+            hit = (len(key), rel, dl, wl)
+            self._sig_cache[key] = hit
+            if len(self._sig_cache) > 4096:
+                self._sig_cache.pop(next(iter(self._sig_cache)))
+        return hit
+
+    def clear_caches(self) -> None:
+        self._sig_cache.clear()
+
+    def overhead_solve_small(
+        self,
+        sig: Sequence[Tuple[float, float, float]],
+        latest_deadline: float,
+        params: Tuple[float, ...],
+        rel_end: float,
+    ) -> Tuple[float, Tuple[float, ...], Tuple[int, ...], Optional[Tuple[float, float, int]]]:
+        n, rel, dl, wl = self._arrays(sig)
+        alpha, beta, lam, s_m, s_up, xi, alpha_m, xi_m = params
+        ends_out = np.empty(n, dtype=np.float64)
+        order_out = np.empty(n, dtype=np.int64)
+        best_out = np.empty(3, dtype=np.float64)
+        rc = self._fn["overhead_solve_small"](
+            n, rel, dl, wl, latest_deadline, alpha, beta, lam, s_m, s_up,
+            xi, alpha_m, xi_m, rel_end, ends_out, order_out, best_out,
+        )
+        if rc not in (0, 1, 2):
+            raise RuntimeError(f"overhead_solve_small kernel failed (rc={rc})")
+        ends = tuple(float(v) for v in ends_out)
+        order = tuple(int(v) for v in order_out)
+        best: Optional[Tuple[float, float, int]] = None
+        if rc == 0:
+            best = (float(best_out[0]), float(best_out[1]), int(best_out[2]))
+        return ends[-1], ends, order, best
+
+    def overhead_energy_small(
+        self,
+        ends: Sequence[float],
+        pe: Sequence[float],
+        pb: Sequence[float],
+        pg: Optional[Sequence[float]],
+        po: Optional[Sequence[int]],
+        sw: Sequence[float],
+        sm: Sequence[float],
+        horizon: float,
+        params: Tuple[float, ...],
+        rel_end: float,
+        deltas: Sequence[float],
+    ) -> List[float]:
+        alpha, beta, lam, _s_m, s_up, xi, alpha_m, xi_m = params
+        n = len(ends)
+        gapped = pg is not None
+        has_po = po is not None
+        pg_a = np.asarray(pg if gapped else [0.0] * (n + 1), dtype=np.float64)
+        po_a = np.asarray(po if has_po else [0] * (n + 1), dtype=np.int64)
+        deltas_a = np.asarray(deltas, dtype=np.float64)
+        out = np.empty(deltas_a.shape[0], dtype=np.float64)
+        self._fn["overhead_energy_small"](
+            n, np.asarray(ends, dtype=np.float64),
+            np.asarray(pe, dtype=np.float64),
+            np.asarray(pb, dtype=np.float64),
+            pg_a, po_a,
+            np.asarray(sw, dtype=np.float64),
+            np.asarray(sm, dtype=np.float64),
+            horizon, alpha, beta, lam, xi, alpha_m, xi_m, s_up,
+            rel_end, gapped, has_po, deltas_a, out,
+        )
+        return [float(v) for v in out]
+
+    def block_energy_batch(
+        self,
+        sig: Sequence[Tuple[float, float, float]],
+        params: Tuple[float, ...],
+        starts: Sequence[float],
+        ends: Sequence[float],
+    ) -> List[float]:
+        _n, rel, dl, wl = self._arrays(sig)
+        alpha, beta, lam, s_m, s_up, _xi, alpha_m, _xi_m = params
+        starts_a = np.asarray(starts, dtype=np.float64)
+        ends_a = np.asarray(ends, dtype=np.float64)
+        out = np.empty(starts_a.shape[0], dtype=np.float64)
+        self._fn["block_energy_batch"](
+            rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m,
+            starts_a, ends_a, out,
+        )
+        return [float(v) for v in out]
+
+    def solve_block_descent(
+        self,
+        sig: Sequence[Tuple[float, float, float]],
+        params: Tuple[float, ...],
+        x_bounds: Tuple[float, float],
+        y_bounds: Tuple[float, float],
+        starts: Sequence[Tuple[float, float]],
+        tol: float,
+        max_rounds: int,
+    ) -> Tuple[float, float, float]:
+        _n, rel, dl, wl = self._arrays(sig)
+        alpha, beta, lam, s_m, s_up, _xi, alpha_m, _xi_m = params
+        sx = np.array([float(s[0]) for s in starts], dtype=np.float64)
+        sy = np.array([float(s[1]) for s in starts], dtype=np.float64)
+        out = np.empty(3, dtype=np.float64)
+        self._fn["descent"](
+            rel, dl, wl, alpha, beta, lam, s_m, s_up, alpha_m,
+            x_bounds[0], x_bounds[1], y_bounds[0], y_bounds[1],
+            sx, sy, tol, max_rounds, out,
+        )
+        return float(out[0]), float(out[1]), float(out[2])
+
+    def powersum_roots(
+        self,
+        values: Sequence[float],
+        workloads: Sequence[float],
+        masks: bytes,
+        count: int,
+        lo: Sequence[float],
+        hi: Sequence[float],
+        target: float,
+        lam: float,
+        mode: int,
+        tol: float,
+        max_iter: int,
+    ) -> List[float]:
+        n = len(values)
+        masks_a = np.frombuffer(masks, dtype=np.uint8).reshape(count, n)
+        out = np.empty(count, dtype=np.float64)
+        self._fn["powersum_roots"](
+            np.asarray(values, dtype=np.float64),
+            np.asarray(workloads, dtype=np.float64),
+            masks_a,
+            np.asarray(lo, dtype=np.float64),
+            np.asarray(hi, dtype=np.float64),
+            target, lam, mode, tol, max_iter, out,
+        )
+        return [float(v) for v in out]
+
+
+def build() -> NumbaKernels:
+    """JIT-wrap the kernel bodies; raises when numba is unavailable.
+
+    The helper functions (`_bisect_left`, `_block_energy_eval`,
+    `_overhead_objective`, `_powersum_eval`) are called from other kernel
+    bodies through module globals, which numba resolves lazily at first
+    compilation -- so their jitted dispatchers are installed into this
+    module permanently (idempotent; only happens when numba imports).
+    """
+    global _JITTED
+    if np is None:
+        raise ImportError("numba provider requires numpy")
+    import numba  # deferred: the ImportError here is the availability gate
+
+    if _JITTED is None:
+        jit = numba.njit(cache=True, fastmath=False)
+        module = globals()
+        for name in (
+            "_bisect_left",
+            "_block_energy_eval",
+            "_overhead_objective",
+            "_powersum_eval",
+        ):
+            module[name] = jit(module[name])
+        _JITTED = {
+            "block_energy_batch": jit(_block_energy_batch),
+            "descent": jit(_descent),
+            "overhead_energy_small": jit(_overhead_energy_small),
+            "overhead_solve_small": jit(_overhead_solve_small),
+            "powersum_roots": jit(_powersum_roots),
+        }
+    return NumbaKernels(_JITTED)

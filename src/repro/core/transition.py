@@ -33,7 +33,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
-from repro.core import vectorized
+from repro.core import kernels, vectorized
 from repro.core.common_release import CommonReleaseSolution
 from repro.models.platform import Platform
 from repro.models.task import TaskSet
@@ -169,21 +169,30 @@ def solve_common_release_with_overhead(
 
     release = tasks[0].release
     lam, beta = core.lam, core.beta
-    use_numpy = vectorized.use_numpy()
+    backend = vectorized.get_backend()
+    use_jit = backend == "jit"
+    use_numpy = vectorized.HAS_NUMPY if use_jit else backend == "numpy"
     rel_end = (
         tasks.latest_deadline - release
         if horizon_end is None
         else horizon_end - release
     )
     best: Optional[Tuple[float, float, int]] = None
-    fused = use_numpy and len(tasks) <= vectorized._SMALL_N
+    fused = (use_numpy or use_jit) and len(tasks) <= vectorized._SMALL_N
     if fused:
         # The online replan loop solves thousands of 1-8 task instances;
         # the fused kernel runs the same geometry / scan / candidate fold
-        # in one frame (identical floats, see its docstring).
-        horizon, ends, order_idx, best = vectorized.overhead_solve_small(
-            tasks, platform, rel_end
-        )
+        # in one frame (identical floats, see its docstring).  The jit
+        # backend swaps in the compiled transcription, which the kernel
+        # self-check pins bit-identical to the Python fused path.
+        if use_jit:
+            horizon, ends, order_idx, best = kernels.overhead_solve_small(
+                tasks, platform, rel_end
+            )
+        else:
+            horizon, ends, order_idx, best = vectorized.overhead_solve_small(
+                tasks, platform, rel_end
+            )
         if best is None and rel_end < horizon - 1e-9:
             raise ValueError(
                 f"horizon_end {horizon_end} precedes the schedule end "
@@ -260,9 +269,9 @@ def solve_common_release_with_overhead(
                 if lo <= kink <= hi:
                     candidates.add(kink)
             if use_numpy:
-                pending.extend((delta, i) for delta in candidates)
+                pending.extend((delta, i) for delta in sorted(candidates))
                 continue
-            for delta in candidates:
+            for delta in sorted(candidates):
                 energy = overhead_energy_at_delta(
                     tasks, platform, delta, horizon_end=horizon_end
                 )

@@ -24,13 +24,19 @@ This module provides the batched counterparts:
 * :func:`schedule_geometry_arrays` -- the vectorized constrained-critical-
   speed geometry (natural finish times) behind ``_schedule_geometry``.
 
-Backend selection is process-wide: ``REPRO_NUMERIC=scalar|numpy`` in the
-environment, or :func:`set_backend` for programmatic control (the CLI's
-``--numeric`` flag).  When unset, the numpy backend is used whenever numpy
-imports; the scalar path needs nothing beyond the standard library.  The
-property tests in ``tests/test_numeric_backends.py`` assert the two
-backends agree to 1e-9 on randomized task sets, so paper-fidelity tests
-keep pinning the closed forms no matter which backend runs them.
+Backend selection is process-wide: ``REPRO_NUMERIC=scalar|numpy|jit`` in
+the environment, or :func:`set_backend` for programmatic control (the
+CLI's ``--numeric`` flag).  When unset, the numpy backend is used whenever
+numpy imports; the scalar path needs nothing beyond the standard library.
+The ``jit`` backend layers the compiled kernels of
+:mod:`repro.core.kernels` (numba or cffi-compiled C) on top of the numpy
+engine paths; when no compiled provider is importable the request
+degrades to numpy (or scalar) with a single :class:`JitUnavailableWarning
+<repro.core.kernels.JitUnavailableWarning>` instead of failing mid-run.
+The property tests in ``tests/test_numeric_backends.py`` and
+``tests/test_jit_backend.py`` assert all backends agree to 1e-9 on
+randomized task sets, so paper-fidelity tests keep pinning the closed
+forms no matter which backend runs them.
 """
 
 from __future__ import annotations
@@ -58,6 +64,7 @@ __all__ = [
     "get_backend_override",
     "set_backend",
     "use_numpy",
+    "use_jit",
     "BlockArrays",
     "block_arrays",
     "block_arrays_cache_clear",
@@ -88,13 +95,51 @@ BACKEND_ENV = "REPRO_NUMERIC"
 _PENALTY = 1e30
 _INF = float("inf")
 
-_BACKENDS = ("scalar", "numpy")
+_BACKENDS = ("scalar", "numpy", "jit")
 _backend_override: Optional[str] = None
+_jit_fallback_warned = False
 
 
 def available_backends() -> Tuple[str, ...]:
-    """Backends usable in this process (``numpy`` only when importable)."""
-    return _BACKENDS if HAS_NUMPY else ("scalar",)
+    """Backends usable in this process.
+
+    ``numpy`` appears only when numpy imports; ``jit`` only when a
+    compiled kernel provider loads *and* passes its self-check (see
+    :func:`repro.core.kernels.available`).
+    """
+    names = ["scalar"]
+    if HAS_NUMPY:
+        names.append("numpy")
+    from repro.core import kernels
+
+    if kernels.available():
+        names.append("jit")
+    return tuple(names)
+
+
+def _jit_fallback() -> str:
+    """Resolve an unavailable ``jit`` request to the next-best backend.
+
+    Emits one structured :class:`~repro.core.kernels.JitUnavailableWarning`
+    per process (satellite: degradation must never crash mid-run, and must
+    not spam a warning per solve).
+    """
+    global _jit_fallback_warned
+    from repro.core import kernels
+
+    fallback = "numpy" if HAS_NUMPY else "scalar"
+    if not _jit_fallback_warned:
+        _jit_fallback_warned = True
+        import warnings
+
+        warnings.warn(
+            "numeric backend 'jit' requested but no compiled kernel "
+            f"provider is usable ({kernels.load_error()}); falling back "
+            f"to '{fallback}'",
+            kernels.JitUnavailableWarning,
+            stacklevel=3,
+        )
+    return fallback
 
 
 def _validate_backend(name: str) -> str:
@@ -108,6 +153,11 @@ def _validate_backend(name: str) -> str:
             "numeric backend 'numpy' requested but numpy is not installed; "
             "unset REPRO_NUMERIC or install numpy"
         )
+    if name == "jit":
+        from repro.core import kernels
+
+        if not kernels.available():
+            return _jit_fallback()
     return name
 
 
@@ -148,8 +198,22 @@ def get_backend() -> str:
 
 
 def use_numpy() -> bool:
-    """True when the numpy numeric core should serve the hot paths."""
-    return get_backend() == "numpy"
+    """True when the numpy numeric core should serve the hot paths.
+
+    The ``jit`` backend rides the numpy engine paths (simulation,
+    accounting, batched geometry) and only swaps the solver inner loops
+    for compiled kernels, so it answers True here whenever numpy is
+    importable.
+    """
+    backend = get_backend()
+    if backend == "jit":
+        return HAS_NUMPY
+    return backend == "numpy"
+
+
+def use_jit() -> bool:
+    """True when the compiled kernels should serve the solver inner loops."""
+    return get_backend() == "jit"
 
 
 # ---------------------------------------------------------------------------
@@ -305,8 +369,15 @@ def block_energy_batch(
     Array transcription of ``repro.core.blocks._block_energy_uncached``
     (same window clamps, same relative speed-cap tolerance, same graded
     penalties), broadcasting a ``(K, n)`` window matrix instead of looping
-    tasks per candidate.
+    tasks per candidate.  Under the ``jit`` backend the compiled scalar
+    transcription evaluates each candidate instead (bit-identical to the
+    scalar reference; callers still receive an ndarray).
     """
+    if get_backend() == "jit":
+        from repro.core import kernels
+
+        values = kernels.block_energy_batch(tasks, platform, starts, ends)
+        return np.asarray(values, dtype=np.float64)
     arr = block_arrays(tasks)
     core = platform.core
     s = np.asarray(starts, dtype=np.float64)
@@ -656,6 +727,10 @@ def overhead_energy_batch(
     way.
     """
     if scan.small:
+        if get_backend() == "jit":
+            from repro.core import kernels
+
+            return kernels.overhead_energy_small(scan, platform, rel_end, deltas)
         return _overhead_energy_small(scan, platform, rel_end, deltas)
     core = platform.core
     memory = platform.memory
@@ -822,7 +897,7 @@ def overhead_solve_small(
         for kink in kinks:
             if lo <= kink <= hi:
                 candidates.add(kink)
-        for delta in candidates:
+        for delta in sorted(candidates):
             busy = horizon - delta
             if busy <= 0.0:
                 energy = _INF

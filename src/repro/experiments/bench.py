@@ -129,16 +129,23 @@ def _solver_timer():
 def _compare_backends(
     specs, *, seeds: int, repeats: int = 3
 ) -> Optional[Dict[str, object]]:
-    """Serial cold scalar-vs-numpy comparison on the same slice.
+    """Serial cold cross-backend comparison on the same slice.
 
-    Each backend runs the slice ``repeats`` times and reports the
-    fastest pass (least-interference estimate -- the box's other load
-    only ever adds time).  Returns ``None`` when only one backend is
-    importable.  Restores the caller's backend override on exit.
+    Runs every backend usable in this process (scalar, numpy, jit).  Each
+    backend runs the slice ``repeats`` times and reports the fastest pass
+    (least-interference estimate -- the box's other load only ever adds
+    time).  Returns ``None`` when only the scalar backend is importable.
+    Restores the caller's backend override on exit.  When the jit backend
+    participates, its kernels are compiled/warmed *before* timing so
+    first-call JIT cost never pollutes the numbers.
     """
     backends = vectorized.available_backends()
     if len(backends) < 2:
         return None
+    if "jit" in backends:
+        from repro.core import kernels
+
+        kernels.warm_up()
     previous = vectorized.get_backend_override()
     measured: Dict[str, Dict[str, object]] = {}
     rows: Dict[str, List] = {}
@@ -166,25 +173,37 @@ def _compare_backends(
     finally:
         vectorized.set_backend(previous)
     scalar = measured["scalar"]
-    numpy = measured["numpy"]
-    identical = rows["scalar"] == rows["numpy"]
+    identical = all(rows[b] == rows["scalar"] for b in backends)
     assert identical, "numeric backends disagree at the output-row level"
 
     def ratio(num: float, den: float) -> Optional[float]:
         return round(num / den, 3) if den > 0 else None
 
+    speedup: Dict[str, object] = {}
+    if "numpy" in measured:
+        numpy = measured["numpy"]
+        # Whole-slice ratio: Amdahl-bounded by the engine share the
+        # backends have in common (trace generation, simulation,
+        # accounting) -- see docs/PERFORMANCE.md.
+        speedup["wall"] = ratio(scalar["seconds"], numpy["seconds"])
+        # Solver-only ratio: the numeric core the backends swap out.
+        speedup["numeric_core"] = ratio(
+            scalar["solver_seconds"], numpy["solver_seconds"]
+        )
+    if "jit" in measured:
+        jit = measured["jit"]
+        # The jit tier rides the numpy engine, so numpy is its natural
+        # baseline; on a numpy-less host the scalar tier stands in.
+        base_name = "numpy" if "numpy" in measured else "scalar"
+        base = measured[base_name]
+        speedup["jit_baseline"] = base_name
+        speedup["jit_wall"] = ratio(base["seconds"], jit["seconds"])
+        speedup["jit_numeric_core"] = ratio(
+            base["solver_seconds"], jit["solver_seconds"]
+        )
     return {
         "backends": measured,
-        "speedup": {
-            # Whole-slice ratio: Amdahl-bounded by the engine share the
-            # backends have in common (trace generation, simulation,
-            # accounting) -- see docs/PERFORMANCE.md.
-            "wall": ratio(scalar["seconds"], numpy["seconds"]),
-            # Solver-only ratio: the numeric core the backends swap out.
-            "numeric_core": ratio(
-                scalar["solver_seconds"], numpy["solver_seconds"]
-            ),
-        },
+        "speedup": speedup,
         "rows_identical": identical,
     }
 
@@ -218,6 +237,13 @@ def run_bench(
     specs = fig6_specs(benchmark, u_values=u_values, instances=instances)
     cache = ResultCache(cache_root)
     cache.clear()
+
+    if vectorized.get_backend() == "jit":
+        # Compile/warm the kernels before any timed region: first-call
+        # JIT cost belongs to setup, not to the recorded trajectory.
+        from repro.core import kernels
+
+        kernels.warm_up()
 
     serial = _timed_run(
         "bench-serial", specs, seeds=seeds, max_workers=1, cache=None
@@ -405,8 +431,10 @@ def render_bench_table(report: Dict[str, object]) -> str:
             f"{'backend':<14s} {'seconds':>9s} {'solver s':>9s} "
             f"{'solver calls':>13s}"
         )
-        for backend in ("scalar", "numpy"):
-            entry = numeric["backends"][backend]
+        for backend in ("scalar", "numpy", "jit"):
+            entry = numeric["backends"].get(backend)
+            if entry is None:
+                continue
             lines.append(
                 f"{backend:<14s} {entry['seconds']:>9.3f} "
                 f"{entry['solver_seconds']:>9.3f} "
@@ -417,11 +445,18 @@ def render_bench_table(report: Dict[str, object]) -> str:
         def fmt(value: Optional[float]) -> str:
             return f"{value:.2f}x" if value is not None else "n/a"
 
-        lines.append(
-            f"numpy vs scalar (serial cold): {fmt(speedups['wall'])} wall, "
-            f"{fmt(speedups['numeric_core'])} numeric core; "
-            f"rows identical across backends: {numeric['rows_identical']}"
-        )
+        if "wall" in speedups:
+            lines.append(
+                f"numpy vs scalar (serial cold): {fmt(speedups['wall'])} "
+                f"wall, {fmt(speedups['numeric_core'])} numeric core; "
+                f"rows identical across backends: {numeric['rows_identical']}"
+            )
+        if "jit_wall" in speedups:
+            lines.append(
+                f"jit vs {speedups['jit_baseline']} (serial cold): "
+                f"{fmt(speedups['jit_wall'])} wall, "
+                f"{fmt(speedups['jit_numeric_core'])} numeric core"
+            )
     return "\n".join(lines)
 
 

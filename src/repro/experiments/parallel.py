@@ -34,6 +34,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.vectorized import get_backend
 from repro.experiments.cache import ResultCache
 from repro.experiments.runner import (
     POLICY_ORDER,
@@ -204,14 +205,25 @@ def run_unit(
 
 
 def _pool_entry_chunk(args) -> List[Tuple[int, int, UnitResult]]:
-    """Module-level pool target: ``(chunk, cache, horizon)`` with
+    """Module-level pool target: ``(chunk, cache, horizon, backend)`` with
     ``chunk = [(point_index, seed, spec), ...]``.
 
     Batching several units per submission amortizes the pickle/IPC cost
     of a pool round-trip, which at ~10 ms per unit otherwise eats the
     parallel speedup (the 0.95x regression in early bench trajectories).
+
+    The parent's effective numeric backend rides in the payload and is
+    pinned here: a spawn-context worker does not inherit a programmatic
+    :func:`repro.core.vectorized.set_backend` override, and a silent
+    backend switch would fragment the shared result cache (its keys are
+    backend-scoped).  A ``jit`` request degrades per worker exactly as in
+    the parent -- one structured warning, then numpy/scalar.
     """
-    chunk, cache, horizon = args
+    chunk, cache, horizon, backend = args
+    from repro.core import vectorized
+
+    if vectorized.get_backend() != backend:
+        vectorized.set_backend(backend)
     return [
         (point_index, seed, run_unit(spec, seed, cache, horizon))
         for point_index, seed, spec in chunk
@@ -301,7 +313,8 @@ def run_series(
             (point_index, seed, specs[point_index]) for point_index, seed in jobs
         ]
         chunks = chunk_evenly(units, workers)
-        payloads = [(chunk, cache, horizon) for chunk in chunks]
+        backend = get_backend()
+        payloads = [(chunk, cache, horizon, backend) for chunk in chunks]
         try:
             pickle.dumps(payloads[0])
         except Exception as exc:

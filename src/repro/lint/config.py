@@ -38,6 +38,7 @@ except ImportError:  # pragma: no cover - exercised on the 3.10 CI leg
 
 __all__ = [
     "ConfigError",
+    "DEFAULT_SANCTIONED_JIT_MODULES",
     "DEFAULT_SANCTIONED_NUMPY_MODULES",
     "LintConfig",
     "load_config",
@@ -47,10 +48,19 @@ __all__ = [
 DEFAULT_SANCTIONED_NUMPY_MODULES: Tuple[str, ...] = (
     "repro.core.vectorized",
     "repro.utils.solvers",
+    "repro.core.kernels._numba_provider",
+)
+
+#: Packages allowed to import the jit toolchains (numba/cffi).  Unlike the
+#: numpy list this is prefix-scoped: ``repro.core.kernels`` sanctions the
+#: package and every submodule under it (the providers live in
+#: ``_numba_provider``/``_cffi_provider``).
+DEFAULT_SANCTIONED_JIT_MODULES: Tuple[str, ...] = (
+    "repro.core.kernels",
 )
 
 _TABLE_HEADER = "[tool.repro-lint]"
-_KNOWN_KEYS = ("sanctioned-numpy-modules",)
+_KNOWN_KEYS = ("sanctioned-numpy-modules", "sanctioned-jit-modules")
 
 _KEY_VALUE = re.compile(r"^([A-Za-z0-9_-]+)\s*=\s*(.*)$", re.DOTALL)
 _QUOTED = re.compile(r"^(?:\"([^\"]*)\"|'([^']*)')$")
@@ -65,6 +75,7 @@ class LintConfig:
     """Resolved lint configuration for one analysis run."""
 
     sanctioned_numpy_modules: Tuple[str, ...] = DEFAULT_SANCTIONED_NUMPY_MODULES
+    sanctioned_jit_modules: Tuple[str, ...] = DEFAULT_SANCTIONED_JIT_MODULES
 
 
 def load_config(root: str) -> LintConfig:
@@ -201,13 +212,20 @@ def _validate(table: Dict[str, object], path: str) -> LintConfig:
             f"{path}: unknown [tool.repro-lint] key(s): "
             f"{', '.join(unknown)}; known keys: {', '.join(_KNOWN_KEYS)}"
         )
-    config = LintConfig()
+    numpy_modules = DEFAULT_SANCTIONED_NUMPY_MODULES
+    jit_modules = DEFAULT_SANCTIONED_JIT_MODULES
     if "sanctioned-numpy-modules" in table:
-        modules = _string_tuple(
+        numpy_modules = _string_tuple(
             table["sanctioned-numpy-modules"], "sanctioned-numpy-modules", path
         )
-        config = LintConfig(sanctioned_numpy_modules=modules)
-    return config
+    if "sanctioned-jit-modules" in table:
+        jit_modules = _string_tuple(
+            table["sanctioned-jit-modules"], "sanctioned-jit-modules", path
+        )
+    return LintConfig(
+        sanctioned_numpy_modules=numpy_modules,
+        sanctioned_jit_modules=jit_modules,
+    )
 
 
 def _string_tuple(value: object, key: str, path: str) -> Tuple[str, ...]:

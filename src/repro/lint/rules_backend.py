@@ -15,7 +15,14 @@ The numeric core (PR 2) runs CI in two legs: one without numpy installed
 * the ``REPRO_NUMERIC`` environment variable is *read* only by the
   sanctioned accessor :func:`repro.core.vectorized.get_backend`, so the
   override > env > auto precedence cannot fork (``BCK003``).  Writes are
-  allowed -- the CLI exports the flag to pool workers.
+  allowed -- the CLI exports the flag to pool workers;
+* the jit toolchains (numba/cffi, PR 6) are imported only inside
+  ``repro.core.kernels`` -- every other module reaches compiled code
+  through the dispatcher, so a checkout without either toolchain
+  degrades instead of crashing (``BCK004``).  The sanctioned list is
+  prefix-scoped (the kernels *package* including its provider
+  submodules) and configurable via ``[tool.repro-lint]
+  sanctioned-jit-modules``.
 """
 
 from __future__ import annotations
@@ -23,7 +30,10 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Optional
 
-from repro.lint.config import DEFAULT_SANCTIONED_NUMPY_MODULES
+from repro.lint.config import (
+    DEFAULT_SANCTIONED_JIT_MODULES,
+    DEFAULT_SANCTIONED_NUMPY_MODULES,
+)
 from repro.lint.engine import (
     Finding,
     Project,
@@ -34,7 +44,12 @@ from repro.lint.engine import (
     register,
 )
 
-__all__ = ["NumpyImportGuardRule", "NumpyImportScopeRule", "BackendEnvReadRule"]
+__all__ = [
+    "NumpyImportGuardRule",
+    "NumpyImportScopeRule",
+    "BackendEnvReadRule",
+    "JitImportScopeRule",
+]
 
 #: Modules allowed to import numpy directly.  ``core.vectorized`` is the
 #: dispatcher itself; ``utils.solvers`` hosts the batched primitives the
@@ -42,6 +57,15 @@ __all__ = ["NumpyImportGuardRule", "NumpyImportScopeRule", "BackendEnvReadRule"]
 #: This is the *default*; each run rescopes from ``project.config``
 #: ([tool.repro-lint] sanctioned-numpy-modules in pyproject.toml).
 SANCTIONED_NUMPY_MODULES = DEFAULT_SANCTIONED_NUMPY_MODULES
+
+#: Packages allowed to import the jit toolchains (numba/cffi).  Prefix
+#: semantics: an entry sanctions the named module *and* everything under
+#: it, because the kernels package splits its providers into submodules.
+#: Rescoped per run from ``[tool.repro-lint] sanctioned-jit-modules``.
+SANCTIONED_JIT_MODULES = DEFAULT_SANCTIONED_JIT_MODULES
+
+#: Toolchain packages BCK004 confines to the sanctioned jit modules.
+JIT_TOOLCHAIN_PACKAGES = ("numba", "cffi")
 
 #: The one module allowed to read the backend environment variable.
 BACKEND_ACCESSOR_MODULE = "repro.core.vectorized"
@@ -59,6 +83,24 @@ def _is_numpy_import(node: ast.AST) -> bool:
         module = node.module or ""
         return module == "numpy" or module.startswith("numpy.")
     return False
+
+
+def _jit_import_target(node: ast.AST) -> Optional[str]:
+    """The toolchain package a node imports (``numba``/``cffi``), if any."""
+    if isinstance(node, ast.Import):
+        for item in node.names:
+            for pkg in JIT_TOOLCHAIN_PACKAGES:
+                if item.name == pkg or item.name.startswith(pkg + "."):
+                    return pkg
+        return None
+    if isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        if node.level:  # relative import: never a toolchain package
+            return None
+        for pkg in JIT_TOOLCHAIN_PACKAGES:
+            if module == pkg or module.startswith(pkg + "."):
+                return pkg
+    return None
 
 
 def _guarded_by_import_error(node: ast.AST) -> bool:
@@ -222,3 +264,50 @@ class BackendEnvReadRule(Rule):
             "REPRO_NUMERIC must be read through "
             "repro.core.vectorized.get_backend(), not the raw environment",
         )
+
+
+@register
+class JitImportScopeRule(Rule):
+    id = "BCK004"
+    family = "backend"
+    description = (
+        "numba/cffi imported outside the sanctioned jit modules; compiled "
+        "kernels must stay inside repro.core.kernels so checkouts without "
+        "a jit toolchain degrade instead of crashing"
+    )
+    hint = (
+        "call the compiled kernel you need via repro.core.kernels "
+        "(or add one there) instead of importing numba/cffi locally"
+    )
+
+    #: Per-run sanctioned prefixes (rescoped from project.config in run()).
+    _sanctioned: tuple[str, ...] = SANCTIONED_JIT_MODULES
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        self._sanctioned = project.config.sanctioned_jit_modules
+        yield from super().run(project)
+
+    def applies_to(self, module: SourceModule) -> bool:
+        if not super().applies_to(module):
+            return False
+        # Prefix semantics: sanctioning a package sanctions its submodules
+        # (the providers live under repro.core.kernels).
+        return not any(
+            module.name == root or module.name.startswith(root + ".")
+            for root in self._sanctioned
+        )
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            pkg = _jit_import_target(node)
+            if pkg is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{pkg} import in {module.name}; only "
+                    f"{', '.join(self._sanctioned)} (and submodules) may "
+                    "import the jit toolchains",
+                )

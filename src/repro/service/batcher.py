@@ -210,6 +210,12 @@ class Batcher:
         metrics.histogram("repro_batch_size").observe(len(entries))
         if len(entries) > 1:
             metrics.counter("repro_batched_requests_total").inc(len(entries))
+        # 'jit' deliberately has no such hard error: set_backend('jit')
+        # resolves through the kernels loader and degrades to numpy/scalar
+        # with one structured warning when no provider compiles, so jit
+        # requests stay servable on any host (response provenance still
+        # reports the requested backend; cache keys stay 'jit'-scoped and
+        # consistent process-wide).
         if backend == "numpy" and not vectorized.HAS_NUMPY:
             return [
                 (

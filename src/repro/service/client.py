@@ -196,14 +196,13 @@ def demo_wire_requests(
     """``n`` solve requests cycling schemes, lanes, backends and instances.
 
     ``unique`` bounds the number of distinct instances (default ``n // 4``),
-    so later repetitions hit the result cache.  Backends alternate between
-    scalar and numpy when numpy is importable.
+    so later repetitions hit the result cache.  Backends cycle through
+    every backend usable in this process (scalar, plus numpy and jit when
+    importable/compilable).
     """
     if unique is None:
         unique = max(1, n // 4)
-    backends: Tuple[str, ...] = (
-        ("scalar", "numpy") if vectorized.HAS_NUMPY else ("scalar",)
-    )
+    backends: Tuple[str, ...] = vectorized.available_backends()
     platforms = (
         None,  # paper defaults
         {"alpha_m": 2000.0, "xi_m": 25.0},

@@ -260,9 +260,10 @@ def request_from_wire(wire: Dict[str, object]) -> SolveRequest:
             E_BAD_REQUEST, f"unknown lane {lane!r}; valid: {', '.join(LANES)}"
         )
     numeric = wire.get("numeric")
-    if numeric is not None and numeric not in ("scalar", "numpy"):
+    if numeric is not None and numeric not in ("scalar", "numpy", "jit"):
         raise ProtocolError(
-            E_BAD_REQUEST, f"numeric must be 'scalar' or 'numpy', got {numeric!r}"
+            E_BAD_REQUEST,
+            f"numeric must be 'scalar', 'numpy' or 'jit', got {numeric!r}",
         )
     timeout_ms = wire.get("timeout_ms")
     if timeout_ms is not None:

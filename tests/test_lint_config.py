@@ -14,6 +14,7 @@ import textwrap
 import pytest
 
 from repro.lint.config import (
+    DEFAULT_SANCTIONED_JIT_MODULES,
     DEFAULT_SANCTIONED_NUMPY_MODULES,
     ConfigError,
     LintConfig,
@@ -75,6 +76,26 @@ class TestRuleRescoping:
         )
         assert rule_ids(findings) == ["BCK001"]
 
+    def test_jit_rescoping_true_positive_and_false_positive(self, tmp_path):
+        """BCK004 follows sanctioned-jit-modules: fires where the default
+        list stayed quiet, quiet where the default list fired."""
+        pyproject = """
+            [tool.repro-lint]
+            sanctioned-jit-modules = ["repro.myext.compiled"]
+        """
+        findings = run_lint(
+            str(tmp_path),
+            {
+                "pyproject.toml": pyproject,
+                "src/repro/core/kernels/__init__.py": "import cffi\n",
+                "src/repro/myext/compiled/fast.py": "import numba\n",
+            },
+            rules=["BCK004"],
+        )
+        assert rule_ids(findings) == ["BCK004"]
+        assert findings[0].path == "src/repro/core/kernels/__init__.py"
+        assert "repro.myext.compiled" in findings[0].message
+
     def test_defaults_without_table_unchanged(self, tmp_path):
         findings = run_lint(
             str(tmp_path),
@@ -126,6 +147,49 @@ class TestLoadConfig:
         assert load_config(root).sanctioned_numpy_modules == (
             "repro.myext.fast",
         )
+
+    def test_jit_key_defaults(self, tmp_path):
+        config = load_config(str(tmp_path))
+        assert config.sanctioned_jit_modules == DEFAULT_SANCTIONED_JIT_MODULES
+        assert config.sanctioned_jit_modules == ("repro.core.kernels",)
+
+    def test_jit_key_parsed_independently_of_numpy_key(self, tmp_path):
+        root = self._write(
+            tmp_path,
+            """
+            [tool.repro-lint]
+            sanctioned-jit-modules = ["repro.myext.compiled"]
+            """,
+        )
+        config = load_config(root)
+        assert config.sanctioned_jit_modules == ("repro.myext.compiled",)
+        assert (
+            config.sanctioned_numpy_modules == DEFAULT_SANCTIONED_NUMPY_MODULES
+        )
+
+    def test_both_keys_parsed(self, tmp_path):
+        root = self._write(
+            tmp_path,
+            """
+            [tool.repro-lint]
+            sanctioned-numpy-modules = ["a.b"]
+            sanctioned-jit-modules = ["c.d", "e.f"]
+            """,
+        )
+        config = load_config(root)
+        assert config.sanctioned_numpy_modules == ("a.b",)
+        assert config.sanctioned_jit_modules == ("c.d", "e.f")
+
+    def test_jit_key_scalar_rejected(self, tmp_path):
+        root = self._write(
+            tmp_path,
+            """
+            [tool.repro-lint]
+            sanctioned-jit-modules = "repro.core.kernels"
+            """,
+        )
+        with pytest.raises(ConfigError, match="list of non-empty strings"):
+            load_config(root)
 
     def test_scalar_value_rejected(self, tmp_path):
         root = self._write(

@@ -1,4 +1,4 @@
-"""BCK001-BCK003: the scalar/numpy dual-backend purity rules."""
+"""BCK001-BCK004: the scalar/numpy/jit backend purity rules."""
 
 from __future__ import annotations
 
@@ -158,5 +158,74 @@ class TestBackendEnvBCK003:
         """
         findings = run_lint(
             str(tmp_path), {"src/repro/experiments/m.py": source}, rules=["BCK003"]
+        )
+        assert findings == []
+
+
+class TestJitScopeBCK004:
+    def test_numba_import_outside_kernels_flagged(self, tmp_path):
+        source = """
+            import numba
+
+            @numba.njit
+            def fast(x):
+                return x + 1
+        """
+        findings = run_lint(
+            str(tmp_path),
+            {"src/repro/experiments/fast.py": source},
+            rules=["BCK004"],
+        )
+        assert rule_ids(findings) == ["BCK004"]
+        assert "repro.core.kernels" in findings[0].message
+
+    def test_cffi_import_outside_kernels_flagged(self, tmp_path):
+        source = """
+            from cffi import FFI
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/service/m.py": source}, rules=["BCK004"]
+        )
+        assert rule_ids(findings) == ["BCK004"]
+
+    def test_deferred_import_still_flagged(self, tmp_path):
+        source = """
+            def build():
+                import numba
+                return numba.njit
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/core/blocks.py": source}, rules=["BCK004"]
+        )
+        assert rule_ids(findings) == ["BCK004"]
+
+    def test_kernels_package_and_submodules_exempt(self, tmp_path):
+        files = {
+            "src/repro/core/kernels/__init__.py": "import cffi\n",
+            "src/repro/core/kernels/_cffi_provider.py": "import cffi\n",
+            "src/repro/core/kernels/_numba_provider.py": "import numba\n",
+        }
+        findings = run_lint(str(tmp_path), files, rules=["BCK004"])
+        assert findings == []
+
+    def test_unrelated_imports_quiet(self, tmp_path):
+        source = """
+            import numbers
+            from collections import OrderedDict
+            import cffi_tools
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/experiments/m.py": source}, rules=["BCK004"]
+        )
+        assert findings == []
+
+    def test_relative_import_not_mistaken_for_toolchain(self, tmp_path):
+        source = """
+            from . import cffi
+        """
+        findings = run_lint(
+            str(tmp_path),
+            {"src/repro/experiments/m.py": source},
+            rules=["BCK004"],
         )
         assert findings == []
