@@ -53,10 +53,12 @@ from repro.baselines import AvrPolicy, RaceToIdlePolicy, mbkp, mbkps
 from repro.core import (
     SdemOnlinePolicy,
     solve_agreeable,
+    solve_agreeable_fptas,
     solve_common_release,
+    solve_common_release_fptas,
     solve_common_release_with_overhead,
 )
-from repro.core import vectorized
+from repro.core import fptas, vectorized
 from repro.energy import account
 from repro.experiments import (
     ResultCache,
@@ -70,10 +72,13 @@ from repro.experiments import (
     write_csv,
 )
 from repro.experiments.bench import (
+    BENCH_SLICES,
     check_serial_regression,
     load_trajectory,
+    render_bench_huge_n_table,
     render_bench_table,
     run_bench,
+    run_bench_huge_n,
     write_bench_json,
 )
 from repro.experiments.runner import render_ascii_chart
@@ -138,8 +143,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     horizon = (tasks.earliest_release, tasks.latest_deadline)
 
     overheads = platform.memory.xi_m > 0.0 or platform.core.xi > 0.0
+    use_fptas = fptas.get_solver_tier() == "fptas"
+    epsilon = fptas.get_solver_epsilon()
     if tasks.has_common_release():
-        if overheads:
+        if use_fptas:
+            solution = solve_common_release_fptas(tasks, platform)
+            scheme = f"fptas tier (eps={epsilon:g}, common release)"
+        elif overheads:
             solution = solve_common_release_with_overhead(tasks, platform)
             scheme = "Section 7 (overhead-aware common release)"
         else:
@@ -150,11 +160,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(f"memory sleep Delta = {solution.delta:.3f} ms; "
               f"predicted energy {solution.predicted_energy / 1000.0:.3f} mJ")
     elif tasks.is_agreeable():
-        solution = solve_agreeable(
-            tasks, platform, include_transition_overhead=overheads
-        )
+        if use_fptas:
+            solution = solve_agreeable_fptas(
+                tasks, platform, include_transition_overhead=overheads
+            )
+            scheme = f"fptas tier (eps={epsilon:g}, agreeable)"
+        else:
+            solution = solve_agreeable(
+                tasks, platform, include_transition_overhead=overheads
+            )
+            scheme = "Section 5 (agreeable DP)"
         schedule = solution.schedule()
-        print(f"scheme: Section 5 (agreeable DP), {solution.num_blocks} block(s)")
+        print(f"scheme: {scheme}, {solution.num_blocks} block(s)")
         print(f"predicted energy {solution.predicted_energy / 1000.0:.3f} mJ")
     else:
         raise SystemExit(
@@ -311,14 +328,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     cache_root = args.cache_dir or default_cache_root(
         os.path.dirname(args.out) or "."
     )
-    report = run_bench(
-        benchmark=args.benchmark,
-        seeds=args.seeds,
-        workers=_resolve_workers_flag(args.workers),
-        cache_root=cache_root,
-        quick=args.quick,
-    )
-    print(render_bench_table(report))
+    if args.bench_slice == "huge-n":
+        # A global fptas pin narrows the ε sweep to the pinned value; the
+        # slice always runs both tiers (the crossover needs the exact leg).
+        epsilons = None
+        if fptas.get_solver_tier() == "fptas":
+            epsilons = [fptas.get_solver_epsilon()]
+        report = run_bench_huge_n(quick=args.quick, epsilons=epsilons)
+        print(render_bench_huge_n_table(report))
+    else:
+        report = run_bench(
+            benchmark=args.benchmark,
+            seeds=args.seeds,
+            workers=_resolve_workers_flag(args.workers),
+            cache_root=cache_root,
+            quick=args.quick,
+            bench_slice=args.bench_slice,
+        )
+        print(render_bench_table(report))
     # Gate against the history *before* appending this run to it.
     failure = None
     if args.gate_regression:
@@ -415,6 +442,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     }
     if args.numeric is not None:
         wire["numeric"] = args.numeric
+    if args.solver is not None:
+        wire["solver"] = args.solver
+    if args.epsilon is not None:
+        wire["epsilon"] = args.epsilon
     if args.timeout_ms is not None:
         wire["timeout_ms"] = args.timeout_ms
 
@@ -484,8 +515,46 @@ def _apply_numeric_flag(args: argparse.Namespace) -> None:
     vectorized.set_backend(backend)
 
 
+def _add_solver_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--solver", choices=list(fptas.SOLVER_TIERS), default=None,
+        help="solver tier: 'exact' (the paper's DPs, default) or 'fptas' "
+        "(the (1+eps)-approximate huge-n tier; see docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=None,
+        help="fptas energy tolerance eps in (0, 2] "
+        f"(default {fptas.DEFAULT_EPSILON:g}; needs --solver fptas)",
+    )
+
+
+def _apply_solver_flag(args: argparse.Namespace) -> None:
+    """Pin the solver tier process-wide, mirroring the numeric flag.
+
+    Exported through the environment so pool workers (and any spawned
+    subprocess) inherit the tier; the experiments cache keys on it, so a
+    silent tier drift would fragment or -- worse -- alias cache entries.
+    """
+    tier = getattr(args, "solver", None)
+    epsilon = getattr(args, "epsilon", None)
+    if tier is None:
+        if epsilon is not None:
+            raise SystemExit("--epsilon needs --solver fptas")
+        return
+    if epsilon is not None and tier != "fptas":
+        raise SystemExit("--epsilon only applies to --solver fptas")
+    try:
+        fptas.set_solver_tier(tier, epsilon)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    os.environ[fptas.TIER_ENV] = tier
+    if epsilon is not None:
+        os.environ[fptas.EPSILON_ENV] = repr(float(epsilon))
+
+
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     _add_numeric_arg(parser)
+    _add_solver_arg(parser)
     parser.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for the sweep (1 = in-process, 0 = every core)",
@@ -521,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--width", type=int, default=72, help="gantt width")
     _add_platform_args(p_solve)
     _add_numeric_arg(p_solve)
+    _add_solver_arg(p_solve)
     p_solve.set_defaults(func=_cmd_solve)
 
     p_sim = sub.add_parser("simulate", help="replay a trace under a policy")
@@ -536,6 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--width", type=int, default=72)
     _add_platform_args(p_sim)
     _add_numeric_arg(p_sim)
+    _add_solver_arg(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p6 = sub.add_parser("fig6", help="regenerate Figure 6 (both benchmarks)")
@@ -555,6 +626,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_tab = sub.add_parser("tables", help="regenerate Tables 1, 3 and 4")
     p_tab.add_argument("--n", type=int, default=12, help="instance size for Table 1")
+    _add_solver_arg(p_tab)
     p_tab.set_defaults(func=_cmd_tables)
 
     p_bench = sub.add_parser(
@@ -566,6 +638,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--benchmark", choices=["fft", "matmul"], default="fft"
+    )
+    p_bench.add_argument(
+        "--slice", choices=list(BENCH_SLICES), default="fft",
+        dest="bench_slice",
+        help="workload slice: the Fig 6 DSPstone sweep (fft), the Fig 7 "
+        "sporadic sweep (synthetic), or the exact-vs-fptas crossover "
+        "sweep (huge-n)",
     )
     p_bench.add_argument(
         "--seeds", type=int, default=None, help="seeds per point (default 5; 2 with --quick)"
@@ -588,6 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
         "no comparable entry exists)",
     )
     _add_numeric_arg(p_bench)
+    _add_solver_arg(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
     p_cache = sub.add_parser(
@@ -679,6 +759,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--timeout-ms", type=float, default=None,
                           dest="timeout_ms")
     _add_numeric_arg(p_submit)
+    _add_solver_arg(p_submit)
     p_submit.set_defaults(func=_cmd_submit)
 
     p_check = sub.add_parser(
@@ -740,6 +821,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser = build_parser()
         args = parser.parse_args(argv)
         _apply_numeric_flag(args)
+        _apply_solver_flag(args)
         return args.func(args)
     except SystemExit as exc:
         code = exc.code

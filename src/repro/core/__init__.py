@@ -15,7 +15,10 @@ Modules map one-to-one onto the paper's sections:
 * :mod:`repro.core.reference` -- slow, brutally simple reference
   optimizers the test-suite certifies the fast schemes against;
 * :mod:`repro.core.vectorized` -- the batched NumPy numeric core behind
-  the block / case-scan hot paths (``REPRO_NUMERIC`` selects the backend).
+  the block / case-scan hot paths (``REPRO_NUMERIC`` selects the backend);
+* :mod:`repro.core.fptas` -- the ε-approximate solver tier
+  (``--solver exact|fptas``) for huge-n instances the exact DPs cannot
+  reach (after Antoniadis, Huang & Ott, arXiv:1407.0892).
 """
 
 from repro.core.common_release import (
@@ -58,11 +61,25 @@ from repro.core.vectorized import (
     get_backend,
     set_backend,
 )
+from repro.core.fptas import (
+    get_solver_epsilon,
+    get_solver_tier,
+    set_solver_tier,
+    solve_agreeable_fptas,
+    solve_agreeable_fptas_columns,
+    solve_common_release_fptas,
+)
 
 __all__ = [
     "available_backends",
     "get_backend",
     "set_backend",
+    "get_solver_epsilon",
+    "get_solver_tier",
+    "set_solver_tier",
+    "solve_agreeable_fptas",
+    "solve_agreeable_fptas_columns",
+    "solve_common_release_fptas",
     "CommonReleaseSolution",
     "solve_common_release",
     "solve_common_release_alpha_zero",

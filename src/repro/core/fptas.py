@@ -1,0 +1,822 @@
+"""ε-approximate solver tier (FPTAS mode, ``--solver exact|fptas``).
+
+The exact DPs (Sections 5 and 7) price O(n^2) blocks with a continuous
+2-D minimization inside each, which caps task sets at tens of tasks no
+matter how fast each inner loop gets.  Following the discretization
+strategy of *A Fully Polynomial-Time Approximation Scheme for Speed
+Scaling with Sleep State* (Antoniadis, Huang, Ott — arXiv:1407.0892),
+this module trades an ε-bounded energy increase for a huge-n runtime:
+every continuous quantity the exact solvers optimize over is snapped to
+a geometric grid keyed on ε, and the DP compares *rounded* states while
+reporting the true (unrounded) energy of the partition it picks.
+
+With ``delta = epsilon / 4`` the two approximation sources compose as
+
+* **endpoint grids** — a multi-task block's busy interval ``[s, e]`` is
+  chosen from uniform grids anchored outward at the block's first
+  release / last deadline with pitch ``delta * L_min`` (``L_min`` = the
+  block's minimum feasible busy length).  Rounding the optimum's start
+  down and end up only *widens* every task window (execution energy is
+  non-increasing in window width), and costs at most ``alpha_m * 2 *
+  pitch <= 2 * delta * E*`` extra memory-awake energy because any
+  feasible block pays at least ``alpha_m * L_min``;
+* **energy ladder** — the prefix DP compares block prices rounded up
+  onto the ladder ``(1 + delta) ** k``, inflating any partition's
+  comparison value by at most ``(1 + delta)``.
+
+Combined: ``(1 + 2*delta) * (1 + delta) <= 1 + epsilon`` for
+``epsilon <= 2``.  The common-release tier instead lays a geometric
+ladder over the memory busy *length* and evaluates the exact Section 7
+objective (:func:`repro.core.transition.overhead_energy_at_delta`,
+which degenerates to the Section 4 objective when the break-even times
+are zero) at every rung: stretching the optimal busy length ``L*`` to
+``rho * L*`` with ``rho <= 1 + delta`` scales the static/memory terms
+by at most ``rho`` and decreases everything else.
+
+Cluster decomposition keeps the huge-n path near-linear: the agreeable
+DP is split *exactly* (no approximation) at feasibility gaps where
+splitting is provably dominant — every positive gap when sleeping is
+free, gaps of at least ``xi_m`` under the Section 7 per-block overhead,
+and every index when ``alpha_m = 0`` (no memory coupling, the per-task
+closed form is optimal).  On sporadic traces cluster sizes are bounded,
+so :func:`solve_agreeable_fptas_columns` — which never materializes
+per-task ``Task`` objects — runs the O(m^2) DP only inside small
+clusters and handles n in the 10^3–10^5 range.
+
+The module also owns the process-wide *solver tier* selection mirrored
+on :mod:`repro.core.vectorized`'s backend switch: ``REPRO_SOLVER_TIER``
+/ ``REPRO_SOLVER_EPSILON`` environment variables, a programmatic
+override (:func:`set_solver_tier`), and :func:`solver_cache_component`
+for cache keys so exact and fptas results can never alias.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core import vectorized
+from repro.core.agreeable import AgreeableSolution
+from repro.core.blocks import BlockSolution, TaskPlacement
+from repro.core.common_release import CommonReleaseSolution
+from repro.core.transition import _schedule_geometry, overhead_energy_at_delta
+from repro.models.platform import Platform
+from repro.models.task import Task, TaskSet
+from repro.units import MS, SCALAR, UJ, unit
+from repro.utils.solvers import golden_section_minimize, record_solver_call
+
+__all__ = [
+    "DEFAULT_EPSILON",
+    "EPSILON_ENV",
+    "SOLVER_TIERS",
+    "TIER_ENV",
+    "get_solver_epsilon",
+    "get_solver_tier",
+    "pinned_solver",
+    "set_solver_tier",
+    "solve_agreeable_fptas",
+    "solve_agreeable_fptas_columns",
+    "solve_common_release_fptas",
+    "solver_cache_component",
+    "solver_override",
+]
+
+TIER_ENV = "REPRO_SOLVER_TIER"
+EPSILON_ENV = "REPRO_SOLVER_EPSILON"
+SOLVER_TIERS = ("exact", "fptas")
+DEFAULT_EPSILON = 0.1
+
+#: Grid prices at or above this are graded infeasibility penalties from
+#: the block-energy evaluators (they start at ``vectorized._PENALTY``).
+_INFEASIBLE_FLOOR = 1e29
+
+#: Per-axis cap on endpoint-grid resolution.  ``ceil(span / pitch)``
+#: exceeds this only on pathological span/workload ratios; the pitch is
+#: then widened to keep the search bounded (the ε guarantee loosens only
+#: on those instances, never silently on normal ones).
+_GRID_MAX_POINTS = 20000
+
+#: Coordinate-descent sweeps before snapping onto the ε-grid.
+_DESCENT_ROUNDS = 3
+
+_tier_override: Optional[str] = None
+_epsilon_override: Optional[float] = None
+
+
+# ---------------------------------------------------------------------------
+# Tier selection (mirrors repro.core.vectorized's backend switch)
+# ---------------------------------------------------------------------------
+
+
+def _validate_tier(name: object) -> str:
+    tier = str(name).strip().lower()
+    if tier not in SOLVER_TIERS:
+        raise ValueError(
+            f"unknown solver tier {name!r}; expected one of {SOLVER_TIERS}"
+        )
+    return tier
+
+
+@unit(SCALAR)
+def _validate_epsilon(value: object) -> float:
+    """Parse and range-check an ε; the bound proof needs ``epsilon <= 2``."""
+    try:
+        eps = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ValueError(f"epsilon must be a number, got {value!r}") from None
+    if not math.isfinite(eps) or eps <= 0.0 or eps > 2.0:
+        raise ValueError(f"epsilon must lie in (0, 2], got {value!r}")
+    return eps
+
+
+def set_solver_tier(tier: Optional[str], epsilon: Optional[float] = None) -> None:
+    """Set (or with ``None`` clear) the process-wide solver tier override."""
+    global _tier_override, _epsilon_override
+    if tier is None:
+        _tier_override = None
+        _epsilon_override = None
+        return
+    _tier_override = _validate_tier(tier)
+    _epsilon_override = None if epsilon is None else _validate_epsilon(epsilon)
+
+
+def get_solver_tier() -> str:
+    """Active solver tier: override > $REPRO_SOLVER_TIER > ``"exact"``."""
+    if _tier_override is not None:
+        return _tier_override
+    raw = os.environ.get(TIER_ENV)
+    if raw:
+        return _validate_tier(raw)
+    return "exact"
+
+
+@unit(SCALAR)
+def get_solver_epsilon() -> float:
+    """Active ε: override > $REPRO_SOLVER_EPSILON > :data:`DEFAULT_EPSILON`."""
+    if _epsilon_override is not None:
+        return _epsilon_override
+    raw = os.environ.get(EPSILON_ENV)
+    if raw:
+        return _validate_epsilon(raw)
+    return DEFAULT_EPSILON
+
+
+def solver_override() -> Tuple[Optional[str], Optional[float]]:
+    """The raw (tier, epsilon) override pair, for save/restore pinning."""
+    return _tier_override, _epsilon_override
+
+
+@contextmanager
+def pinned_solver(
+    tier: Optional[str], epsilon: Optional[float] = None
+) -> Iterator[None]:
+    """Pin the solver tier for a scope, restoring the previous override."""
+    saved_tier, saved_epsilon = solver_override()
+    set_solver_tier(tier, epsilon)
+    try:
+        yield
+    finally:
+        set_solver_tier(saved_tier, saved_epsilon)
+
+
+def solver_cache_component() -> Dict[str, object]:
+    """Cache-key component for the active tier.
+
+    Exact stays a bare ``{"tier": "exact"}`` so every exact key is a pure
+    function of the pre-existing payload fields plus this constant; fptas
+    keys additionally carry ε, so results at different tolerances can
+    never alias each other or the exact tier.
+    """
+    if get_solver_tier() == "fptas":
+        return {"tier": "fptas", "epsilon": get_solver_epsilon()}
+    return {"tier": "exact"}
+
+
+# ---------------------------------------------------------------------------
+# Discretization geometry
+# ---------------------------------------------------------------------------
+
+
+@unit(SCALAR)
+def _rounding_delta(epsilon: float) -> float:
+    """``delta = epsilon / 4``: grid (1+2δ) times ladder (1+δ) ≤ 1+ε."""
+    return 0.25 * epsilon
+
+
+@unit(MS)
+def _grid_step(epsilon: float, min_busy_ms: float) -> float:
+    """Endpoint-grid pitch: δ times the block's minimum busy length."""
+    step = _rounding_delta(epsilon) * min_busy_ms
+    return max(step, 1e-9)
+
+
+@unit(UJ)
+def _round_energy_up(energy: float, delta: float) -> float:
+    """Round an energy up onto the geometric ladder ``(1 + delta) ** k``."""
+    if energy <= 0.0 or not math.isfinite(energy):
+        return energy
+    k = math.ceil(math.log(energy) / math.log1p(delta))
+    rounded = (1.0 + delta) ** k
+    while rounded < energy:  # guard against log/pow rounding dust
+        k += 1
+        rounded = (1.0 + delta) ** k
+    return rounded
+
+
+@unit(MS)
+def _busy_ladder(min_length: float, horizon: float, delta: float) -> List[float]:
+    """Geometric busy-length candidates covering ``[min_length, horizon]``.
+
+    For any optimal busy length ``L*`` in that range the ladder contains a
+    rung ``L`` with ``L* <= L <= (1 + delta) * L*`` (clamped to the
+    horizon), which is all the (1+δ) scaling argument needs.
+    """
+    floor = max(min_length, horizon * 1e-9)
+    lengths = [floor]
+    if horizon > floor:
+        ratio = 1.0 + delta
+        value = floor * ratio
+        while value < horizon:
+            lengths.append(value)
+            value *= ratio
+        lengths.append(horizon)
+    return lengths
+
+
+# ---------------------------------------------------------------------------
+# Block pricing on the endpoint grids
+# ---------------------------------------------------------------------------
+
+
+def _price_block_discrete(
+    evaluate: Callable[[float, float], float],
+    start_lo: float,
+    end_hi: float,
+    step: float,
+    *,
+    start_hi: Optional[float] = None,
+    end_lo: Optional[float] = None,
+) -> Optional[Tuple[float, float, float]]:
+    """Minimize a block objective over the outward-anchored endpoint grids.
+
+    Starts ascend from ``start_lo`` (the block's first release) and ends
+    descend from ``end_hi`` (its last deadline) in multiples of ``step``.
+    The landscape is the same one the exact tier minimizes with 2-D
+    convex descent (``blocks._solve_block_descent``), so the continuous
+    minimum is located the same way — per-axis golden-section coordinate
+    descent — and then snapped *outward* onto the grid (start down, end
+    up: windows only widen).  An outward-biased neighborhood around the
+    snap absorbs descent landing within a pitch of the true optimum, so
+    the evaluated set always contains the outward-rounded grid point the
+    (1 + 2δ) bound argues about.
+
+    Returns ``(energy, start, end)`` or ``None`` when every candidate is
+    an infeasibility penalty.  ``start_hi`` / ``end_lo`` optionally
+    tighten the per-axis line-search intervals the way the exact descent
+    does (the block must start by its first task's deadline and end after
+    its last task's release); the *grids* keep their full anchors so the
+    snap geometry is unchanged.
+    """
+    span = end_hi - start_lo
+    if span <= 0.0:
+        return None
+    count = int(math.ceil(span / step))
+    if count > _GRID_MAX_POINTS:
+        count = _GRID_MAX_POINTS
+        step = span / count
+    top = count - 1 if count > 1 else 0
+    s_box = end_hi if start_hi is None else min(max(start_hi, start_lo), end_hi)
+    e_box = start_lo if end_lo is None else min(max(end_lo, start_lo), end_hi)
+
+    # Descent error up to one pitch keeps the outward snap's -2..+1
+    # neighborhood covering the true optimum's outward-rounded grid point.
+    tol = max(step, 1e-12)
+    s_cur, e_cur = start_lo, end_hi
+    f_cur = evaluate(s_cur, e_cur)
+    for _ in range(_DESCENT_ROUNDS):
+        f_before = f_cur
+        s_new, f_s = golden_section_minimize(
+            lambda x: evaluate(x, e_cur), start_lo, s_box, tol=tol
+        )
+        if f_s < f_cur:
+            s_cur, f_cur = s_new, f_s
+        e_new, f_e = golden_section_minimize(
+            lambda y: evaluate(s_cur, y), e_box, end_hi, tol=tol
+        )
+        if f_e < f_cur:
+            e_cur, f_cur = e_new, f_e
+        if f_before - f_cur <= 1e-12 * max(abs(f_before), 1.0):
+            break
+
+    best_value = math.inf
+    best_i = 0
+    best_j = 0
+    seen: Dict[Tuple[int, int], float] = {}
+    i0 = int((s_cur - start_lo) / step)
+    j0 = int((end_hi - e_cur) / step)
+    for di in (-2, -1, 0, 1):
+        for dj in (-2, -1, 0, 1):
+            i = min(max(i0 + di, 0), top)
+            j = min(max(j0 + dj, 0), top)
+            if (i, j) in seen:
+                continue
+            value = evaluate(start_lo + i * step, end_hi - j * step)
+            seen[(i, j)] = value
+            if value < best_value:
+                best_value = value
+                best_i, best_j = i, j
+    if (0, 0) not in seen:
+        # The widest corner is feasible whenever any endpoint choice is.
+        value = evaluate(start_lo, end_hi)
+        if value < best_value:
+            best_value = value
+            best_i, best_j = 0, 0
+    if best_value >= _INFEASIBLE_FLOOR:
+        return None
+    return best_value, start_lo + best_i * step, end_hi - best_j * step
+
+
+# ---------------------------------------------------------------------------
+# Cluster decomposition and the rounded-state prefix DP
+# ---------------------------------------------------------------------------
+
+
+def _split_indices(
+    releases: Sequence[float],
+    deadlines: Sequence[float],
+    alpha_m: float,
+    overhead: float,
+    xi_m: float,
+) -> List[int]:
+    """Exact (dominance-based) cluster boundaries for the agreeable DP.
+
+    * ``alpha_m = 0``: no memory coupling — per-task blocks are optimal,
+      split at every index;
+    * free sleeping (no per-block overhead): split at every feasibility
+      gap, mirroring the exact DP's gap pruning (saves ``alpha_m * gap``);
+    * positive overhead: split only at gaps of at least ``xi_m``, where
+      the saved awake time always amortizes the extra sleep cycle.
+    """
+    n = len(releases)
+    bounds = [0]
+    for k in range(n - 1):
+        gap = releases[k + 1] - deadlines[k]
+        if alpha_m <= 0.0:
+            split = True
+        elif overhead <= 0.0:
+            split = gap > 1e-9
+        else:
+            split = gap >= xi_m - 1e-9
+        if split:
+            bounds.append(k + 1)
+    bounds.append(n)
+    return bounds
+
+
+def _cluster_partition(
+    m: int,
+    price: Callable[[int, int], Optional[Tuple[float, object]]],
+    overhead: float,
+    delta: float,
+) -> List[Tuple[int, int, float, object]]:
+    """Prefix DP over one cluster, comparing ladder-rounded block prices.
+
+    ``price(p, q)`` returns ``(true_energy, payload)`` for the block of
+    cluster-relative tasks ``[p, q)`` or ``None`` when that block is
+    infeasible.  Returns the chosen blocks as ``(p, q, true_energy,
+    payload)`` in task order; the caller reports true energies, the
+    rounding only coarsens DP comparisons.
+    """
+    best = [math.inf] * (m + 1)
+    best[0] = 0.0
+    prev = [-1] * (m + 1)
+    choice: Dict[int, Tuple[int, float, object]] = {}
+    for q in range(1, m + 1):
+        for p in range(q):
+            priced = price(p, q)
+            if priced is None:
+                continue
+            energy, payload = priced
+            cand = best[p] + _round_energy_up(energy + overhead, delta)
+            if cand < best[q]:
+                best[q] = cand
+                prev[q] = p
+                choice[q] = (p, energy, payload)
+    if not math.isfinite(best[m]):
+        raise ValueError("cluster DP found no feasible block partition")
+    out: List[Tuple[int, int, float, object]] = []
+    q = m
+    while q > 0:
+        p, energy, payload = choice[q]
+        out.append((p, q, energy, payload))
+        q = p
+    out.reverse()
+    return out
+
+
+@unit(UJ)
+def _singleton_energy(
+    release: float, deadline: float, workload: float, platform: Platform
+) -> float:
+    """Closed-form single-task block energy (Section 5.2, one task).
+
+    The optimal singleton block shrinks to exactly the execution at the
+    clamped memory-associated critical speed ``s_1``; this is *exact*,
+    so singleton-heavy traces lose nothing to the approximation.
+    """
+    core = platform.core
+    alpha_m = platform.memory.alpha_m
+    filled = workload / (deadline - release)
+    speed = min(max(core.s_cm(alpha_m), filled), core.s_up)
+    return alpha_m * (workload / speed) + core.execution_energy(workload, speed)
+
+
+def _scalar_placements(
+    members: Sequence[Task], platform: Platform, start: float, end: float
+) -> Tuple[TaskPlacement, ...]:
+    """Per-task placements at ``[start, end]``, scalar path only.
+
+    Mirrors ``blocks._placements_at``'s reference branch; the fptas tier
+    uses it on every backend so its schedules (like its prices) are
+    backend-independent floats.
+    """
+    core = platform.core
+    placements: List[TaskPlacement] = []
+    for task in members:
+        lo = max(task.release, start)
+        hi = min(task.deadline, end)
+        min_duration = task.workload / core.s_up
+        window = max(hi - lo, min_duration)
+        if core.alpha == 0.0:
+            duration = window
+        else:
+            duration = min(max(task.workload / core.s0(task), min_duration), window)
+        placements.append(
+            TaskPlacement(task.name, lo, lo + duration, task.workload / duration)
+        )
+    return tuple(placements)
+
+
+def _solve_singleton(task: Task, platform: Platform) -> BlockSolution:
+    """Materialized :class:`BlockSolution` for the singleton closed form."""
+    core = platform.core
+    alpha_m = platform.memory.alpha_m
+    speed = min(max(core.s_cm(alpha_m), task.filled_speed), core.s_up)
+    duration = task.workload / speed
+    start = task.release
+    energy = _singleton_energy(task.release, task.deadline, task.workload, platform)
+    placement = TaskPlacement(task.name, start, start + duration, speed)
+    return BlockSolution(
+        tasks=TaskSet.presorted((task,)),
+        start=start,
+        end=start + duration,
+        energy=energy,
+        placements=(placement,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Agreeable fptas (object path)
+# ---------------------------------------------------------------------------
+
+
+def solve_agreeable_fptas(
+    tasks: TaskSet,
+    platform: Platform,
+    *,
+    epsilon: Optional[float] = None,
+    include_transition_overhead: bool = False,
+    check_inputs: bool = True,
+) -> AgreeableSolution:
+    """(1+ε)-approximate agreeable-deadline SDEM schedule.
+
+    Drop-in sibling of :func:`repro.core.agreeable.solve_agreeable`
+    returning the same :class:`AgreeableSolution` type, with
+    ``predicted_energy <= (1 + epsilon)`` times the exact optimum and a
+    feasible schedule (all placements inside task windows at or below
+    ``s_up``).  ``epsilon`` defaults to the active tier ε
+    (:func:`get_solver_epsilon`).
+    """
+    eps = _validate_epsilon(get_solver_epsilon() if epsilon is None else epsilon)
+    if check_inputs:
+        if not tasks.is_agreeable():
+            raise ValueError("Section 5 schemes require agreeable deadlines")
+        if not tasks.is_feasible_at(platform.core.s_up):
+            raise ValueError("task set infeasible even at s_up")
+    record_solver_call("solve_agreeable_fptas")
+    core = platform.core
+    memory = platform.memory
+    overhead = memory.transition_energy() if include_transition_overhead else 0.0
+    delta = _rounding_delta(eps)
+    n = len(tasks)
+    if n == 0:
+        return AgreeableSolution(
+            tasks=tasks, blocks=(), predicted_energy=0.0, block_overhead=overhead
+        )
+    releases = [t.release for t in tasks]
+    deadlines = [t.deadline for t in tasks]
+    workloads = [t.workload for t in tasks]
+    bounds = _split_indices(releases, deadlines, memory.alpha_m, overhead, memory.xi_m)
+
+    blocks: List[BlockSolution] = []
+    total = 0.0
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        m = b - a
+
+        def price(p: int, q: int, _a: int = a) -> Optional[Tuple[float, object]]:
+            g_p, g_q = _a + p, _a + q
+            width = q - p
+            if width == 1:
+                solution = _solve_singleton(tasks[g_p], platform)
+                return solution.energy, solution
+            start_lo = releases[g_p]
+            end_hi = deadlines[g_q - 1]
+            min_busy = max(workloads[g_p:g_q]) / core.s_up
+            step = _grid_step(eps, min_busy)
+            priced = _price_block_discrete(
+                lambda s, e: _columns_block_energy(
+                    releases, deadlines, workloads, g_p, g_q, platform, s, e
+                ),
+                start_lo,
+                end_hi,
+                step,
+                start_hi=deadlines[g_p],
+                end_lo=releases[g_q - 1],
+            )
+            if priced is None:
+                return None
+            energy, s_opt, e_opt = priced
+            subset = tasks.subset(g_p, g_q)
+            placements = _scalar_placements(subset.tasks, platform, s_opt, e_opt)
+            return energy, BlockSolution(
+                tasks=subset,
+                start=s_opt,
+                end=e_opt,
+                energy=energy,
+                placements=placements,
+            )
+
+        for _p, _q, energy, payload in _cluster_partition(m, price, overhead, delta):
+            assert isinstance(payload, BlockSolution)
+            blocks.append(payload)
+            total += energy + overhead
+    return AgreeableSolution(
+        tasks=tasks,
+        blocks=tuple(blocks),
+        predicted_energy=total,
+        block_overhead=overhead,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Common-release fptas (Sections 4 and 7)
+# ---------------------------------------------------------------------------
+
+
+def solve_common_release_fptas(
+    tasks: TaskSet,
+    platform: Platform,
+    *,
+    epsilon: Optional[float] = None,
+    horizon_end: Optional[float] = None,
+    check_inputs: bool = True,
+) -> CommonReleaseSolution:
+    """(1+ε)-approximate common-release schedule (overhead-aware).
+
+    Evaluates the exact Section 7 objective on a geometric ladder of
+    memory busy lengths.  With zero break-even times every gap cost
+    vanishes and the objective *is* the Section 4 one, so this single
+    entry point approximates both ``solve_common_release`` and
+    ``solve_common_release_with_overhead``.  Stretching the optimal busy
+    length by ``rho <= 1 + delta`` scales the static (``alpha``,
+    ``alpha_m``) terms by at most ``rho``, decreases dynamic energy, and
+    never increases gap costs — hence the (1+ε) bound with room to
+    spare.
+    """
+    eps = _validate_epsilon(get_solver_epsilon() if epsilon is None else epsilon)
+    core = platform.core
+    if check_inputs:
+        if not tasks.has_common_release():
+            raise ValueError("the common-release schemes require a common release")
+        if not tasks.is_feasible_at(core.s_up):
+            raise ValueError("task set infeasible even at s_up")
+    record_solver_call("solve_common_release_fptas")
+    delta_step = _rounding_delta(eps)
+    release = tasks[0].release
+    horizon, ends, _workloads, order = _schedule_geometry(tasks, platform)
+    rel_end = (
+        tasks.latest_deadline - release
+        if horizon_end is None
+        else horizon_end - release
+    )
+    if rel_end < horizon - 1e-9:
+        raise ValueError(
+            f"horizon_end {horizon_end} precedes the schedule end "
+            f"{release + horizon}"
+        )
+    min_length = max(t.workload for t in tasks) / core.s_up
+    best_energy = math.inf
+    best_length = horizon
+    for length in _busy_ladder(min_length, horizon, delta_step):
+        energy = overhead_energy_at_delta(
+            tasks, platform, horizon - length, horizon_end=horizon_end
+        )
+        if energy < best_energy - 1e-12:
+            best_energy = energy
+            best_length = length
+    if not math.isfinite(best_energy):  # pragma: no cover - feasibility-guarded
+        raise RuntimeError("no feasible busy length found")
+
+    busy_end = best_length
+    finish: Dict[str, float] = {}
+    speeds: Dict[str, float] = {}
+    for natural, task in zip(ends, order):
+        end_rel = min(natural, busy_end)
+        finish[task.name] = release + end_rel
+        speeds[task.name] = task.workload / end_rel
+    aligned_after = 0
+    for natural in ends:
+        if natural < busy_end - 1e-9:
+            aligned_after += 1
+    return CommonReleaseSolution(
+        tasks=tasks,
+        release=release,
+        interval_end=release + horizon,
+        delta=horizon - busy_end,
+        case_index=min(len(ends), aligned_after + 1),
+        finish_times=finish,
+        speeds=speeds,
+        predicted_energy=best_energy,
+        alpha_zero=core.alpha == 0.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Huge-n columns path (no per-task Python objects)
+# ---------------------------------------------------------------------------
+
+
+@unit(UJ)
+def _columns_block_energy(
+    releases: Sequence[float],
+    deadlines: Sequence[float],
+    workloads: Sequence[float],
+    lo: int,
+    hi: int,
+    platform: Platform,
+    start: float,
+    end: float,
+) -> float:
+    """Scalar block energy over column slices ``[lo, hi)``.
+
+    Mirrors ``repro.core.blocks._block_energy_scalar`` (same window
+    clamps, same relative speed-cap tolerance) without constructing Task
+    objects.  One deliberate difference: the degenerate region ``end <=
+    start`` is *not* special-cased to a flat ``_PENALTY * (1 + overlap)``
+    -- that grading sits below the adjacent window-violation penalties
+    and forms a spurious local minimum exactly at ``end == start``, which
+    a 1-D line search can lock onto.  Here the per-task violation loop
+    prices the degenerate region too (every window shrinks through zero
+    and keeps shrinking), so the penalty is continuous and monotone
+    across the boundary and descent is always steered back toward the
+    feasible valley.
+    """
+    core = platform.core
+    s_up = core.s_up
+    s_m = core.s_m
+    alpha = core.alpha
+    total = platform.memory.alpha_m * (end - start)
+    violation = 0.0
+    for i in range(lo, hi):
+        w_lo = releases[i] if releases[i] > start else start
+        w_hi = deadlines[i] if deadlines[i] < end else end
+        window = w_hi - w_lo
+        w = workloads[i]
+        min_duration = w / s_up
+        if window < min_duration * (1.0 - 1e-12) - 1e-12:
+            violation += min_duration - window
+            continue
+        if window < min_duration:
+            window = min_duration
+        if alpha == 0.0:
+            duration = window
+        else:
+            filled = w / (deadlines[i] - releases[i])
+            s0 = min(max(s_m, filled), s_up)
+            duration = min(max(w / s0, min_duration), window)
+        total += core.execution_energy(w, w / duration)
+    if violation > 0.0:
+        return vectorized._PENALTY * (1.0 + violation)
+    return total
+
+
+def solve_agreeable_fptas_columns(
+    releases: Sequence[float],
+    deadlines: Sequence[float],
+    workloads: Sequence[float],
+    platform: Platform,
+    *,
+    epsilon: Optional[float] = None,
+    include_transition_overhead: bool = False,
+) -> Dict[str, object]:
+    """Array-only agreeable fptas for huge n (10^3–10^5 tasks).
+
+    Takes the trace as parallel columns in agreeable order and returns a
+    summary dict (``energy``, ``num_blocks``, ``clusters``,
+    ``max_cluster_size``) without ever materializing per-task Python
+    objects: singleton clusters — the vast majority on sporadic traces —
+    take one closed-form evaluation each, and the O(m^2) grid-priced DP
+    runs only inside multi-task clusters on index slices.  Both paths
+    share the scalar pricing evaluator, so energies are float-identical
+    with :func:`solve_agreeable_fptas` on the same trace and independent
+    of the numeric backend (the bench's huge-n slice checks this).
+    """
+    eps = _validate_epsilon(get_solver_epsilon() if epsilon is None else epsilon)
+    n = len(releases)
+    if len(deadlines) != n or len(workloads) != n:
+        raise ValueError("releases, deadlines and workloads must align")
+    core = platform.core
+    memory = platform.memory
+    overhead = memory.transition_energy() if include_transition_overhead else 0.0
+    delta = _rounding_delta(eps)
+    if n == 0:
+        return {
+            "n": 0,
+            "epsilon": eps,
+            "energy": 0.0,
+            "num_blocks": 0,
+            "clusters": 0,
+            "max_cluster_size": 0,
+        }
+    record_solver_call("solve_agreeable_fptas_columns")
+    cap = core.s_up * (1.0 + 1e-9)
+    prev_release = -math.inf
+    prev_deadline = -math.inf
+    for i in range(n):
+        span = deadlines[i] - releases[i]
+        if workloads[i] <= 0.0:
+            raise ValueError("workloads must be positive")
+        if span <= 0.0 or workloads[i] / span > cap:
+            raise ValueError("task set infeasible even at s_up")
+        if releases[i] < prev_release - 1e-12 or deadlines[i] < prev_deadline - 1e-12:
+            raise ValueError("columns must be agreeable (sorted releases/deadlines)")
+        prev_release = releases[i]
+        prev_deadline = deadlines[i]
+
+    bounds = _split_indices(releases, deadlines, memory.alpha_m, overhead, memory.xi_m)
+    total = 0.0
+    num_blocks = 0
+    max_cluster = 0
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        m = b - a
+        if m > max_cluster:
+            max_cluster = m
+        if m == 1:
+            total += (
+                _singleton_energy(releases[a], deadlines[a], workloads[a], platform)
+                + overhead
+            )
+            num_blocks += 1
+            continue
+
+        def price(p: int, q: int, _a: int = a) -> Optional[Tuple[float, object]]:
+            lo, hi = _a + p, _a + q
+            width = q - p
+            if width == 1:
+                return (
+                    _singleton_energy(
+                        releases[lo], deadlines[lo], workloads[lo], platform
+                    ),
+                    None,
+                )
+            start_lo = releases[lo]
+            end_hi = deadlines[hi - 1]
+            min_busy = max(workloads[lo:hi]) / core.s_up
+            step = _grid_step(eps, min_busy)
+            priced = _price_block_discrete(
+                lambda s, e: _columns_block_energy(
+                    releases, deadlines, workloads, lo, hi, platform, s, e
+                ),
+                start_lo,
+                end_hi,
+                step,
+                start_hi=deadlines[lo],
+                end_lo=releases[hi - 1],
+            )
+            if priced is None:
+                return None
+            return priced[0], None
+
+        for _p, _q, energy, _payload in _cluster_partition(m, price, overhead, delta):
+            total += energy + overhead
+            num_blocks += 1
+    return {
+        "n": n,
+        "epsilon": eps,
+        "energy": total,
+        "num_blocks": num_blocks,
+        "clusters": len(bounds) - 1,
+        "max_cluster_size": max_cluster,
+    }

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.common_release import solve_common_release
+from repro.core.fptas import get_solver_tier, solve_common_release_fptas
 from repro.core.transition import solve_common_release_with_overhead
 from repro.energy.accounting import SleepPolicy
 from repro.models.platform import Platform
@@ -153,7 +154,14 @@ class SdemOnlinePolicy:
         # Timed via the per-process accumulator so the engine can ship a
         # solver/engine wall split back from pool workers (repro bench).
         solve_started = time.perf_counter()
-        if self._use_overhead_scheme:
+        if get_solver_tier() == "fptas":
+            # The ε-approximate tier subsumes both branches below: with
+            # zero transition overheads its gap terms vanish and the ladder
+            # scan degenerates to the Section 4 objective.
+            solution = solve_common_release_fptas(
+                relaxed, self.platform, check_inputs=False
+            )
+        elif self._use_overhead_scheme:
             # check_inputs=False: the relaxed set is common-release by
             # construction (every job re-anchored at `now`) and replanning
             # preserves feasibility, so the solver's input guards are

@@ -84,6 +84,7 @@ __all__ = [
     "running_sum",
     "fft_trace_columns",
     "synthetic_trace_columns",
+    "agreeable_trace_columns",
     "segments_feasible_batch",
 ]
 
@@ -1245,6 +1246,36 @@ def synthetic_trace_columns(
     gaps = uniform_from_draws(gap_draws, min_interarrival, max_interarrival)
     releases = running_sum(gaps, initial=0.0)
     return releases.tolist(), spans.tolist(), workloads.tolist()
+
+
+def agreeable_trace_columns(
+    gap_draws: Sequence[float],
+    span_draws: Sequence[float],
+    workload_draws: Sequence[float],
+    *,
+    min_interarrival: float,
+    max_interarrival: float,
+    span_range: Tuple[float, float],
+    workload_range: Tuple[float, float],
+) -> Tuple[List[float], List[float], List[float]]:
+    """Batched ``(releases, deadlines, workloads)`` for an agreeable trace.
+
+    Same draw protocol as :func:`synthetic_trace_columns`, but the deadline
+    column is the running maximum of ``release + span`` so deadlines are
+    non-decreasing in release order -- the *agreeable* shape the fptas tier
+    solves in a single offline call.  ``np.maximum.accumulate`` applies the
+    same exact comparisons as a scalar ``max`` clamp, so the columns are
+    bit-identical to the scalar loop in
+    :func:`repro.workloads.synthetic.agreeable_trace`.
+    """
+    if np is None:  # pragma: no cover - callers gate on use_numpy()
+        raise RuntimeError("numpy is not available")
+    spans = uniform_from_draws(span_draws, *span_range)
+    workloads = uniform_from_draws(workload_draws, *workload_range)
+    gaps = uniform_from_draws(gap_draws, min_interarrival, max_interarrival)
+    releases = running_sum(gaps, initial=0.0)
+    deadlines = np.maximum.accumulate(releases + spans)
+    return releases.tolist(), deadlines.tolist(), workloads.tolist()
 
 
 def segments_feasible_batch(

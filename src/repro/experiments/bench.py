@@ -46,12 +46,18 @@ from repro.experiments.runner import SeriesResult
 from repro.utils.solvers import reset_solver_counts, solver_call_total
 
 __all__ = [
+    "BENCH_SLICES",
     "check_serial_regression",
     "load_trajectory",
     "run_bench",
+    "run_bench_huge_n",
     "render_bench_table",
+    "render_bench_huge_n_table",
     "write_bench_json",
 ]
+
+#: ``repro bench --slice`` choices; huge-n has its own runner.
+BENCH_SLICES = ("fft", "synthetic", "huge-n")
 
 #: Default Fig. 6 slice: the full U sweep at a moderate seed count.
 BENCH_U_VALUES: List[int] = [2, 3, 4, 5, 6, 7, 8, 9]
@@ -62,6 +68,28 @@ BENCH_INSTANCES = 48
 QUICK_U_VALUES: List[int] = [2, 3]
 QUICK_SEEDS = 2
 QUICK_INSTANCES = 24
+
+#: Synthetic slice: one Table 4 star memory point over the ``x`` sweep.
+BENCH_X_VALUES: List[float] = [100.0, 200.0, 400.0, 800.0]
+BENCH_TRACE_LENGTH = 50
+QUICK_X_VALUES: List[float] = [200.0, 400.0]
+QUICK_TRACE_LENGTH = 30
+
+#: Huge-n slice: agreeable traces far beyond the exact tier's reach.
+HUGE_N_VALUES: List[int] = [100, 1000, 10000, 100000]
+HUGE_N_EPSILONS: List[float] = [0.1, 0.01]
+QUICK_HUGE_N_VALUES: List[int] = [100, 1000]
+QUICK_HUGE_N_EPSILONS: List[float] = [0.1]
+#: Largest n the exact Section 5 DP is asked to solve in the sweep.
+HUGE_N_EXACT_CAP = 1000
+#: Quick-mode exact cap: the exact DP needs ~2min at n=1000 on the
+#: running-max traces, which is full-bench territory, not CI smoke.
+QUICK_HUGE_N_EXACT_CAP = 100
+#: Largest n the object-path fptas cross-check (rows_identical) runs at.
+HUGE_N_OBJECT_CAP = 2000
+#: Max inter-arrival of the huge-n trace (ms): sporadic enough that
+#: feasibility gaps keep clusters small, so both tiers stay near-linear.
+HUGE_N_X_MS = 120.0
 
 
 def _timed_run(
@@ -211,6 +239,7 @@ def _compare_backends(
 def run_bench(
     *,
     benchmark: str = "fft",
+    bench_slice: str = "fft",
     u_values: Optional[List[int]] = None,
     seeds: Optional[int] = None,
     instances: Optional[int] = None,
@@ -220,21 +249,58 @@ def run_bench(
 ) -> Dict[str, object]:
     """Run the three-mode benchmark and return the report dict.
 
-    ``workers=None`` uses every core for the parallel mode.  ``cache_root``
-    hosts the run's result cache; it is cleared first so the "cold" modes
-    are honestly cold.
+    ``bench_slice`` selects the workload family: ``"fft"`` is the Fig. 6
+    DSPstone slice (``benchmark`` picks fft or matmul), ``"synthetic"`` the
+    Fig. 7 sporadic slice at the Table 4 star memory point.  The huge-n
+    slice has its own runner (:func:`run_bench_huge_n`) because it times
+    single solves, not the three engine modes.  ``workers=None`` uses every
+    core for the parallel mode.  ``cache_root`` hosts the run's result
+    cache; it is cleared first so the "cold" modes are honestly cold.
     """
-    if quick:
-        u_values = u_values if u_values is not None else QUICK_U_VALUES
-        seeds = seeds if seeds is not None else QUICK_SEEDS
-        instances = instances if instances is not None else QUICK_INSTANCES
-    else:
-        u_values = u_values if u_values is not None else BENCH_U_VALUES
-        seeds = seeds if seeds is not None else BENCH_SEEDS
-        instances = instances if instances is not None else BENCH_INSTANCES
-    pool_workers = resolve_workers(workers)
+    seeds = seeds if seeds is not None else (QUICK_SEEDS if quick else BENCH_SEEDS)
+    if bench_slice == "synthetic":
+        from repro.experiments.config import (
+            DEFAULT_ALPHA_M_MW,
+            DEFAULT_XI_M_MS,
+        )
+        from repro.experiments.fig7 import fig7_grid_specs
 
-    specs = fig6_specs(benchmark, u_values=u_values, instances=instances)
+        x_values = QUICK_X_VALUES if quick else BENCH_X_VALUES
+        trace_length = QUICK_TRACE_LENGTH if quick else BENCH_TRACE_LENGTH
+        specs = fig7_grid_specs(
+            [(DEFAULT_ALPHA_M_MW, DEFAULT_XI_M_MS)],
+            x_values,
+            trace_length=trace_length,
+        )
+        slice_info: Dict[str, object] = {
+            "name": "synthetic",
+            "x_values": x_values,
+            "seeds": seeds,
+            "trace_length": trace_length,
+            "units": len(x_values) * seeds,
+        }
+    elif bench_slice == "fft":
+        if quick:
+            u_values = u_values if u_values is not None else QUICK_U_VALUES
+            instances = instances if instances is not None else QUICK_INSTANCES
+        else:
+            u_values = u_values if u_values is not None else BENCH_U_VALUES
+            instances = instances if instances is not None else BENCH_INSTANCES
+        specs = fig6_specs(benchmark, u_values=u_values, instances=instances)
+        slice_info = {
+            "name": benchmark,
+            "benchmark": benchmark,
+            "u_values": u_values,
+            "seeds": seeds,
+            "instances": instances,
+            "units": len(u_values) * seeds,
+        }
+    else:
+        raise ValueError(
+            f"run_bench slices are 'fft' and 'synthetic' (got {bench_slice!r}); "
+            "use run_bench_huge_n for the huge-n slice"
+        )
+    pool_workers = resolve_workers(workers)
     cache = ResultCache(cache_root)
     cache.clear()
 
@@ -294,13 +360,7 @@ def run_bench(
             "not a parallelism measurement"
         )
     report: Dict[str, object] = {
-        "slice": {
-            "benchmark": benchmark,
-            "u_values": u_values,
-            "seeds": seeds,
-            "instances": instances,
-            "units": len(u_values) * seeds,
-        },
+        "slice": slice_info,
         "workers": pool_workers,
         "cpu_count": cpu_count,
         "backend": vectorized.get_backend(),
@@ -327,6 +387,209 @@ def run_bench(
     return report
 
 
+def run_bench_huge_n(
+    *,
+    n_values: Optional[List[int]] = None,
+    epsilons: Optional[List[float]] = None,
+    exact_cap: int = HUGE_N_EXACT_CAP,
+    max_interarrival: float = HUGE_N_X_MS,
+    seed: int = 1,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """The huge-n slice: exact vs fptas wall and energy over n sweeps.
+
+    For each ``n`` one agreeable sporadic trace is generated columnwise
+    (:func:`repro.workloads.synthetic.agreeable_trace`, never building
+    Task objects for the fptas path), then:
+
+    * the exact Section 5 DP solves it while ``n <= exact_cap`` (the exact
+      tier's loop count grows superlinearly in cluster size, so the cap
+      keeps the sweep bounded);
+    * the fptas tier solves it at every ε via the columns path, checking
+      the (1+ε) energy bound wherever the exact energy is known;
+    * while ``n`` is small enough, the object-path fptas re-solves the
+      same trace and its energy must be float-identical to the columns
+      path (``rows_identical`` -- both share one scalar evaluator).
+
+    The report records the measured exact-vs-fptas wall crossover (the
+    smallest measured ``n`` where the first ε's fptas solve is faster
+    than the exact solve) and the worst relative energy gap per ε.  A
+    ``modes.serial_cold.seconds`` entry (total fptas wall at the first ε)
+    makes the report gateable by :func:`check_serial_regression`.
+    """
+    from repro.core.agreeable import solve_agreeable
+    from repro.core.fptas import (
+        solve_agreeable_fptas,
+        solve_agreeable_fptas_columns,
+    )
+    from repro.experiments.config import experiment_platform
+    from repro.models.task import Task, TaskSet
+    from repro.workloads.synthetic import agreeable_trace
+
+    if quick:
+        n_values = n_values if n_values is not None else QUICK_HUGE_N_VALUES
+        epsilons = epsilons if epsilons is not None else QUICK_HUGE_N_EPSILONS
+        if exact_cap == HUGE_N_EXACT_CAP:
+            exact_cap = QUICK_HUGE_N_EXACT_CAP
+    else:
+        n_values = n_values if n_values is not None else HUGE_N_VALUES
+        epsilons = epsilons if epsilons is not None else HUGE_N_EPSILONS
+    if not n_values or not epsilons:
+        raise ValueError("huge-n slice needs at least one n and one epsilon")
+    # xi_m=0 keeps the exact DP on its gap-pruned fast path, so the
+    # crossover compares both tiers at their best.
+    platform = experiment_platform(xi_m=0.0)
+
+    points: List[Dict[str, object]] = []
+    all_bounds = True
+    all_identical = True
+    worst_gap: Dict[str, float] = {}
+    primary_total_s = 0.0
+    for n in n_values:
+        releases, deadlines, workloads = agreeable_trace(
+            n=n, max_interarrival=max_interarrival, seed=seed
+        )
+        point: Dict[str, object] = {"n": n}
+        exact_energy: Optional[float] = None
+        if n <= exact_cap:
+            tasks = TaskSet.presorted(
+                tuple(
+                    Task(r, d, w, f"H{i}")
+                    for i, (r, d, w) in enumerate(
+                        zip(releases, deadlines, workloads)
+                    )
+                )
+            )
+            start = time.perf_counter()
+            exact = solve_agreeable(tasks, platform)
+            exact_s = time.perf_counter() - start
+            exact_energy = exact.predicted_energy
+            point["exact"] = {
+                "seconds": round(exact_s, 4),
+                "energy_uj": exact_energy,
+                "num_blocks": exact.num_blocks,
+            }
+        fptas_report: Dict[str, object] = {}
+        for index, epsilon in enumerate(epsilons):
+            start = time.perf_counter()
+            cols = solve_agreeable_fptas_columns(
+                releases, deadlines, workloads, platform, epsilon=epsilon
+            )
+            fptas_s = time.perf_counter() - start
+            if index == 0:
+                primary_total_s += fptas_s
+            entry: Dict[str, object] = {
+                "seconds": round(fptas_s, 4),
+                "energy_uj": cols["energy"],
+                "num_blocks": cols["num_blocks"],
+            }
+            if exact_energy is not None:
+                gap = cols["energy"] / exact_energy - 1.0
+                bound_ok = cols["energy"] <= (1.0 + epsilon) * exact_energy
+                entry["gap"] = round(gap, 8)
+                entry["bound_ok"] = bound_ok
+                all_bounds = all_bounds and bound_ok
+                key = f"{epsilon:g}"
+                worst_gap[key] = max(worst_gap.get(key, 0.0), gap)
+            if n <= HUGE_N_OBJECT_CAP:
+                obj = solve_agreeable_fptas(
+                    TaskSet(
+                        [
+                            Task(r, d, w, f"H{i}")
+                            for i, (r, d, w) in enumerate(
+                                zip(releases, deadlines, workloads)
+                            )
+                        ]
+                    ),
+                    platform,
+                    epsilon=epsilon,
+                )
+                identical = (
+                    obj.predicted_energy == cols["energy"]
+                    and obj.num_blocks == cols["num_blocks"]
+                )
+                entry["rows_identical"] = identical
+                all_identical = all_identical and identical
+            fptas_report[f"{epsilon:g}"] = entry
+        point["fptas"] = fptas_report
+        points.append(point)
+
+    primary = f"{epsilons[0]:g}"
+    crossover: Dict[str, object] = {"epsilon": epsilons[0], "n": None}
+    for point in points:
+        exact = point.get("exact")
+        entry = point["fptas"].get(primary)
+        if exact is None or entry is None:
+            continue
+        if entry["seconds"] < exact["seconds"]:
+            crossover["n"] = point["n"]
+            crossover["exact_s"] = exact["seconds"]
+            crossover["fptas_s"] = entry["seconds"]
+            break
+    if crossover["n"] is None:
+        crossover["note"] = (
+            f"exact no slower than fptas at every measured n <= {exact_cap}; "
+            "beyond the cap only fptas completes"
+        )
+    return {
+        "slice": {
+            "name": "huge-n",
+            "n_values": n_values,
+            "epsilons": epsilons,
+            "exact_cap": exact_cap,
+            "max_interarrival": max_interarrival,
+            "seed": seed,
+        },
+        "backend": vectorized.get_backend(),
+        "points": points,
+        "crossover": crossover,
+        "energy_gap": {key: round(value, 8) for key, value in worst_gap.items()},
+        "bound_ok": all_bounds,
+        "rows_identical": all_identical,
+        "modes": {"serial_cold": {"seconds": round(primary_total_s, 4)}},
+    }
+
+
+def render_bench_huge_n_table(report: Dict[str, object]) -> str:
+    """Human-readable crossover table for one huge-n report."""
+    sl = report["slice"]
+    epsilons = sl["epsilons"]
+    lines = [
+        f"bench slice: huge-n n={sl['n_values']} eps={epsilons} "
+        f"x={sl['max_interarrival']:g}ms seed={sl['seed']} "
+        f"(exact capped at n={sl['exact_cap']}; backend {report['backend']})",
+        f"{'n':>8s} {'exact s':>10s}"
+        + "".join(
+            f" {'fptas(' + format(eps, 'g') + ') s':>14s} {'gap':>11s}"
+            for eps in epsilons
+        ),
+    ]
+    for point in report["points"]:
+        exact = point.get("exact")
+        row = f"{point['n']:>8d} "
+        row += f"{exact['seconds']:>10.3f}" if exact else f"{'-':>10s}"
+        for eps in epsilons:
+            entry = point["fptas"][f"{eps:g}"]
+            gap = entry.get("gap")
+            row += f" {entry['seconds']:>14.3f}"
+            row += f" {gap:>11.2e}" if gap is not None else f" {'-':>11s}"
+        lines.append(row)
+    crossover = report["crossover"]
+    if crossover.get("n") is not None:
+        lines.append(
+            f"crossover (eps={crossover['epsilon']:g}): fptas beats exact "
+            f"from n={crossover['n']} "
+            f"({crossover['fptas_s']:.3f}s vs {crossover['exact_s']:.3f}s)"
+        )
+    else:
+        lines.append(f"crossover: {crossover.get('note', 'not measured')}")
+    lines.append(
+        f"(1+eps) bound held everywhere measured: {report['bound_ok']}; "
+        f"columns/object fptas identical: {report['rows_identical']}"
+    )
+    return "\n".join(lines)
+
+
 def check_serial_regression(
     report: Dict[str, object],
     trajectory: List[Dict[str, object]],
@@ -336,13 +599,17 @@ def check_serial_regression(
 ) -> Optional[str]:
     """Gate a fresh report against the recorded performance history.
 
-    Compares the new ``serial_cold`` wall time against the most recent
-    trajectory entry with the same backend and the same slice; returns a
-    failure message when the new run is more than ``threshold`` slower
-    *and* at least ``min_delta_s`` slower in absolute terms (quick slices
-    finish in ~10ms, where a 25% relative gate alone would trip on timer
-    noise), ``None`` otherwise.  With no comparable prior entry (first
-    run, new slice, other backend) the gate is skipped.
+    Compares the new ``serial_cold`` *and* ``warm_cache`` wall times
+    against the most recent trajectory entry with the same backend and the
+    same slice; returns a failure message when either mode is more than
+    ``threshold`` slower *and* at least ``min_delta_s`` slower in absolute
+    terms (quick slices finish in ~10ms, where a 25% relative gate alone
+    would trip on timer noise), ``None`` otherwise.  Warm-cache blowups
+    used to land silently -- the gate read only ``serial_cold`` -- so a
+    cache-path regression (slow keying, lost hits) never failed CI.
+    Reports without a ``warm_cache`` mode (the huge-n slice) are gated on
+    ``serial_cold`` alone.  With no comparable prior entry (first run, new
+    slice, other backend) the gate is skipped.
     """
     prior: Optional[Dict[str, object]] = None
     for entry in reversed(trajectory):
@@ -356,19 +623,20 @@ def check_serial_regression(
         break
     if prior is None:
         return None
-    try:
-        prev_s = float(prior["modes"]["serial_cold"]["seconds"])  # type: ignore[index]
-        new_s = float(report["modes"]["serial_cold"]["seconds"])  # type: ignore[index]
-    except (KeyError, TypeError, ValueError):
-        return None
-    if prev_s <= 0.0:
-        return None
-    if new_s > prev_s * (1.0 + threshold) and new_s - prev_s >= min_delta_s:
-        return (
-            f"serial_cold regression: {new_s:.3f}s vs {prev_s:.3f}s recorded "
-            f"({(new_s / prev_s - 1.0) * 100.0:+.0f}% exceeds the "
-            f"{threshold * 100.0:.0f}% gate)"
-        )
+    for mode in ("serial_cold", "warm_cache"):
+        try:
+            prev_s = float(prior["modes"][mode]["seconds"])  # type: ignore[index]
+            new_s = float(report["modes"][mode]["seconds"])  # type: ignore[index]
+        except (KeyError, TypeError, ValueError):
+            continue
+        if prev_s <= 0.0:
+            continue
+        if new_s > prev_s * (1.0 + threshold) and new_s - prev_s >= min_delta_s:
+            return (
+                f"{mode} regression: {new_s:.3f}s vs {prev_s:.3f}s recorded "
+                f"({(new_s / prev_s - 1.0) * 100.0:+.0f}% exceeds the "
+                f"{threshold * 100.0:.0f}% gate)"
+            )
     return None
 
 
@@ -378,10 +646,19 @@ def render_bench_table(report: Dict[str, object]) -> str:
     modes = report["modes"]
     speed = report["speedup"]
     serial_s = modes["serial_cold"]["seconds"]
+    if "benchmark" in sl:
+        slice_line = (
+            f"bench slice: fig6-{sl['benchmark']} U={sl['u_values']} "
+            f"seeds={sl['seeds']} n={sl['instances']} "
+        )
+    else:
+        slice_line = (
+            f"bench slice: synthetic x={sl['x_values']} "
+            f"seeds={sl['seeds']} n={sl['trace_length']} "
+        )
     lines = [
-        f"bench slice: fig6-{sl['benchmark']} U={sl['u_values']} "
-        f"seeds={sl['seeds']} n={sl['instances']} "
-        f"({sl['units']} work units; {report['workers']} worker(s), "
+        slice_line
+        + f"({sl['units']} work units; {report['workers']} worker(s), "
         f"{report['cpu_count']} cpu(s))",
         f"{'mode':<14s} {'seconds':>9s} {'speedup':>9s} "
         f"{'solver calls':>13s} {'cached units':>13s}",

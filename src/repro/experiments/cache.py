@@ -33,7 +33,7 @@ import tempfile
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core import vectorized
+from repro.core import fptas, vectorized
 from repro.models.platform import Platform
 
 __all__ = [
@@ -100,7 +100,9 @@ def unit_key(
     cores agree to 1e-9 but not necessarily to the last ulp, so a warm
     run must never serve raw energies computed by the other backend --
     engine determinism (identical rows across cache states) is asserted
-    per backend.
+    per backend.  The active solver tier (and its ε when approximate) is
+    part of the key for the same reason, only stronger: exact and fptas
+    results differ by design, so they must never alias.
     """
     payload = {
         "platform": platform_fingerprint(platform),
@@ -108,6 +110,7 @@ def unit_key(
         "seed": seed,
         "policy": policy,
         "numeric": vectorized.get_backend(),
+        "solver": fptas.solver_cache_component(),
         "salt": salt,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -120,6 +123,8 @@ def service_request_key(
     scheme: str,
     numeric: str,
     *,
+    solver: str = "exact",
+    epsilon: Optional[float] = None,
     salt: str = CODE_SALT,
 ) -> str:
     """SHA-256 key for one solve-service request.
@@ -127,7 +132,11 @@ def service_request_key(
     Same construction as :func:`unit_key` but with the backend passed
     explicitly: the service batcher prices requests for a backend it has
     not switched the process to yet, so it cannot rely on
-    ``vectorized.get_backend()``.  ``tasks_config`` must be the canonical
+    ``vectorized.get_backend()``.  The solver tier is explicit for the same
+    reason -- the batcher keys a request before pinning the tier -- and ε
+    joins the payload only on the fptas tier, so every exact key is
+    unchanged from before the tier existed and approximate results can
+    never alias exact ones.  ``tasks_config`` must be the canonical
     JSON-able task description *including names* (names appear verbatim in
     the cached schedule payload), and ``scheme`` the resolved scheme --
     never ``auto`` -- so explicit and auto-resolved requests share entries.
@@ -140,6 +149,8 @@ def service_request_key(
         "numeric": numeric,
         "salt": salt,
     }
+    if solver != "exact":
+        payload["solver"] = {"tier": solver, "epsilon": float(epsilon)}
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

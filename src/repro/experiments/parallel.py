@@ -34,6 +34,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.fptas import get_solver_epsilon, get_solver_tier
 from repro.core.vectorized import get_backend
 from repro.experiments.cache import ResultCache
 from repro.experiments.runner import (
@@ -205,8 +206,8 @@ def run_unit(
 
 
 def _pool_entry_chunk(args) -> List[Tuple[int, int, UnitResult]]:
-    """Module-level pool target: ``(chunk, cache, horizon, backend)`` with
-    ``chunk = [(point_index, seed, spec), ...]``.
+    """Module-level pool target: ``(chunk, cache, horizon, backend, solver)``
+    with ``chunk = [(point_index, seed, spec), ...]``.
 
     Batching several units per submission amortizes the pickle/IPC cost
     of a pool round-trip, which at ~10 ms per unit otherwise eats the
@@ -217,13 +218,19 @@ def _pool_entry_chunk(args) -> List[Tuple[int, int, UnitResult]]:
     :func:`repro.core.vectorized.set_backend` override, and a silent
     backend switch would fragment the shared result cache (its keys are
     backend-scoped).  A ``jit`` request degrades per worker exactly as in
-    the parent -- one structured warning, then numpy/scalar.
+    the parent -- one structured warning, then numpy/scalar.  The solver
+    tier ``(tier, epsilon)`` is pinned the same way for the same reason:
+    cache keys are tier-scoped, and an fptas sweep must stay fptas inside
+    every worker.
     """
-    chunk, cache, horizon, backend = args
-    from repro.core import vectorized
+    chunk, cache, horizon, backend, solver = args
+    from repro.core import fptas, vectorized
 
     if vectorized.get_backend() != backend:
         vectorized.set_backend(backend)
+    tier, epsilon = solver
+    if (fptas.get_solver_tier(), fptas.get_solver_epsilon()) != solver:
+        fptas.set_solver_tier(tier, epsilon)
     return [
         (point_index, seed, run_unit(spec, seed, cache, horizon))
         for point_index, seed, spec in chunk
@@ -314,7 +321,10 @@ def run_series(
         ]
         chunks = chunk_evenly(units, workers)
         backend = get_backend()
-        payloads = [(chunk, cache, horizon, backend) for chunk in chunks]
+        solver = (get_solver_tier(), get_solver_epsilon())
+        payloads = [
+            (chunk, cache, horizon, backend, solver) for chunk in chunks
+        ]
         try:
             pickle.dumps(payloads[0])
         except Exception as exc:

@@ -40,6 +40,7 @@ __all__ = [
     "ConfigError",
     "DEFAULT_SANCTIONED_JIT_MODULES",
     "DEFAULT_SANCTIONED_NUMPY_MODULES",
+    "DEFAULT_UNIT_TAGGED_MODULES",
     "LintConfig",
     "load_config",
 ]
@@ -59,8 +60,21 @@ DEFAULT_SANCTIONED_JIT_MODULES: Tuple[str, ...] = (
     "repro.core.kernels",
 )
 
+#: Modules whose quantity-valued helpers (ε, grid pitches, ladders,
+#: energies) UNT002 requires to carry ``@unit(...)`` tags.  The
+#: ε-approximate tier is the default: its correctness argument is a
+#: chain of unit-bearing bounds, so untagged discretization quantities
+#: there are presumed mistakes, not style.
+DEFAULT_UNIT_TAGGED_MODULES: Tuple[str, ...] = (
+    "repro.core.fptas",
+)
+
 _TABLE_HEADER = "[tool.repro-lint]"
-_KNOWN_KEYS = ("sanctioned-numpy-modules", "sanctioned-jit-modules")
+_KNOWN_KEYS = (
+    "sanctioned-numpy-modules",
+    "sanctioned-jit-modules",
+    "unit-tagged-modules",
+)
 
 _KEY_VALUE = re.compile(r"^([A-Za-z0-9_-]+)\s*=\s*(.*)$", re.DOTALL)
 _QUOTED = re.compile(r"^(?:\"([^\"]*)\"|'([^']*)')$")
@@ -76,6 +90,7 @@ class LintConfig:
 
     sanctioned_numpy_modules: Tuple[str, ...] = DEFAULT_SANCTIONED_NUMPY_MODULES
     sanctioned_jit_modules: Tuple[str, ...] = DEFAULT_SANCTIONED_JIT_MODULES
+    unit_tagged_modules: Tuple[str, ...] = DEFAULT_UNIT_TAGGED_MODULES
 
 
 def load_config(root: str) -> LintConfig:
@@ -214,6 +229,7 @@ def _validate(table: Dict[str, object], path: str) -> LintConfig:
         )
     numpy_modules = DEFAULT_SANCTIONED_NUMPY_MODULES
     jit_modules = DEFAULT_SANCTIONED_JIT_MODULES
+    unit_tagged = DEFAULT_UNIT_TAGGED_MODULES
     if "sanctioned-numpy-modules" in table:
         numpy_modules = _string_tuple(
             table["sanctioned-numpy-modules"], "sanctioned-numpy-modules", path
@@ -222,9 +238,14 @@ def _validate(table: Dict[str, object], path: str) -> LintConfig:
         jit_modules = _string_tuple(
             table["sanctioned-jit-modules"], "sanctioned-jit-modules", path
         )
+    if "unit-tagged-modules" in table:
+        unit_tagged = _string_tuple(
+            table["unit-tagged-modules"], "unit-tagged-modules", path
+        )
     return LintConfig(
         sanctioned_numpy_modules=numpy_modules,
         sanctioned_jit_modules=jit_modules,
+        unit_tagged_modules=unit_tagged,
     )
 
 

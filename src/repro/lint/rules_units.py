@@ -26,6 +26,7 @@ reports only provable dimension mixes, accepting misses over noise.
 from __future__ import annotations
 
 import ast
+import re
 from fractions import Fraction
 from typing import Dict, Iterator, Optional, Tuple
 
@@ -40,7 +41,7 @@ from repro.lint.engine import (
 )
 from repro.units import DIMENSIONS, SCALAR
 
-__all__ = ["UnitMixRule", "collect_unit_registry"]
+__all__ = ["UnitMixRule", "UnitTagCoverageRule", "collect_unit_registry"]
 
 _Dim = Tuple[Fraction, Fraction, Fraction]
 
@@ -239,3 +240,116 @@ class UnitMixRule(Rule):
                 return (left[0] - right[0], left[1] - right[1], left[2] - right[2])
             return None
         return None
+
+
+#: Function-name segments that denote a discretization/approximation
+#: quantity: tolerances (epsilon/delta), grid geometry (step, grid,
+#: ladder) and the energies they bound.  Matched on whole ``_``-separated
+#: name segments so ``solve_agreeable_fptas`` or ``grid_search`` helpers
+#: that *return structures* are not conscripted.
+_QUANTITY_SEGMENTS = re.compile(
+    r"(?:^|_)(?:energy|epsilon|delta|step|grid|ladder)(?:_|$)"
+)
+
+#: The numeric-backend env var and its sanctioned accessor (the module
+#: UNT002 never applies to, so no self-flagging is possible).
+_NUMERIC_ENV = "REPRO_NUMERIC"
+_NUMERIC_ACCESSOR_MODULE = "repro.core.vectorized"
+
+
+@register
+class UnitTagCoverageRule(Rule):
+    id = "UNT002"
+    family = "units"
+    severity = SEVERITY_WARNING
+    description = (
+        "quantity-valued helper in a unit-tagged module (ε, grid pitch, "
+        "ladder, energy) lacks an @unit(...) tag, or the module reads "
+        "REPRO_NUMERIC outside the sanctioned accessor"
+    )
+    hint = (
+        "tag the function with @unit(...) from repro.units (SCALAR for "
+        "dimensionless ε), and read the backend only through "
+        "repro.core.vectorized.get_backend(); scope via [tool.repro-lint] "
+        "unit-tagged-modules"
+    )
+    #: Rescoped per run from ``[tool.repro-lint] unit-tagged-modules``.
+    packages = ("repro.core.fptas",)
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        self.packages = tuple(
+            name
+            for name in project.config.unit_tagged_modules
+            if name != _NUMERIC_ACCESSOR_MODULE
+        )
+        yield from super().run(project)
+
+    def check_module(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_tagged(module, node)
+            else:
+                yield from self._check_env_read(module, node)
+
+    def _check_tagged(
+        self, module: SourceModule, func: ast.AST
+    ) -> Iterator[Finding]:
+        name = func.name
+        if not _QUANTITY_SEGMENTS.search(name):
+            return
+        for decorator in func.decorator_list:
+            if _decorator_tag(decorator, module) is not None:
+                return
+        yield self.finding(
+            module,
+            func,
+            f"quantity-valued function {name!r} has no @unit(...) tag; "
+            "discretization quantities in unit-tagged modules must "
+            "declare their dimension",
+        )
+
+    def _check_env_read(
+        self, module: SourceModule, node: ast.AST
+    ) -> Iterator[Finding]:
+        key: Optional[ast.AST] = None
+        if isinstance(node, ast.Subscript):
+            if isinstance(node.ctx, ast.Load) and self._is_environ(
+                node.value, module
+            ):
+                key = node.slice
+        elif isinstance(node, ast.Call):
+            name = dotted_call_name(node.func, module.aliases)
+            if name == "os.getenv" and node.args:
+                key = node.args[0]
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("get", "setdefault", "pop")
+                and self._is_environ(node.func.value, module)
+                and node.args
+            ):
+                key = node.args[0]
+        if key is not None and self._is_numeric_key(key, module):
+            yield self.finding(
+                module,
+                node,
+                "unit-tagged module reads REPRO_NUMERIC directly; use "
+                "repro.core.vectorized.get_backend() so tier pricing "
+                "stays backend-pure",
+            )
+
+    @staticmethod
+    def _is_environ(node: ast.AST, module: SourceModule) -> bool:
+        name = dotted_call_name(node, module.aliases)
+        return name in ("os.environ", "environ")
+
+    @staticmethod
+    def _is_numeric_key(node: ast.AST, module: SourceModule) -> bool:
+        if isinstance(node, ast.Constant):
+            return node.value == _NUMERIC_ENV
+        name = dotted_call_name(node, module.aliases)
+        if name is None:
+            return False
+        return name.split(".")[-1] == "BACKEND_ENV"

@@ -59,11 +59,19 @@ def resolve_numeric(request: protocol.SolveRequest) -> str:
 
 
 def batch_key(request: protocol.SolveRequest) -> str:
-    """Compatibility key: requests sharing it may coalesce into one batch."""
+    """Compatibility key: requests sharing it may coalesce into one batch.
+
+    The solver tier (and its ε) is part of the key so batches stay
+    tier-homogeneous: a batch's provenance and cache traffic then describe
+    one tier, and exact requests never wait behind slow fptas grids.
+    """
     payload = {
         "platform": platform_fingerprint(request.platform),
         "numeric": resolve_numeric(request),
+        "solver": request.solver,
     }
+    if request.solver == "fptas":
+        payload["epsilon"] = request.epsilon
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
@@ -250,7 +258,12 @@ class Batcher:
                     continue
                 key = (
                     service_request_key(
-                        request.platform, request.tasks_config(), scheme, backend
+                        request.platform,
+                        request.tasks_config(),
+                        scheme,
+                        backend,
+                        solver=request.solver,
+                        epsilon=request.epsilon,
                     )
                     if self.cache is not None
                     else None

@@ -49,6 +49,13 @@ from repro.core import (
     solve_common_release,
     solve_common_release_with_overhead,
 )
+from repro.core.fptas import (
+    DEFAULT_EPSILON,
+    SOLVER_TIERS,
+    pinned_solver,
+    solve_agreeable_fptas,
+    solve_common_release_fptas,
+)
 from repro.energy import EnergyBreakdown, account
 from repro.models.memory import MemoryModel
 from repro.models.platform import Platform, paper_platform
@@ -216,6 +223,8 @@ class SolveRequest:
     lane: str = LANE_INTERACTIVE
     numeric: Optional[str] = None
     timeout_ms: Optional[float] = None
+    solver: str = "exact"
+    epsilon: Optional[float] = None
 
     def tasks_config(self) -> List[List[object]]:
         """Canonical (deadline-sorted) task description for cache keys.
@@ -265,6 +274,31 @@ def request_from_wire(wire: Dict[str, object]) -> SolveRequest:
             E_BAD_REQUEST,
             f"numeric must be 'scalar', 'numpy' or 'jit', got {numeric!r}",
         )
+    solver = wire.get("solver", "exact")
+    if solver not in SOLVER_TIERS:
+        raise ProtocolError(
+            E_BAD_REQUEST,
+            f"solver must be one of {', '.join(SOLVER_TIERS)}, got {solver!r}",
+        )
+    epsilon = wire.get("epsilon")
+    if solver == "exact":
+        if epsilon is not None:
+            raise ProtocolError(
+                E_BAD_REQUEST, "epsilon only applies to solver 'fptas'"
+            )
+    else:
+        if epsilon is None:
+            epsilon = DEFAULT_EPSILON
+        try:
+            epsilon = float(epsilon)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                E_BAD_REQUEST, f"epsilon must be a number, got {epsilon!r}"
+            ) from None
+        if not 0.0 < epsilon <= 2.0:
+            raise ProtocolError(
+                E_BAD_REQUEST, f"epsilon must be in (0, 2], got {epsilon!r}"
+            )
     timeout_ms = wire.get("timeout_ms")
     if timeout_ms is not None:
         try:
@@ -291,6 +325,8 @@ def request_from_wire(wire: Dict[str, object]) -> SolveRequest:
         lane=str(lane),
         numeric=numeric,
         timeout_ms=timeout_ms,
+        solver=str(solver),
+        epsilon=epsilon,
     )
 
 
@@ -376,39 +412,56 @@ def execute_request(request: SolveRequest) -> Dict[str, object]:
     schedule (in the serialization schema), the itemized energy and the
     scheme-specific extras.  The caller is responsible for pinning the
     numeric backend (`request.numeric`) process-wide before calling; the
-    batcher does this per batch.
+    batcher does this per batch.  The solver tier is request-scoped and
+    pinned here: offline schemes dispatch to the fptas solvers directly,
+    online schemes pick the tier up inside every replan.  Exact-tier
+    payloads are byte-identical to the pre-tier protocol; fptas payloads
+    additionally carry ``solver`` and ``epsilon``.
     """
     tasks, platform = request.tasks, request.platform
     scheme = resolve_scheme(request)
+    use_fptas = request.solver == "fptas"
     horizon = (tasks.earliest_release, tasks.latest_deadline)
     result: Dict[str, object] = {"scheme": scheme}
-    if scheme in _ONLINE_POLICY_FACTORIES:
-        policy = _ONLINE_POLICY_FACTORIES[scheme](platform)
-        sim = simulate(policy, tasks, platform, horizon=horizon)
-        schedule = sim.schedule
-        result["energy"] = energy_to_wire(sim.breakdown)
-        result["peak_concurrency"] = sim.peak_concurrency
-    else:
-        overheads = platform.memory.xi_m > 0.0 or platform.core.xi > 0.0
-        if scheme == "common-release":
-            solution = solve_common_release(tasks, platform)
-            result["delta"] = solution.delta
-            result["predicted_energy"] = solution.predicted_energy
-        elif scheme == "common-release-overhead":
-            solution = solve_common_release_with_overhead(tasks, platform)
-            result["delta"] = solution.delta
-            result["predicted_energy"] = solution.predicted_energy
-        else:  # agreeable
-            solution = solve_agreeable(
-                tasks, platform, include_transition_overhead=overheads
-            )
-            result["num_blocks"] = solution.num_blocks
-            result["predicted_energy"] = solution.predicted_energy
-        schedule = solution.schedule()
-        breakdown = account(schedule, platform, horizon=horizon)
-        result["energy"] = energy_to_wire(breakdown)
+    with pinned_solver(request.solver, request.epsilon):
+        if scheme in _ONLINE_POLICY_FACTORIES:
+            policy = _ONLINE_POLICY_FACTORIES[scheme](platform)
+            sim = simulate(policy, tasks, platform, horizon=horizon)
+            schedule = sim.schedule
+            result["energy"] = energy_to_wire(sim.breakdown)
+            result["peak_concurrency"] = sim.peak_concurrency
+        else:
+            overheads = platform.memory.xi_m > 0.0 or platform.core.xi > 0.0
+            if scheme in ("common-release", "common-release-overhead"):
+                if use_fptas:
+                    solution = solve_common_release_fptas(tasks, platform)
+                elif scheme == "common-release":
+                    solution = solve_common_release(tasks, platform)
+                else:
+                    solution = solve_common_release_with_overhead(
+                        tasks, platform
+                    )
+                result["delta"] = solution.delta
+                result["predicted_energy"] = solution.predicted_energy
+            else:  # agreeable
+                if use_fptas:
+                    solution = solve_agreeable_fptas(
+                        tasks, platform, include_transition_overhead=overheads
+                    )
+                else:
+                    solution = solve_agreeable(
+                        tasks, platform, include_transition_overhead=overheads
+                    )
+                result["num_blocks"] = solution.num_blocks
+                result["predicted_energy"] = solution.predicted_energy
+            schedule = solution.schedule()
+            breakdown = account(schedule, platform, horizon=horizon)
+            result["energy"] = energy_to_wire(breakdown)
     result["schedule"] = schedule_to_payload(schedule)
     result["horizon"] = [horizon[0], horizon[1]]
+    if use_fptas:
+        result["solver"] = "fptas"
+        result["epsilon"] = request.epsilon
     return result
 
 

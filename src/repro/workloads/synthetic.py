@@ -21,7 +21,7 @@ from typing import List, Tuple
 from repro.models.task import Task, TaskSet
 from repro.units import SCALAR, unit
 
-__all__ = ["synthetic_tasks", "utilization_of"]
+__all__ = ["agreeable_trace", "synthetic_tasks", "utilization_of"]
 
 WORKLOAD_RANGE_KC: Tuple[float, float] = (2000.0, 5000.0)
 SPAN_RANGE_MS: Tuple[float, float] = (10.0, 120.0)
@@ -83,6 +83,63 @@ def synthetic_tasks(
         workload = rng.uniform(*workload_range)
         tasks.append(Task(t, t + span, workload, f"S{index}"))
     return tasks
+
+
+def agreeable_trace(
+    *,
+    n: int,
+    max_interarrival: float,
+    seed: int,
+    workload_range: Tuple[float, float] = WORKLOAD_RANGE_KC,
+    span_range: Tuple[float, float] = SPAN_RANGE_MS,
+    min_interarrival: float = 0.0,
+) -> Tuple[List[float], List[float], List[float]]:
+    """Columnwise agreeable sporadic trace: ``(releases, deadlines, workloads)``.
+
+    Draws exactly like :func:`synthetic_tasks` (same RNG call order, same
+    seed mapping), but each deadline is clamped up to the running maximum of
+    ``release + span`` so deadlines are non-decreasing in release order --
+    the *agreeable* instance class the Section 5 DP and the fptas tier
+    solve offline in one call.  Returns bare float columns and never
+    materializes :class:`~repro.models.task.Task` objects, so it scales to
+    ``n`` in the 10^3-10^5 range the huge-n bench slice sweeps.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if max_interarrival <= 0.0:
+        raise ValueError("max_interarrival must be positive")
+    if not (0.0 <= min_interarrival <= max_interarrival):
+        raise ValueError("need 0 <= min_interarrival <= max_interarrival")
+    rng = random.Random(seed)
+    if n >= _BATCH_MIN:
+        from repro.core import vectorized
+
+        if vectorized.use_numpy():
+            draws = [rng.random() for _ in range(3 * n - 1)]
+            return vectorized.agreeable_trace_columns(
+                draws[2::3],
+                [draws[0], *draws[3::3]],
+                [draws[1], *draws[4::3]],
+                min_interarrival=min_interarrival,
+                max_interarrival=max_interarrival,
+                span_range=span_range,
+                workload_range=workload_range,
+            )
+    releases: List[float] = []
+    deadlines: List[float] = []
+    workloads: List[float] = []
+    t = 0.0
+    horizon = 0.0
+    for index in range(n):
+        if index > 0:
+            t += rng.uniform(min_interarrival, max_interarrival)
+        span = rng.uniform(*span_range)
+        workload = rng.uniform(*workload_range)
+        horizon = max(horizon, t + span)
+        releases.append(t)
+        deadlines.append(horizon)
+        workloads.append(workload)
+    return releases, deadlines, workloads
 
 
 @unit(SCALAR)

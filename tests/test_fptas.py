@@ -1,0 +1,380 @@
+"""ε-approximate solver tier: selection state, keys, wire plumbing, bounds.
+
+Deterministic tests for :mod:`repro.core.fptas`; the randomized
+(1+ε)-bound and feasibility sweeps live in
+``tests/test_fptas_properties.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import vectorized
+from repro.core.agreeable import solve_agreeable
+from repro.core.common_release import solve_common_release
+from repro.core.fptas import (
+    DEFAULT_EPSILON,
+    EPSILON_ENV,
+    SOLVER_TIERS,
+    TIER_ENV,
+    get_solver_epsilon,
+    get_solver_tier,
+    pinned_solver,
+    set_solver_tier,
+    solve_agreeable_fptas,
+    solve_agreeable_fptas_columns,
+    solve_common_release_fptas,
+    solver_cache_component,
+)
+from repro.core.transition import solve_common_release_with_overhead
+from repro.experiments.cache import service_request_key, unit_key
+from repro.models import CorePowerModel, MemoryModel, Platform, Task, TaskSet
+from repro.schedule import validate_schedule
+from repro.service.protocol import (
+    E_BAD_REQUEST,
+    ProtocolError,
+    execute_request,
+    request_from_wire,
+)
+from repro.workloads.synthetic import agreeable_trace
+
+
+@pytest.fixture(autouse=True)
+def _reset_tier_and_backend(monkeypatch):
+    """Every test starts on the exact tier with no env leakage."""
+    monkeypatch.delenv(TIER_ENV, raising=False)
+    monkeypatch.delenv(EPSILON_ENV, raising=False)
+    set_solver_tier(None)
+    yield
+    set_solver_tier(None)
+    vectorized.set_backend(None)
+
+
+def make_platform(alpha: float = 2.0, alpha_m: float = 10.0, xi_m: float = 0.0):
+    return Platform(
+        CorePowerModel(beta=1e-6, lam=3.0, alpha=alpha, s_up=1000.0),
+        MemoryModel(alpha_m=alpha_m, xi_m=xi_m),
+    )
+
+
+AGREEABLE = TaskSet(
+    [
+        Task(0.0, 30.0, 4000.0, "a"),
+        Task(5.0, 55.0, 9000.0, "b"),
+        Task(40.0, 95.0, 2500.0, "c"),
+        Task(120.0, 160.0, 6000.0, "d"),
+    ]
+)
+
+COMMON = TaskSet(
+    [
+        Task(0.0, 40.0, 8000.0, "a"),
+        Task(0.0, 70.0, 15000.0, "b"),
+        Task(0.0, 100.0, 5000.0, "c"),
+    ]
+)
+
+
+# ---------------------------------------------------------------------------
+# Tier selection state
+# ---------------------------------------------------------------------------
+
+
+class TestTierSelection:
+    def test_defaults(self):
+        assert get_solver_tier() == "exact"
+        assert get_solver_epsilon() == DEFAULT_EPSILON
+
+    def test_override_and_clear(self):
+        set_solver_tier("fptas", 0.5)
+        assert get_solver_tier() == "fptas"
+        assert get_solver_epsilon() == 0.5
+        set_solver_tier(None)
+        assert get_solver_tier() == "exact"
+        assert get_solver_epsilon() == DEFAULT_EPSILON
+
+    def test_env_fallback_and_override_precedence(self, monkeypatch):
+        monkeypatch.setenv(TIER_ENV, "fptas")
+        monkeypatch.setenv(EPSILON_ENV, "0.25")
+        assert get_solver_tier() == "fptas"
+        assert get_solver_epsilon() == 0.25
+        set_solver_tier("exact")
+        assert get_solver_tier() == "exact"
+
+    def test_bad_tier_rejected(self):
+        with pytest.raises(ValueError, match="solver tier"):
+            set_solver_tier("annealing")
+
+    @pytest.mark.parametrize("eps", [0.0, -0.1, 2.5, float("nan"), "zero"])
+    def test_bad_epsilon_rejected(self, eps):
+        with pytest.raises(ValueError, match="epsilon"):
+            set_solver_tier("fptas", eps)
+
+    def test_pinned_solver_restores(self):
+        set_solver_tier("fptas", 0.5)
+        with pinned_solver("exact"):
+            assert get_solver_tier() == "exact"
+        assert get_solver_tier() == "fptas"
+        assert get_solver_epsilon() == 0.5
+
+    def test_tiers_tuple(self):
+        assert SOLVER_TIERS == ("exact", "fptas")
+
+
+# ---------------------------------------------------------------------------
+# Cache keys can never alias across tiers
+# ---------------------------------------------------------------------------
+
+
+class TestCacheKeys:
+    def test_solver_cache_component(self):
+        assert solver_cache_component() == {"tier": "exact"}
+        set_solver_tier("fptas", 0.25)
+        assert solver_cache_component() == {"tier": "fptas", "epsilon": 0.25}
+
+    def test_unit_key_partitions_tiers(self):
+        platform = make_platform()
+        config = {"kind": "synthetic", "n": 4}
+        exact = unit_key(platform, config, 0, "sdem")
+        set_solver_tier("fptas", 0.1)
+        coarse = unit_key(platform, config, 0, "sdem")
+        set_solver_tier("fptas", 0.01)
+        fine = unit_key(platform, config, 0, "sdem")
+        assert len({exact, coarse, fine}) == 3
+
+    def test_service_key_exact_ignores_epsilon_default(self):
+        platform = make_platform()
+        config = [(0.0, 40.0, 8000.0, "a")]
+        base = service_request_key(platform, config, "section4", "scalar")
+        explicit = service_request_key(
+            platform, config, "section4", "scalar", solver="exact", epsilon=None
+        )
+        assert base == explicit
+
+    def test_service_key_fptas_scoped_by_epsilon(self):
+        platform = make_platform()
+        config = [(0.0, 40.0, 8000.0, "a")]
+        exact = service_request_key(platform, config, "section4", "scalar")
+        coarse = service_request_key(
+            platform, config, "section4", "scalar", solver="fptas", epsilon=0.1
+        )
+        fine = service_request_key(
+            platform, config, "section4", "scalar", solver="fptas", epsilon=0.01
+        )
+        assert len({exact, coarse, fine}) == 3
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+
+def wire_solve(**overrides):
+    wire = {
+        "v": 1,
+        "id": "r1",
+        "kind": "solve",
+        "tasks": [
+            {"name": "a", "release": 0.0, "deadline": 40.0, "workload": 8000.0},
+            {"name": "b", "release": 0.0, "deadline": 70.0, "workload": 15000.0},
+        ],
+    }
+    wire.update(overrides)
+    return wire
+
+
+class TestProtocol:
+    def test_default_solver_is_exact(self):
+        request = request_from_wire(wire_solve())
+        assert request.solver == "exact"
+        assert request.epsilon is None
+
+    def test_fptas_epsilon_defaults(self):
+        request = request_from_wire(wire_solve(solver="fptas"))
+        assert request.solver == "fptas"
+        assert request.epsilon == DEFAULT_EPSILON
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ProtocolError, match="solver") as excinfo:
+            request_from_wire(wire_solve(solver="quantum"))
+        assert excinfo.value.code == E_BAD_REQUEST
+
+    def test_epsilon_without_fptas_rejected(self):
+        with pytest.raises(ProtocolError, match="epsilon"):
+            request_from_wire(wire_solve(epsilon=0.1))
+
+    @pytest.mark.parametrize("eps", [0.0, -1.0, 2.5, "tiny"])
+    def test_bad_epsilon_rejected(self, eps):
+        with pytest.raises(ProtocolError, match="epsilon"):
+            request_from_wire(wire_solve(solver="fptas", epsilon=eps))
+
+    def test_exact_result_payload_untouched_by_tier_fields(self):
+        result = execute_request(request_from_wire(wire_solve()))
+        assert "solver" not in result
+        assert "epsilon" not in result
+
+    def test_fptas_result_reports_tier_and_bound(self):
+        exact = execute_request(request_from_wire(wire_solve()))
+        approx = execute_request(
+            request_from_wire(wire_solve(solver="fptas", epsilon=0.1))
+        )
+        assert approx["solver"] == "fptas"
+        assert approx["epsilon"] == 0.1
+        exact_total = exact["energy"]["total"]
+        assert approx["energy"]["total"] <= 1.1 * exact_total + 1e-9
+
+    def test_fptas_agreeable_scheme(self):
+        wire = wire_solve(
+            solver="fptas",
+            scheme="agreeable",
+            tasks=[
+                {"name": t.name, "release": t.release,
+                 "deadline": t.deadline, "workload": t.workload}
+                for t in AGREEABLE
+            ],
+        )
+        result = execute_request(request_from_wire(wire))
+        assert result["solver"] == "fptas"
+        assert result["num_blocks"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Bounds and identities on fixed instances
+# ---------------------------------------------------------------------------
+
+
+class TestFixedInstanceBounds:
+    @pytest.mark.parametrize("eps", [0.1, 0.01])
+    def test_agreeable_bound_and_feasibility(self, eps):
+        platform = make_platform()
+        exact = solve_agreeable(AGREEABLE, platform)
+        approx = solve_agreeable_fptas(AGREEABLE, platform, epsilon=eps)
+        assert approx.predicted_energy <= (1.0 + eps) * exact.predicted_energy
+        validate_schedule(
+            approx.schedule(), AGREEABLE, max_speed=platform.core.s_up
+        )
+
+    def test_agreeable_overhead_bound(self):
+        platform = make_platform(xi_m=5.0)
+        exact = solve_agreeable(
+            AGREEABLE, platform, include_transition_overhead=True
+        )
+        approx = solve_agreeable_fptas(
+            AGREEABLE, platform, epsilon=0.1, include_transition_overhead=True
+        )
+        assert approx.predicted_energy <= 1.1 * exact.predicted_energy
+
+    def test_common_release_bound_and_feasibility(self):
+        platform = make_platform()
+        exact = solve_common_release(COMMON, platform)
+        approx = solve_common_release_fptas(COMMON, platform, epsilon=0.1)
+        assert approx.predicted_energy <= 1.1 * exact.predicted_energy
+        validate_schedule(
+            approx.schedule(), COMMON, max_speed=platform.core.s_up
+        )
+
+    def test_common_release_overhead_bound(self):
+        platform = make_platform(xi_m=8.0)
+        exact = solve_common_release_with_overhead(COMMON, platform)
+        approx = solve_common_release_fptas(COMMON, platform, epsilon=0.1)
+        assert approx.predicted_energy <= 1.1 * exact.predicted_energy
+
+    def test_tier_epsilon_used_when_omitted(self):
+        platform = make_platform()
+        set_solver_tier("fptas", 0.5)
+        tiered = solve_agreeable_fptas(AGREEABLE, platform)
+        explicit = solve_agreeable_fptas(AGREEABLE, platform, epsilon=0.5)
+        assert tiered.predicted_energy == explicit.predicted_energy
+
+    def test_non_agreeable_rejected(self):
+        platform = make_platform()
+        crossed = TaskSet([Task(0.0, 90.0, 100.0), Task(5.0, 20.0, 100.0)])
+        with pytest.raises(ValueError, match="agreeable"):
+            solve_agreeable_fptas(crossed, platform)
+
+    def test_infeasible_rejected(self):
+        platform = make_platform()
+        hopeless = TaskSet([Task(0.0, 1.0, 1e9, "x")])
+        with pytest.raises(ValueError, match="infeasible"):
+            solve_agreeable_fptas(hopeless, platform)
+
+
+# ---------------------------------------------------------------------------
+# Columns path: identical to the object path, no Task materialization
+# ---------------------------------------------------------------------------
+
+
+class TestColumnsPath:
+    def test_columns_match_object_path_exactly(self):
+        platform = make_platform()
+        releases, deadlines, workloads = agreeable_trace(
+            n=60, max_interarrival=120.0, seed=7
+        )
+        tasks = TaskSet.presorted(
+            tuple(
+                Task(r, d, w, f"H{i}")
+                for i, (r, d, w) in enumerate(zip(releases, deadlines, workloads))
+            )
+        )
+        for eps in (0.1, 0.01):
+            cols = solve_agreeable_fptas_columns(
+                releases, deadlines, workloads, platform, epsilon=eps
+            )
+            objs = solve_agreeable_fptas(tasks, platform, epsilon=eps)
+            assert cols["energy"] == objs.predicted_energy
+            assert cols["num_blocks"] == objs.num_blocks
+
+    def test_columns_backend_independent(self):
+        platform = make_platform()
+        releases, deadlines, workloads = agreeable_trace(
+            n=40, max_interarrival=120.0, seed=11
+        )
+        energies = {}
+        for backend in ("scalar", "numpy", "jit"):
+            if backend == "numpy" and not vectorized.HAS_NUMPY:
+                continue
+            vectorized.set_backend(backend)
+            result = solve_agreeable_fptas_columns(
+                releases, deadlines, workloads, platform, epsilon=0.1
+            )
+            energies[backend] = result["energy"]
+        assert len(set(energies.values())) == 1
+
+    def test_columns_validates_shape_and_order(self):
+        platform = make_platform()
+        with pytest.raises(ValueError, match="align"):
+            solve_agreeable_fptas_columns([0.0], [1.0, 2.0], [1.0], platform)
+        with pytest.raises(ValueError, match="agreeable"):
+            solve_agreeable_fptas_columns(
+                [0.0, 10.0], [50.0, 20.0], [10.0, 10.0], platform
+            )
+
+    def test_empty_columns(self):
+        result = solve_agreeable_fptas_columns([], [], [], make_platform())
+        assert result["energy"] == 0.0
+        assert result["num_blocks"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Huge-n trace generator
+# ---------------------------------------------------------------------------
+
+
+class TestAgreeableTrace:
+    def test_deterministic_and_agreeable(self):
+        a = agreeable_trace(n=200, max_interarrival=120.0, seed=3)
+        b = agreeable_trace(n=200, max_interarrival=120.0, seed=3)
+        assert a == b
+        releases, deadlines, _ = a
+        assert releases == sorted(releases)
+        assert deadlines == sorted(deadlines)
+        assert all(d >= r for r, d in zip(releases, deadlines))
+
+    def test_backend_bit_identity(self):
+        if not vectorized.HAS_NUMPY:
+            pytest.skip("numpy backend unavailable")
+        vectorized.set_backend("scalar")
+        scalar = agreeable_trace(n=500, max_interarrival=120.0, seed=9)
+        vectorized.set_backend("numpy")
+        batched = agreeable_trace(n=500, max_interarrival=120.0, seed=9)
+        assert scalar == batched

@@ -16,6 +16,7 @@ import pytest
 from repro.lint.config import (
     DEFAULT_SANCTIONED_JIT_MODULES,
     DEFAULT_SANCTIONED_NUMPY_MODULES,
+    DEFAULT_UNIT_TAGGED_MODULES,
     ConfigError,
     LintConfig,
     _fallback_table,
@@ -179,6 +180,36 @@ class TestLoadConfig:
         config = load_config(root)
         assert config.sanctioned_numpy_modules == ("a.b",)
         assert config.sanctioned_jit_modules == ("c.d", "e.f")
+
+    def test_unit_tagged_key_defaults(self, tmp_path):
+        config = load_config(str(tmp_path))
+        assert config.unit_tagged_modules == DEFAULT_UNIT_TAGGED_MODULES
+        assert config.unit_tagged_modules == ("repro.core.fptas",)
+
+    def test_unit_tagged_key_parsed_independently(self, tmp_path):
+        root = self._write(
+            tmp_path,
+            """
+            [tool.repro-lint]
+            unit-tagged-modules = ["repro.energy.grids"]
+            """,
+        )
+        config = load_config(root)
+        assert config.unit_tagged_modules == ("repro.energy.grids",)
+        assert (
+            config.sanctioned_numpy_modules == DEFAULT_SANCTIONED_NUMPY_MODULES
+        )
+
+    def test_unit_tagged_key_scalar_rejected(self, tmp_path):
+        root = self._write(
+            tmp_path,
+            """
+            [tool.repro-lint]
+            unit-tagged-modules = "repro.core.fptas"
+            """,
+        )
+        with pytest.raises(ConfigError, match="unit-tagged-modules"):
+            load_config(root)
 
     def test_jit_key_scalar_rejected(self, tmp_path):
         root = self._write(

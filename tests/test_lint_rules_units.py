@@ -174,3 +174,112 @@ class TestUnitMixUNT001:
             rules=["UNT001"],
         )
         assert rule_ids(findings) == ["UNT001"]
+
+
+class TestUnitTagCoverageUNT002:
+    def test_untagged_quantity_function_flagged(self, tmp_path):
+        source = """
+            def _grid_step(epsilon, min_busy):
+                return 0.25 * epsilon * min_busy
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/core/fptas.py": source}, rules=["UNT002"]
+        )
+        assert rule_ids(findings) == ["UNT002"]
+        assert "_grid_step" in findings[0].message
+        assert findings[0].severity == "warning"
+
+    def test_tagged_quantity_function_quiet(self, tmp_path):
+        source = """
+            from repro.units import MS, SCALAR, unit
+
+            @unit(SCALAR)
+            def _rounding_delta(epsilon):
+                return 0.25 * epsilon
+
+            @unit(MS)
+            def _busy_ladder(min_length, horizon, delta):
+                return [min_length, horizon]
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/core/fptas.py": source}, rules=["UNT002"]
+        )
+        assert findings == []
+
+    def test_non_quantity_names_never_conscripted(self, tmp_path):
+        # 'fptas'/'solver'/'discrete' are not quantity segments, and
+        # 'gridlock' must not match 'grid' mid-word.
+        source = """
+            def solve_agreeable_fptas(tasks):
+                return tasks
+
+            def _price_block_discrete(evaluate):
+                return evaluate
+
+            def gridlock_detector():
+                return True
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/core/fptas.py": source}, rules=["UNT002"]
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_quiet(self, tmp_path):
+        source = """
+            def block_energy():
+                return 7.0
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/core/blocks.py": source}, rules=["UNT002"]
+        )
+        assert findings == []
+
+    def test_raw_backend_env_read_flagged(self, tmp_path):
+        source = """
+            import os
+
+            def sneaky_backend():
+                return os.environ.get("REPRO_NUMERIC", "scalar")
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/core/fptas.py": source}, rules=["UNT002"]
+        )
+        assert rule_ids(findings) == ["UNT002"]
+        assert "REPRO_NUMERIC" in findings[0].message
+
+    def test_other_env_reads_quiet(self, tmp_path):
+        source = """
+            import os
+
+            def tier():
+                return os.environ.get("REPRO_SOLVER_TIER", "exact")
+        """
+        findings = run_lint(
+            str(tmp_path), {"src/repro/core/fptas.py": source}, rules=["UNT002"]
+        )
+        assert findings == []
+
+    def test_scope_configurable_via_pyproject(self, tmp_path):
+        pyproject = """
+            [tool.repro-lint]
+            unit-tagged-modules = [
+                "repro.energy.grids",
+            ]
+        """
+        untagged = """
+            def ladder_energy():
+                return 1.0
+        """
+        findings = run_lint(
+            str(tmp_path),
+            {
+                "pyproject.toml": pyproject,
+                # Newly scoped module: fires.
+                "src/repro/energy/grids.py": untagged,
+                # Default module, dropped by the config: quiet.
+                "src/repro/core/fptas.py": untagged,
+            },
+            rules=["UNT002"],
+        )
+        assert rule_ids(findings) == ["UNT002"]
+        assert findings[0].path.endswith("grids.py")
