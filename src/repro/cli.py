@@ -76,9 +76,11 @@ from repro.experiments.bench import (
     check_serial_regression,
     load_trajectory,
     render_bench_huge_n_table,
+    render_bench_streaming_table,
     render_bench_table,
     run_bench,
     run_bench_huge_n,
+    run_bench_streaming,
     write_bench_json,
 )
 from repro.experiments.runner import render_ascii_chart
@@ -336,6 +338,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             epsilons = [fptas.get_solver_epsilon()]
         report = run_bench_huge_n(quick=args.quick, epsilons=epsilons)
         print(render_bench_huge_n_table(report))
+    elif args.bench_slice == "streaming":
+        report = run_bench_streaming(quick=args.quick)
+        print(render_bench_streaming_table(report))
     else:
         report = run_bench(
             benchmark=args.benchmark,
@@ -358,6 +363,93 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.gate_regression:
         print("bench regression gate: ok (or no comparable prior entry)")
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.replay import ArrivalSpec, find_max_sustainable_rate, run_replay
+
+    platform = _platform_from(args)
+    if args.mode == "trace":
+        if not args.tasks:
+            raise SystemExit("trace mode needs --tasks FILE (CSV or JSON)")
+        with open(args.tasks) as handle:
+            text = handle.read()
+        if args.tasks.endswith(".json"):
+            trace = tasks_from_json(text)
+        else:
+            import io
+
+            trace = tasks_from_csv(io.StringIO(text))
+        spec = ArrivalSpec(mode="trace", n=len(trace), trace_tasks=tuple(trace))
+    else:
+        spec = ArrivalSpec(
+            mode=args.mode,
+            n=args.jobs,
+            rate_jobs_s=args.rate,
+            seed=args.seed,
+            burst_factor=args.burst_factor,
+            mean_dwell_ms=args.dwell_ms,
+        )
+
+    if args.ramp:
+        try:
+            rates = [float(r) for r in args.ramp.split(",") if r.strip()]
+        except ValueError as exc:
+            raise SystemExit(f"--ramp wants comma-separated rates: {exc}")
+        if not rates:
+            raise SystemExit("--ramp wants at least one rate")
+        best, points = find_max_sustainable_rate(
+            spec,
+            platform,
+            rates_jobs_s=rates,
+            slo_p99_ms=args.slo_p99,
+            max_backlog=args.max_backlog,
+        )
+        best_text = f"{best:g} jobs/s" if best is not None else "none"
+        print(f"max sustainable rate at P99 <= {args.slo_p99:g} ms: {best_text}")
+        for point in points:
+            print(
+                f"  {point.rate_jobs_s:>8.1f} jobs/s: "
+                f"wall p99 {point.p99_wall_ms:.3f} ms, shed {point.shed}, "
+                f"miss {point.deadline_miss} -> "
+                f"{'sustainable' if point.sustainable else 'over SLO'}"
+            )
+        if args.out:
+            payload = {
+                "slo_p99_ms": args.slo_p99,
+                "max_sustainable_rate_jobs_s": best,
+                "ramp": [point.to_wire() for point in points],
+            }
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json_module.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"report written to {args.out}")
+        return 0
+
+    report = run_replay(
+        spec,
+        platform,
+        sink=args.sink,
+        max_backlog=args.max_backlog,
+        host=args.host,
+        port=args.port,
+        clients=args.clients,
+        lane=args.lane,
+        scheme=args.scheme,
+        time_scale=args.time_scale,
+        timeout_ms=args.timeout_ms,
+        max_attempts=args.max_attempts,
+    )
+    print(report.render())
+    if args.out:
+        payload = report.to_wire(include_records=args.records)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.out}")
+    return 0 if report.counts.get("error", 0) == 0 else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -643,8 +735,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--slice", choices=list(BENCH_SLICES), default="fft",
         dest="bench_slice",
         help="workload slice: the Fig 6 DSPstone sweep (fft), the Fig 7 "
-        "sporadic sweep (synthetic), or the exact-vs-fptas crossover "
-        "sweep (huge-n)",
+        "sporadic sweep (synthetic), the exact-vs-fptas crossover "
+        "sweep (huge-n), or the open-loop replay slice (streaming)",
     )
     p_bench.add_argument(
         "--seeds", type=int, default=None, help="seeds per point (default 5; 2 with --quick)"
@@ -669,6 +761,82 @@ def build_parser() -> argparse.ArgumentParser:
     _add_numeric_arg(p_bench)
     _add_solver_arg(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="stream an open-loop arrival process through a replay sink",
+    )
+    p_replay.add_argument(
+        "--mode", choices=["poisson", "mmpp", "trace"], default="poisson",
+        help="arrival process (default poisson; trace replays --tasks)",
+    )
+    p_replay.add_argument(
+        "--jobs", type=int, default=2000, help="job count (default 2000)"
+    )
+    p_replay.add_argument(
+        "--rate", type=float, default=80.0,
+        help="offered rate in jobs/s (default 80)",
+    )
+    p_replay.add_argument("--seed", type=int, default=1)
+    p_replay.add_argument(
+        "--burst-factor", type=float, default=8.0, dest="burst_factor",
+        help="mmpp burst-state rate multiplier (default 8)",
+    )
+    p_replay.add_argument(
+        "--dwell-ms", type=float, default=2000.0, dest="dwell_ms",
+        help="mmpp mean state dwell time in ms (default 2000)",
+    )
+    p_replay.add_argument("--tasks", help="trace file for --mode trace")
+    p_replay.add_argument(
+        "--sink", choices=["inproc", "service"], default="inproc",
+        help="in-process SDEM-ON fast-forward (default) or a running "
+        "solve server",
+    )
+    p_replay.add_argument(
+        "--max-backlog", type=int, default=64, dest="max_backlog",
+        help="in-process admission cap: shed arrivals beyond this backlog",
+    )
+    p_replay.add_argument("--host", default="127.0.0.1")
+    p_replay.add_argument("--port", type=int, default=7070)
+    p_replay.add_argument(
+        "--clients", type=int, default=4,
+        help="service-sink connection pool size",
+    )
+    p_replay.add_argument(
+        "--lane", choices=["interactive", "sweep"], default="interactive"
+    )
+    p_replay.add_argument("--scheme", default="auto")
+    p_replay.add_argument(
+        "--time-scale", type=float, default=1.0, dest="time_scale",
+        help="service-sink fast-forward factor: virtual ms per wall ms "
+        "(default 1 = real time)",
+    )
+    p_replay.add_argument(
+        "--timeout-ms", type=float, default=10_000.0, dest="timeout_ms",
+        help="per-request wall-clock timeout (service sink)",
+    )
+    p_replay.add_argument(
+        "--max-attempts", type=int, default=3, dest="max_attempts",
+        help="sends per job before a shed becomes terminal (service sink)",
+    )
+    p_replay.add_argument(
+        "--ramp", default=None,
+        help="comma-separated offered rates: run the SLO ramp instead of "
+        "one replay and report the max sustainable rate",
+    )
+    p_replay.add_argument(
+        "--slo-p99", type=float, default=50.0, dest="slo_p99",
+        help="wall P99 SLO in ms for --ramp (default 50)",
+    )
+    p_replay.add_argument("--out", default=None, help="write a JSON report")
+    p_replay.add_argument(
+        "--records", action="store_true",
+        help="include the canonical per-job table in the JSON report",
+    )
+    _add_platform_args(p_replay)
+    _add_numeric_arg(p_replay)
+    _add_solver_arg(p_replay)
+    p_replay.set_defaults(func=_cmd_replay)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the experiment result cache"

@@ -138,6 +138,17 @@ class SdemOnlinePolicy:
     def peak_concurrency(self) -> int:
         return self._allocator.peak_concurrency
 
+    @property
+    def live_jobs(self) -> int:
+        """Unfinished jobs currently tracked by the policy.
+
+        The streaming replayer's admission control reads this as the
+        backlog: every live job re-enters the common-release relaxation on
+        the next replan, so bounding it bounds both per-arrival solve cost
+        and the concurrency the relaxation assumes.
+        """
+        return len(self._jobs)
+
     def _replan(self, now: float) -> None:
         """Re-solve the common-release relaxation at instant ``now``."""
         live = [j for j in self._jobs.values() if j.remaining > _EPS]

@@ -51,13 +51,16 @@ __all__ = [
     "load_trajectory",
     "run_bench",
     "run_bench_huge_n",
+    "run_bench_streaming",
     "render_bench_table",
     "render_bench_huge_n_table",
+    "render_bench_streaming_table",
     "write_bench_json",
 ]
 
-#: ``repro bench --slice`` choices; huge-n has its own runner.
-BENCH_SLICES = ("fft", "synthetic", "huge-n")
+#: ``repro bench --slice`` choices; huge-n and streaming have their own
+#: runners.
+BENCH_SLICES = ("fft", "synthetic", "huge-n", "streaming")
 
 #: Default Fig. 6 slice: the full U sweep at a moderate seed count.
 BENCH_U_VALUES: List[int] = [2, 3, 4, 5, 6, 7, 8, 9]
@@ -90,6 +93,18 @@ HUGE_N_OBJECT_CAP = 2000
 #: Max inter-arrival of the huge-n trace (ms): sporadic enough that
 #: feasibility gaps keep clusters small, so both tiers stay near-linear.
 HUGE_N_X_MS = 120.0
+
+#: Streaming slice: (offered rate jobs/s, job count) points.  The first
+#: point is the ISSUE's 10^5-job acceptance run at a comfortably
+#: sustainable rate; the second stresses admission (shedding engages).
+STREAMING_POINTS: List[List[float]] = [[80.0, 100_000], [320.0, 20_000]]
+QUICK_STREAMING_POINTS: List[List[float]] = [[80.0, 2_000], [400.0, 2_000]]
+STREAMING_SEED = 1
+STREAMING_MAX_BACKLOG = 64
+#: Offered-load ramp for the max-sustainable-rate search (full mode).
+STREAMING_RAMP_RATES: List[float] = [100.0, 200.0, 400.0, 800.0, 1600.0]
+STREAMING_RAMP_N = 4000
+STREAMING_SLO_P99_MS = 50.0
 
 
 def _timed_run(
@@ -590,6 +605,149 @@ def render_bench_huge_n_table(report: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def run_bench_streaming(
+    *,
+    points: Optional[List[List[float]]] = None,
+    mode: str = "poisson",
+    seed: int = STREAMING_SEED,
+    max_backlog: int = STREAMING_MAX_BACKLOG,
+    ramp_rates: Optional[List[float]] = None,
+    slo_p99_ms: float = STREAMING_SLO_P99_MS,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """The streaming slice: open-loop replay through the in-process sink.
+
+    Each ``(rate, n)`` point replays a seeded arrival stream through
+    SDEM-ON twice and records offered rate, P50/P99 virtual latency,
+    deadline-miss %, shed count and uJ/job; the repeat's digest must
+    match (``rows_identical`` -- the subsystem's byte-reproducibility
+    contract, checked per run the way the engine slices cross-check
+    modes).  Full mode adds the SLO ramp
+    (:func:`repro.replay.find_max_sustainable_rate`), whose wall P99 is
+    measured and therefore recorded but never gated.
+
+    ``modes.serial_cold.seconds`` (total first-pass replay wall) makes
+    the report gateable by :func:`check_serial_regression`, which also
+    compares ``streaming.deadline_miss_total`` against the prior entry:
+    new deadline misses fail the gate outright.
+    """
+    from repro.experiments.config import experiment_platform
+    from repro.replay import ArrivalSpec, find_max_sustainable_rate, run_replay
+
+    if points is None:
+        points = QUICK_STREAMING_POINTS if quick else STREAMING_POINTS
+    if not points:
+        raise ValueError("streaming slice needs at least one (rate, n) point")
+    platform = experiment_platform()
+
+    point_reports: List[Dict[str, object]] = []
+    all_identical = True
+    serial_total_s = 0.0
+    miss_total = 0
+    shed_total = 0
+    done_total = 0
+    for rate, n in points:
+        spec = ArrivalSpec(
+            mode=mode, n=int(n), rate_jobs_s=float(rate), seed=seed
+        )
+        first = run_replay(spec, platform, max_backlog=max_backlog)
+        repeat = run_replay(spec, platform, max_backlog=max_backlog)
+        identical = first.digest == repeat.digest
+        all_identical = all_identical and identical
+        # Best-of-two wall: the repeat exists for the digest check anyway,
+        # so use it to damp timer noise in the gated serial_cold figure
+        # (the box's other load only ever adds time).
+        serial_total_s += min(first.wall_seconds, repeat.wall_seconds)
+        miss_total += first.counts.get("deadline_miss", 0)
+        shed_total += first.counts.get("shed", 0)
+        done_total += first.counts.get("done", 0)
+        entry = first.to_wire()
+        entry["rows_identical"] = identical
+        point_reports.append(entry)
+
+    report: Dict[str, object] = {
+        "slice": {
+            "name": "streaming",
+            "mode": mode,
+            "points": [[float(rate), int(n)] for rate, n in points],
+            "seed": seed,
+            "max_backlog": max_backlog,
+        },
+        "backend": vectorized.get_backend(),
+        "points": point_reports,
+        "streaming": {
+            "deadline_miss_total": miss_total,
+            "shed_total": shed_total,
+            "done_total": done_total,
+        },
+        "rows_identical": all_identical,
+        "modes": {"serial_cold": {"seconds": round(serial_total_s, 4)}},
+    }
+    if not quick:
+        rates = ramp_rates if ramp_rates is not None else STREAMING_RAMP_RATES
+        best, ramp_points = find_max_sustainable_rate(
+            ArrivalSpec(mode=mode, n=STREAMING_RAMP_N, seed=seed),
+            platform,
+            rates_jobs_s=rates,
+            slo_p99_ms=slo_p99_ms,
+            max_backlog=max_backlog,
+        )
+        report["slo"] = {
+            "slo_p99_ms": slo_p99_ms,
+            "max_sustainable_rate_jobs_s": best,
+            "ramp": [point.to_wire() for point in ramp_points],
+        }
+    return report
+
+
+def render_bench_streaming_table(report: Dict[str, object]) -> str:
+    """Human-readable latency/energy table for one streaming report."""
+    sl = report["slice"]
+    lines = [
+        f"bench slice: streaming mode={sl['mode']} seed={sl['seed']} "
+        f"max_backlog={sl['max_backlog']} (backend {report['backend']})",
+        f"{'rate j/s':>9s} {'n':>8s} {'p50 ms':>8s} {'p99 ms':>8s} "
+        f"{'miss %':>7s} {'shed':>7s} {'uJ/job':>10s} {'repro':>6s}",
+    ]
+    for point in report["points"]:
+        virtual = point.get("virtual") or {}
+        energy = point.get("energy") or {}
+        counts = point.get("counts", {})
+        lines.append(
+            f"{point['offered_rate_jobs_s']:>9.1f} "
+            f"{counts.get('total', 0):>8d} "
+            f"{virtual.get('p50_ms', float('nan')):>8.2f} "
+            f"{virtual.get('p99_ms', float('nan')):>8.2f} "
+            f"{point.get('deadline_miss_pct', 0.0):>7.3f} "
+            f"{counts.get('shed', 0):>7d} "
+            f"{energy.get('per_job_uj', float('nan')):>10.1f} "
+            f"{'ok' if point.get('rows_identical') else 'FAIL':>6s}"
+        )
+    totals = report["streaming"]
+    lines.append(
+        f"totals: {totals['done_total']} done, "
+        f"{totals['deadline_miss_total']} deadline miss(es), "
+        f"{totals['shed_total']} shed; digests reproducible: "
+        f"{report['rows_identical']}"
+    )
+    slo = report.get("slo")
+    if slo is not None:
+        best = slo["max_sustainable_rate_jobs_s"]
+        best_text = f"{best:g} jobs/s" if best is not None else "none"
+        lines.append(
+            f"max sustainable rate at P99 <= {slo['slo_p99_ms']:g} ms: "
+            f"{best_text} (measured, machine-dependent)"
+        )
+        for point in slo["ramp"]:
+            lines.append(
+                f"  ramp {point['rate_jobs_s']:>7.1f} j/s: "
+                f"wall p99 {point['p99_wall_ms']:.3f} ms, "
+                f"shed {point['shed']}, miss {point['deadline_miss']} "
+                f"-> {'sustainable' if point['sustainable'] else 'over SLO'}"
+            )
+    return "\n".join(lines)
+
+
 def check_serial_regression(
     report: Dict[str, object],
     trajectory: List[Dict[str, object]],
@@ -607,9 +765,13 @@ def check_serial_regression(
     would trip on timer noise), ``None`` otherwise.  Warm-cache blowups
     used to land silently -- the gate read only ``serial_cold`` -- so a
     cache-path regression (slow keying, lost hits) never failed CI.
-    Reports without a ``warm_cache`` mode (the huge-n slice) are gated on
-    ``serial_cold`` alone.  With no comparable prior entry (first run, new
-    slice, other backend) the gate is skipped.
+    Reports without a ``warm_cache`` mode (the huge-n and streaming
+    slices) are gated on ``serial_cold`` alone.  Streaming reports carry
+    an extra, non-timing gate: ``streaming.deadline_miss_total`` may
+    never exceed the prior entry's (zero tolerance -- the replay is
+    deterministic, so any new miss is a scheduling change, not noise).
+    With no comparable prior entry (first run, new slice, other backend)
+    the gate is skipped.
     """
     prior: Optional[Dict[str, object]] = None
     for entry in reversed(trajectory):
@@ -623,6 +785,20 @@ def check_serial_regression(
         break
     if prior is None:
         return None
+    prior_streaming = prior.get("streaming")
+    new_streaming = report.get("streaming")
+    if isinstance(prior_streaming, dict) and isinstance(new_streaming, dict):
+        try:
+            prev_miss = int(prior_streaming["deadline_miss_total"])
+            new_miss = int(new_streaming["deadline_miss_total"])
+        except (KeyError, TypeError, ValueError):
+            prev_miss = new_miss = 0
+        if new_miss > prev_miss:
+            return (
+                f"streaming deadline-miss regression: {new_miss} miss(es) vs "
+                f"{prev_miss} recorded (the replay is deterministic; any "
+                "increase is a real scheduling change)"
+            )
     for mode in ("serial_cold", "warm_cache"):
         try:
             prev_s = float(prior["modes"][mode]["seconds"])  # type: ignore[index]

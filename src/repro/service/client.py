@@ -26,7 +26,29 @@ from repro.service import protocol
 from repro.service.server import SolveService
 from repro.workloads.synthetic import synthetic_tasks
 
-__all__ = ["ServiceClient", "DemoReport", "demo_wire_requests", "run_demo"]
+__all__ = [
+    "RETRYABLE_CODES",
+    "RequestTimedOut",
+    "ServiceClient",
+    "DemoReport",
+    "demo_wire_requests",
+    "run_demo",
+]
+
+
+class RequestTimedOut(TimeoutError):
+    """A request exceeded its per-request wall-clock timeout.
+
+    Raised by :meth:`ServiceClient.request` when ``timeout_ms`` elapses
+    before the correlated response arrives.  The pending future is
+    cleaned up, so a late response for the same id is silently dropped
+    instead of leaking into ``_pending`` forever.
+    """
+
+
+#: Error codes that signal transient backpressure: the server is healthy
+#: but declined the request, and suggested a ``retry_after_ms``.
+RETRYABLE_CODES = (protocol.E_SHEDDING, protocol.E_QUEUE_FULL)
 
 
 class ServiceClient:
@@ -100,19 +122,79 @@ class ServiceClient:
                     )
             self._pending.clear()
 
-    async def request(self, wire: Dict[str, object]) -> Dict[str, object]:
-        """Send one request object and await its correlated response."""
+    async def request(
+        self,
+        wire: Dict[str, object],
+        *,
+        timeout_ms: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Send one request object and await its correlated response.
+
+        ``timeout_ms`` bounds the wall-clock wait for the response;
+        ``None`` (the default) waits forever, preserving the historical
+        behaviour.  On expiry the pending entry is removed (a late
+        response is dropped by the read loop) and :class:`RequestTimedOut`
+        is raised, so a hung or draining server cannot wedge a replay.
+        """
         if self._writer is None:
             raise RuntimeError("client is not connected; call connect() first")
         wire = dict(wire)
         wire.setdefault("v", protocol.PROTOCOL_VERSION)
         if "id" not in wire:
             wire["id"] = self._next_id()
+        request_id = str(wire["id"])
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending[str(wire["id"])] = future
+        self._pending[request_id] = future
         self._writer.write(protocol.encode_line(wire))
         await self._writer.drain()
-        return await future
+        if timeout_ms is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout_ms / 1000.0)
+        except asyncio.TimeoutError:
+            self._pending.pop(request_id, None)
+            raise RequestTimedOut(
+                f"request {request_id} timed out after {timeout_ms:g} ms"
+            ) from None
+
+    async def request_with_retry(
+        self,
+        wire: Dict[str, object],
+        *,
+        timeout_ms: Optional[float] = None,
+        max_attempts: int = 3,
+        backoff_cap_ms: float = 1000.0,
+        on_backpressure=None,
+    ) -> Dict[str, object]:
+        """Send a request, honoring shed/queue-full backpressure.
+
+        When the server answers with a retryable error (``SHEDDING`` or
+        ``QUEUE_FULL``) the client sleeps for the server-suggested
+        ``retry_after_ms`` -- capped at ``backoff_cap_ms`` so an
+        occupancy-scaled hint cannot stall an open-loop replay -- and
+        resends, up to ``max_attempts`` total sends.  The final response
+        is returned as-is (possibly still the error) so callers can count
+        terminal sheds.  ``on_backpressure(code, delay_ms)`` is invoked
+        before each backoff sleep, for shed-retry accounting.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        response: Dict[str, object] = {}
+        for attempt in range(max_attempts):
+            response = await self.request(wire, timeout_ms=timeout_ms)
+            if response.get("ok"):
+                return response
+            error = response.get("error")
+            code = error.get("code") if isinstance(error, dict) else None
+            if code not in RETRYABLE_CODES or attempt == max_attempts - 1:
+                return response
+            suggested = error.get("retry_after_ms") if isinstance(error, dict) else None
+            delay_ms = float(suggested) if suggested is not None else backoff_cap_ms
+            delay_ms = min(delay_ms, backoff_cap_ms)
+            if on_backpressure is not None:
+                on_backpressure(str(code), delay_ms)
+            await asyncio.sleep(delay_ms / 1000.0)
+        return response
 
     # -- convenience verbs ---------------------------------------------------
 

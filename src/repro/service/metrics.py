@@ -7,18 +7,36 @@ from any thread, and read out either as a ``/metrics``-style text page
 (:meth:`MetricsRegistry.snapshot`) -- the payload behind the server's
 ``metrics`` request kind and ``repro serve --stats``.
 
-Histograms keep exact ``count``/``sum`` plus a bounded reservoir of the
-most recent observations, from which percentiles (p50/p95 on the text
-page) are computed.  That trades long-horizon percentile fidelity for
-zero configuration -- the service cares about "what is solve latency
-doing right now", not about week-long quantile sketches.
+Histograms keep exact ``count``/``sum`` plus **two** percentile views:
+
+* a bounded reservoir of the most recent observations (``p50``/``p95``
+  on the text page) -- "what is solve latency doing right now";
+* a fixed log-spaced bucket sketch over every observation ever made
+  (``p50_stream``/``p99_stream``), immune to the reservoir's recency
+  bias: over a long open-loop replay a 1024-sample window forgets the
+  tail, understating p99 whenever the slow minority is sparser than one
+  in ~1024 recent events.  Buckets span 1e-3..1e6 at a fixed count per
+  decade, so the estimate carries a bounded *relative* error (the
+  bucket width, ~7.5%) and costs O(1) per observe.
+
+Both views render on the Prometheus text page so dashboards can compare
+the recent window against the all-time stream.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional
+
+#: Log-spaced bucket grid of the streaming percentile sketch: buckets
+#: cover [1e-3, 1e6) (sub-microsecond to ~17-minute latencies in ms) at
+#: 32 per decade -- a 10^(1/32) ~= 7.5% relative bucket width.
+_BUCKET_MIN = 1e-3
+_BUCKET_DECADES = 9
+_BUCKETS_PER_DECADE = 32
+_BUCKET_COUNT = _BUCKET_DECADES * _BUCKETS_PER_DECADE
 
 __all__ = [
     "Counter",
@@ -109,7 +127,7 @@ class Gauge:
 
 
 class Histogram:
-    """Exact count/sum plus recent-reservoir percentiles."""
+    """Exact count/sum plus reservoir *and* streaming percentiles."""
 
     kind = "histogram"
 
@@ -119,16 +137,34 @@ class Histogram:
         self._count = 0
         self._sum = 0.0
         self._max = 0.0
+        self._min = math.inf
         self._recent: Deque[float] = deque(maxlen=reservoir)
+        self._buckets = [0] * _BUCKET_COUNT
+        self._overflow = 0
         self._lock = threading.Lock()
+
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        """Log-grid bucket of ``value``; -1 underflow, count overflow."""
+        if value < _BUCKET_MIN:
+            return -1
+        index = int(math.log10(value / _BUCKET_MIN) * _BUCKETS_PER_DECADE)
+        return min(index, _BUCKET_COUNT)
 
     def observe(self, value: float) -> None:
         value = float(value)
+        index = self._bucket_index(value)
         with self._lock:
             self._count += 1
             self._sum += value
             self._max = max(self._max, value)
+            self._min = min(self._min, value)
             self._recent.append(value)
+            if index >= _BUCKET_COUNT:
+                self._overflow += 1
+            elif index >= 0:
+                self._buckets[index] += 1
+            # Underflow (index -1) is implied: count minus bucket totals.
 
     @property
     def count(self) -> int:
@@ -149,6 +185,36 @@ class Histogram:
         rank = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
 
+    def streaming_percentile(self, p: float) -> Optional[float]:
+        """The ``p``-th percentile over *all* observations, from the
+        log-bucket sketch (bounded ~7.5% relative error).
+
+        Unlike :meth:`percentile` this never forgets: rare tail events
+        stay represented however long the replay runs.  Bucketed values
+        report the bucket's geometric midpoint, clamped to the observed
+        min/max; the overflow bucket reports the observed max.
+        """
+        with self._lock:
+            count = self._count
+            if count == 0:
+                return None
+            buckets = list(self._buckets)
+            overflow = self._overflow
+            minimum, maximum = self._min, self._max
+        target = max(1, math.ceil(p / 100.0 * count))
+        underflow = count - overflow - sum(buckets)
+        cumulative = underflow
+        if cumulative >= target:
+            return minimum
+        for index, bucket_count in enumerate(buckets):
+            cumulative += bucket_count
+            if cumulative >= target:
+                low = _BUCKET_MIN * 10.0 ** (index / _BUCKETS_PER_DECADE)
+                high = low * 10.0 ** (1.0 / _BUCKETS_PER_DECADE)
+                mid = math.sqrt(low * high)
+                return min(max(mid, minimum), maximum)
+        return maximum
+
     def sample(self) -> Dict[str, float]:
         with self._lock:
             count, total, maximum = self._count, self._sum, self._max
@@ -160,6 +226,12 @@ class Histogram:
             out["p50"] = p50
         if p95 is not None:
             out["p95"] = p95
+        p50_stream = self.streaming_percentile(50.0)
+        p99_stream = self.streaming_percentile(99.0)
+        if p50_stream is not None:
+            out["p50_stream"] = p50_stream
+        if p99_stream is not None:
+            out["p99_stream"] = p99_stream
         return out
 
     def render(self) -> List[str]:
@@ -168,7 +240,7 @@ class Histogram:
             f"{self.name}_count {_fmt(sample['count'])}",
             f"{self.name}_sum {_fmt(sample['sum'])}",
         ]
-        for key in ("p50", "p95", "max"):
+        for key in ("p50", "p95", "p50_stream", "p99_stream", "max"):
             if key in sample:
                 lines.append(f"{self.name}_{key} {_fmt(sample[key])}")
         return lines

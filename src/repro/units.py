@@ -35,6 +35,7 @@ __all__ = [
     "MS",
     "MHZ",
     "KC",
+    "JOBS_PER_S",
     "SCALAR",
     "DIMENSIONS",
     "UNIT_ATTRIBUTE",
@@ -52,6 +53,10 @@ MS = "ms"
 MHZ = "MHz"
 #: Workload in kilocycles.
 KC = "kc"
+#: Arrival / service rates in jobs per second (the streaming replay
+#: subsystem's offered-load axis; jobs are a count, so the dimension is
+#: pure 1/time).
+JOBS_PER_S = "jobs/s"
 #: Dimensionless ratios (utilizations, savings percentages, counts).
 SCALAR = "scalar"
 
@@ -69,6 +74,7 @@ DIMENSIONS: Dict[str, _BaseVector] = {
     MS: (Fraction(0), Fraction(0), Fraction(1)),
     MHZ: (Fraction(0), Fraction(1), Fraction(-1)),
     KC: (Fraction(0), Fraction(1), Fraction(0)),
+    JOBS_PER_S: (Fraction(0), Fraction(0), Fraction(-1)),
     SCALAR: (Fraction(0), Fraction(0), Fraction(0)),
 }
 

@@ -1,0 +1,168 @@
+"""Arrival process tests: determinism, ordering, rate, spec plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import Task
+from repro.replay import (
+    ARRIVAL_MODES,
+    ArrivalSpec,
+    mmpp_jobs,
+    offered_rate_jobs_s,
+    poisson_jobs,
+    trace_jobs,
+)
+from repro.replay.arrivals import mean_interarrival_ms
+
+
+class TestPoisson:
+    def test_seeded_stream_is_deterministic(self):
+        a = list(poisson_jobs(n=500, rate_jobs_s=100.0, seed=42))
+        b = list(poisson_jobs(n=500, rate_jobs_s=100.0, seed=42))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(poisson_jobs(n=50, rate_jobs_s=100.0, seed=1))
+        b = list(poisson_jobs(n=50, rate_jobs_s=100.0, seed=2))
+        assert a != b
+
+    def test_arrivals_nondecreasing_and_start_at_zero(self):
+        jobs = list(poisson_jobs(n=200, rate_jobs_s=50.0, seed=3))
+        assert jobs[0].arrival_ms == 0.0
+        for first, second in zip(jobs, jobs[1:]):
+            assert second.arrival_ms >= first.arrival_ms
+
+    def test_realized_rate_near_offered(self):
+        jobs = list(poisson_jobs(n=5000, rate_jobs_s=200.0, seed=7))
+        realized = offered_rate_jobs_s(jobs)
+        assert realized == pytest.approx(200.0, rel=0.1)
+
+    def test_spans_and_workloads_in_paper_ranges(self):
+        jobs = list(poisson_jobs(n=300, rate_jobs_s=80.0, seed=5))
+        for job in jobs:
+            assert 10.0 <= job.span_ms <= 120.0
+            assert 2000.0 <= job.workload_kc <= 5000.0
+            assert job.deadline_ms == job.arrival_ms + job.span_ms
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(poisson_jobs(n=0, rate_jobs_s=10.0, seed=1))
+        with pytest.raises(ValueError):
+            list(poisson_jobs(n=5, rate_jobs_s=0.0, seed=1))
+
+
+class TestMmpp:
+    def test_deterministic(self):
+        a = list(mmpp_jobs(n=400, rate_jobs_s=100.0, seed=9))
+        b = list(mmpp_jobs(n=400, rate_jobs_s=100.0, seed=9))
+        assert a == b
+
+    def test_ordered(self):
+        jobs = list(mmpp_jobs(n=400, rate_jobs_s=100.0, seed=11))
+        for first, second in zip(jobs, jobs[1:]):
+            assert second.arrival_ms >= first.arrival_ms
+
+    def test_burstier_than_poisson(self):
+        """The MMPP's inter-arrival coefficient of variation exceeds the
+        memoryless baseline's (CV = 1) -- that is what bursty means."""
+
+        def cv(jobs):
+            gaps = [
+                b.arrival_ms - a.arrival_ms for a, b in zip(jobs, jobs[1:])
+            ]
+            mean = sum(gaps) / len(gaps)
+            var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+            return (var**0.5) / mean
+
+        mmpp = list(
+            mmpp_jobs(
+                n=4000,
+                rate_jobs_s=100.0,
+                seed=13,
+                burst_factor=10.0,
+                mean_dwell_ms=500.0,
+            )
+        )
+        poisson = list(poisson_jobs(n=4000, rate_jobs_s=100.0, seed=13))
+        assert cv(mmpp) > cv(poisson)
+
+    def test_burst_factor_one_validates(self):
+        with pytest.raises(ValueError):
+            list(mmpp_jobs(n=5, rate_jobs_s=10.0, seed=1, burst_factor=0.5))
+        with pytest.raises(ValueError):
+            list(mmpp_jobs(n=5, rate_jobs_s=10.0, seed=1, mean_dwell_ms=0.0))
+
+
+class TestTrace:
+    def test_replays_sorted_by_release(self):
+        tasks = [
+            Task(30.0, 80.0, 1000.0, "late"),
+            Task(0.0, 50.0, 2000.0, "early"),
+            Task(10.0, 40.0, 1500.0, "mid"),
+        ]
+        jobs = list(trace_jobs(tasks))
+        assert [j.name for j in jobs] == ["early", "mid", "late"]
+        assert jobs[0].workload_kc == 2000.0
+        assert jobs[0].deadline_ms == 50.0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            list(trace_jobs([]))
+
+    def test_job_roundtrips_to_task(self):
+        jobs = list(poisson_jobs(n=3, rate_jobs_s=10.0, seed=1))
+        task = jobs[1].task()
+        assert task.release == jobs[1].arrival_ms
+        assert task.deadline == jobs[1].deadline_ms
+        assert task.workload == jobs[1].workload_kc
+        assert task.name == jobs[1].name
+
+
+class TestArrivalSpec:
+    def test_modes_enumerated(self):
+        assert set(ARRIVAL_MODES) == {"poisson", "mmpp", "trace"}
+
+    def test_jobs_matches_generator(self):
+        spec = ArrivalSpec(mode="poisson", n=100, rate_jobs_s=60.0, seed=4)
+        assert spec.jobs() == list(
+            poisson_jobs(n=100, rate_jobs_s=60.0, seed=4)
+        )
+
+    def test_at_rate_changes_only_rate(self):
+        spec = ArrivalSpec(mode="mmpp", n=50, rate_jobs_s=60.0, seed=4)
+        faster = spec.at_rate(120.0)
+        assert faster.rate_jobs_s == 120.0
+        assert (faster.mode, faster.n, faster.seed) == ("mmpp", 50, 4)
+
+    def test_trace_mode_needs_tasks_and_has_no_rate_knob(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(mode="trace")
+        spec = ArrivalSpec(
+            mode="trace", n=1, trace_tasks=(Task(0.0, 50.0, 1000.0, "t"),)
+        )
+        with pytest.raises(ValueError):
+            spec.at_rate(10.0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(mode="uniform")
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        spec = ArrivalSpec(mode="mmpp", n=10, rate_jobs_s=5.0, seed=2)
+        described = spec.describe()
+        assert json.loads(json.dumps(described)) == described
+        assert described["burst_factor"] == 8.0
+
+
+class TestRates:
+    def test_mean_interarrival_inverse_of_rate(self):
+        jobs = list(poisson_jobs(n=5000, rate_jobs_s=100.0, seed=21))
+        assert mean_interarrival_ms(jobs) == pytest.approx(10.0, rel=0.1)
+
+    def test_degenerate_streams(self):
+        jobs = list(poisson_jobs(n=1, rate_jobs_s=10.0, seed=1))
+        assert offered_rate_jobs_s(jobs) == 0.0
+        assert mean_interarrival_ms(jobs) == 0.0

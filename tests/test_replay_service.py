@@ -1,0 +1,251 @@
+"""Service-sink replay tests plus the client timeout/backoff satellites.
+
+The fake servers here speak just enough of the JSON-lines protocol to
+exercise the paths a real :class:`SolveService` makes hard to hit on
+demand: a server that never answers (timeout), and one that sheds with a
+``retry_after_ms`` hint before accepting (capped backoff).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.replay import ArrivalSpec, ReplayReport
+from repro.replay.sinks import replay_service
+from repro.service import protocol
+from repro.service.client import (
+    RETRYABLE_CODES,
+    RequestTimedOut,
+    ServiceClient,
+)
+from repro.service.server import SolveService
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def start_fake_server(handler):
+    """A line-oriented server calling ``handler(wire) -> response | None``."""
+
+    async def on_connection(reader, writer):
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            wire = json.loads(line)
+            response = handler(wire)
+            if response is None:
+                continue  # swallow the request: the hung-server case
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+        writer.close()
+
+    server = await asyncio.start_server(on_connection, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port
+
+
+class TestClientTimeout:
+    def test_hung_server_raises_and_cleans_pending(self):
+        async def body():
+            server, host, port = await start_fake_server(lambda wire: None)
+            try:
+                async with ServiceClient(host, port) as client:
+                    with pytest.raises(RequestTimedOut):
+                        await client.request(
+                            {"kind": "ping"}, timeout_ms=100.0
+                        )
+                    assert client._pending == {}
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(body())
+
+    def test_no_timeout_preserves_old_behaviour(self):
+        async def body():
+            def answer(wire):
+                return {"v": 1, "id": wire["id"], "ok": True, "result": {}}
+
+            server, host, port = await start_fake_server(answer)
+            try:
+                async with ServiceClient(host, port) as client:
+                    response = await client.request({"kind": "ping"})
+                    assert response["ok"] is True
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(body())
+
+
+class TestClientRetry:
+    def test_retry_after_shed_then_success(self):
+        attempts = []
+
+        def handler(wire):
+            attempts.append(wire["id"])
+            if len(attempts) == 1:
+                return {
+                    "v": 1,
+                    "id": wire["id"],
+                    "ok": False,
+                    "error": {
+                        "code": protocol.E_SHEDDING,
+                        "message": "degraded",
+                        "retry_after_ms": 10.0,
+                    },
+                }
+            return {"v": 1, "id": wire["id"], "ok": True, "result": {}}
+
+        async def body():
+            server, host, port = await start_fake_server(handler)
+            backoffs = []
+            try:
+                async with ServiceClient(host, port) as client:
+                    response = await client.request_with_retry(
+                        {"kind": "solve"},
+                        timeout_ms=1000.0,
+                        max_attempts=3,
+                        on_backpressure=lambda code, ms: backoffs.append(
+                            (code, ms)
+                        ),
+                    )
+            finally:
+                server.close()
+                await server.wait_closed()
+            assert response["ok"] is True
+            assert len(attempts) == 2
+            assert backoffs == [(protocol.E_SHEDDING, 10.0)]
+
+        run(body())
+
+    def test_backoff_capped(self):
+        def handler(wire):
+            return {
+                "v": 1,
+                "id": wire["id"],
+                "ok": False,
+                "error": {
+                    "code": protocol.E_QUEUE_FULL,
+                    "message": "full",
+                    "retry_after_ms": 60_000.0,  # a stalling hint
+                },
+            }
+
+        async def body():
+            server, host, port = await start_fake_server(handler)
+            backoffs = []
+            try:
+                async with ServiceClient(host, port) as client:
+                    response = await client.request_with_retry(
+                        {"kind": "solve"},
+                        timeout_ms=1000.0,
+                        max_attempts=2,
+                        backoff_cap_ms=20.0,
+                        on_backpressure=lambda code, ms: backoffs.append(ms),
+                    )
+            finally:
+                server.close()
+                await server.wait_closed()
+            # Final answer is still the error; the hint was capped.
+            assert response["ok"] is False
+            assert backoffs == [20.0]
+
+        run(body())
+
+    def test_non_retryable_error_returned_immediately(self):
+        calls = []
+
+        def handler(wire):
+            calls.append(wire["id"])
+            return {
+                "v": 1,
+                "id": wire["id"],
+                "ok": False,
+                "error": {"code": protocol.E_BAD_REQUEST, "message": "no"},
+            }
+
+        async def body():
+            server, host, port = await start_fake_server(handler)
+            try:
+                async with ServiceClient(host, port) as client:
+                    response = await client.request_with_retry(
+                        {"kind": "solve"}, timeout_ms=1000.0, max_attempts=3
+                    )
+            finally:
+                server.close()
+                await server.wait_closed()
+            assert response["ok"] is False
+            assert len(calls) == 1
+
+        run(body())
+
+    def test_retryable_codes_cover_both_backpressure_kinds(self):
+        assert protocol.E_SHEDDING in RETRYABLE_CODES
+        assert protocol.E_QUEUE_FULL in RETRYABLE_CODES
+
+    def test_max_attempts_validated(self):
+        async def body():
+            client = ServiceClient()
+            with pytest.raises(ValueError):
+                await client.request_with_retry({"kind": "ping"}, max_attempts=0)
+
+        run(body())
+
+
+class TestServiceSinkReplay:
+    def test_open_loop_replay_through_real_server(self):
+        async def body():
+            service = SolveService(capacity=64)
+            server = await service.serve_tcp("127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            jobs = ArrivalSpec(
+                mode="poisson", n=60, rate_jobs_s=100.0, seed=5
+            ).jobs()
+            try:
+                outcome = await replay_service(
+                    jobs,
+                    host=host,
+                    port=port,
+                    clients=3,
+                    time_scale=50.0,
+                    timeout_ms=10_000.0,
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+                await service.drain()
+            return outcome
+
+        outcome = run(body())
+        report = ReplayReport.from_outcome(outcome, {"mode": "poisson", "n": 60})
+        assert report.counts["total"] == 60
+        assert report.counts["done"] == 60
+        assert report.counts["error"] == 0
+        assert report.counts["timeout"] == 0
+        assert report.sink == "service"
+        # Measured latencies exist even though they carry no determinism
+        # guarantee.
+        assert report.virtual is not None
+        assert report.virtual.count == 60
+
+    def test_empty_stream_rejected(self):
+        async def body():
+            await replay_service([], host="127.0.0.1", port=1)
+
+        with pytest.raises(ValueError):
+            run(body())
+
+    def test_bad_time_scale_rejected(self):
+        jobs = ArrivalSpec(n=2, seed=1).jobs()
+
+        async def body():
+            await replay_service(jobs, host="127.0.0.1", port=1, time_scale=0.0)
+
+        with pytest.raises(ValueError):
+            run(body())

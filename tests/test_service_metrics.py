@@ -118,3 +118,80 @@ class TestRegistry:
         counter = scheme_energy_counter(registry, "sdem-on")
         assert counter.name == "repro_energy_uj_total_sdem_on"
         assert scheme_energy_counter(registry, "sdem-on") is counter
+
+
+class TestStreamingPercentiles:
+    """The log-bucket sketch: all-time percentiles with bounded relative
+    error, immune to the 1024-sample reservoir's recency bias."""
+
+    def test_empty_is_none(self):
+        assert Histogram("h").streaming_percentile(50.0) is None
+
+    def test_bounded_relative_error(self):
+        h = Histogram("h")
+        for v in range(1, 10_001):
+            h.observe(float(v))
+        # Bucket width is 10^(1/32) ~= 7.5%; allow a little headroom.
+        assert h.streaming_percentile(50.0) == pytest.approx(5000.0, rel=0.09)
+        assert h.streaming_percentile(99.0) == pytest.approx(9900.0, rel=0.09)
+
+    def test_remembers_tail_the_reservoir_forgot(self):
+        """1000 slow observations followed by 99k fast ones: the recent
+        reservoir reports a fast p-anything, the sketch still sees the
+        slow 1%."""
+        import random
+
+        rng = random.Random(1)
+        h = Histogram("h", reservoir=1024)
+        slow = [rng.uniform(400.0, 600.0) for _ in range(2000)]
+        fast = [rng.uniform(0.5, 2.0) for _ in range(98_000)]
+        for v in slow + fast:
+            h.observe(v)
+        # Reservoir window is all-fast: its p95 has lost the tail.
+        assert h.percentile(95.0) < 3.0
+        # The sketch's p99 still lands in the slow band (2% of mass).
+        assert 350.0 < h.streaming_percentile(99.0) < 700.0
+
+    def test_overflow_and_underflow_clamp_to_observed_extremes(self):
+        h = Histogram("h")
+        h.observe(0.0)       # below the 1e-3 bucket floor
+        h.observe(1e9)       # beyond the 1e6 bucket ceiling
+        assert h.streaming_percentile(1.0) == 0.0
+        assert h.streaming_percentile(99.9) == 1e9
+
+    def test_single_value_consistent(self):
+        h = Histogram("h")
+        h.observe(42.0)
+        assert h.streaming_percentile(50.0) == pytest.approx(42.0, rel=0.08)
+
+    def test_rendered_on_text_page_alongside_reservoir(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        text = "\n".join(h.render())
+        assert "h_p50 " in text
+        assert "h_p95 " in text
+        assert "h_p50_stream " in text
+        assert "h_p99_stream " in text
+        sample = h.sample()
+        assert sample["p50_stream"] == pytest.approx(50.0, rel=0.09)
+        assert sample["p99_stream"] == pytest.approx(99.0, rel=0.09)
+
+    def test_thread_safety(self):
+        import threading
+
+        h = Histogram("h")
+
+        def worker(base):
+            for v in range(1, 1001):
+                h.observe(float(v) * base)
+
+        threads = [
+            threading.Thread(target=worker, args=(b,)) for b in (1.0, 10.0)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 2000
+        assert h.streaming_percentile(99.9) == pytest.approx(10_000.0, rel=0.09)

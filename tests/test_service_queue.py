@@ -200,3 +200,73 @@ def test_queue_never_exceeds_capacity_and_rejections_are_traceless(
     assert set(dispatched) <= admitted
     # ... and no rejected request ever crossed over.
     assert rejected.isdisjoint(dispatched)
+
+
+# ---------------------------------------------------------------------------
+# Sustained open-loop overload, driven by the repro.replay arrival generator
+# ---------------------------------------------------------------------------
+
+from repro.replay import poisson_jobs  # noqa: E402
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rate=st.floats(min_value=200.0, max_value=5000.0),
+    capacity=st.integers(min_value=2, max_value=16),
+    shed_threshold=st.floats(min_value=0.2, max_value=1.0),
+    drain_every=st.integers(min_value=4, max_value=12),
+    drain_count=st.integers(min_value=0, max_value=3),
+)
+def test_open_loop_overload_invariants(
+    seed, rate, capacity, shed_threshold, drain_every, drain_count
+):
+    """Sustained open-loop overload preserves the three queue invariants.
+
+    A seeded Poisson arrival stream (the streaming replayer's generator)
+    offers far faster than the dispatcher drains, so the queue lives at
+    or near saturation for the whole run.  Throughout:
+
+    1. strict priority -- a sweep entry is only ever dispatched when the
+       interactive lane is empty at pop time;
+    2. backpressure monotonicity -- ``retry_after_ms`` is non-decreasing
+       in the queue occupancy observed at rejection time;
+    3. the capacity bound is never exceeded, and only sweep-lane
+       arrivals are shed (interactive is admitted until truly full).
+    """
+    jobs = list(poisson_jobs(n=60, rate_jobs_s=rate, seed=seed))
+    queue = AdmissionQueue(capacity=capacity, shed_threshold=shed_threshold)
+    rejections = []  # (depth at offer, retry_after_ms)
+    for index, job in enumerate(jobs):
+        # Deterministic mixed lanes, derived from the seeded stream.
+        lane = LANE_SWEEP if job.workload_kc < 3500.0 else LANE_INTERACTIVE
+        depth_before = queue.depth
+        result = queue.offer(make_request(job.name, lane=lane))
+        if result.admitted:
+            assert depth_before < queue.capacity
+        else:
+            assert result.retry_after_ms is not None
+            rejections.append((depth_before, result.retry_after_ms))
+            if result.code == E_SHEDDING:
+                assert lane == LANE_SWEEP
+                assert depth_before >= queue.shed_at
+            else:
+                assert result.code == E_QUEUE_FULL
+                assert depth_before >= queue.capacity
+        assert queue.depth <= capacity
+        if index % drain_every == drain_every - 1 and drain_count:
+            ready, _expired, _cancelled = queue.pop_batch(drain_count)
+            if any(e.lane == LANE_SWEEP for e in ready):
+                # pop_batch drains interactive first: a dispatched sweep
+                # entry proves the interactive lane was emptied.
+                assert queue.lane_depths()[LANE_INTERACTIVE] == 0
+            for first, second in zip(ready, ready[1:]):
+                assert not (
+                    first.lane == LANE_SWEEP and second.lane == LANE_INTERACTIVE
+                ), "sweep dispatched ahead of a queued interactive entry"
+    assert queue.depth_peak <= capacity
+    # Monotone backpressure: sort observed rejections by occupancy; the
+    # suggested backoff must never decrease as the queue fills.
+    rejections.sort(key=lambda pair: pair[0])
+    for (d1, r1), (d2, r2) in zip(rejections, rejections[1:]):
+        assert r1 <= r2 or d1 == d2
