@@ -76,10 +76,12 @@ from repro.experiments.bench import (
     check_serial_regression,
     load_trajectory,
     render_bench_huge_n_table,
+    render_bench_service_table,
     render_bench_streaming_table,
     render_bench_table,
     run_bench,
     run_bench_huge_n,
+    run_bench_service,
     run_bench_streaming,
     write_bench_json,
 )
@@ -341,6 +343,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     elif args.bench_slice == "streaming":
         report = run_bench_streaming(quick=args.quick)
         print(render_bench_streaming_table(report))
+    elif args.bench_slice == "service":
+        report = run_bench_service(quick=args.quick)
+        print(render_bench_service_table(report))
     else:
         report = run_bench(
             benchmark=args.benchmark,
@@ -488,6 +493,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window_ms=args.batch_window_ms,
         max_batch=args.max_batch,
         workers=args.workers,
+        shards=args.shards,
         cache=cache,
     )
     if args.stdio:
@@ -511,6 +517,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 n=args.n,
                 clients=args.clients,
                 capacity=args.capacity,
+                shards=args.shards,
                 verify=not args.no_verify,
             )
         )
@@ -736,7 +743,8 @@ def build_parser() -> argparse.ArgumentParser:
         dest="bench_slice",
         help="workload slice: the Fig 6 DSPstone sweep (fft), the Fig 7 "
         "sporadic sweep (synthetic), the exact-vs-fptas crossover "
-        "sweep (huge-n), or the open-loop replay slice (streaming)",
+        "sweep (huge-n), the open-loop replay slice (streaming), or "
+        "the sharded-service scaling slice (service)",
     )
     p_bench.add_argument(
         "--seeds", type=int, default=None, help="seeds per point (default 5; 2 with --quick)"
@@ -877,6 +885,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="solver worker threads"
     )
     p_serve.add_argument(
+        "--shards", type=int, default=0,
+        help="worker-pool shards (0 = inline batcher tier; N>0 routes by "
+        "platform fingerprint to N pinned worker processes)",
+    )
+    p_serve.add_argument(
         "--no-cache", action="store_true", dest="no_cache",
         help="disable the on-disk result cache",
     )
@@ -913,6 +926,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="demo concurrent client connections")
     p_submit.add_argument("--capacity", type=int, default=512,
                           help="demo local-server queue bound (and audit threshold)")
+    p_submit.add_argument("--shards", type=int, default=0,
+                          help="demo local-server worker-pool shards "
+                          "(0 = inline batcher tier)")
     p_submit.add_argument(
         "--no-verify", action="store_true", dest="no_verify",
         help="demo: skip the byte-identity check against direct solver calls",

@@ -51,16 +51,18 @@ __all__ = [
     "load_trajectory",
     "run_bench",
     "run_bench_huge_n",
+    "run_bench_service",
     "run_bench_streaming",
     "render_bench_table",
     "render_bench_huge_n_table",
+    "render_bench_service_table",
     "render_bench_streaming_table",
     "write_bench_json",
 ]
 
-#: ``repro bench --slice`` choices; huge-n and streaming have their own
-#: runners.
-BENCH_SLICES = ("fft", "synthetic", "huge-n", "streaming")
+#: ``repro bench --slice`` choices; huge-n, streaming and service have
+#: their own runners.
+BENCH_SLICES = ("fft", "synthetic", "huge-n", "streaming", "service")
 
 #: Default Fig. 6 slice: the full U sweep at a moderate seed count.
 BENCH_U_VALUES: List[int] = [2, 3, 4, 5, 6, 7, 8, 9]
@@ -105,6 +107,22 @@ STREAMING_MAX_BACKLOG = 64
 STREAMING_RAMP_RATES: List[float] = [100.0, 200.0, 400.0, 800.0, 1600.0]
 STREAMING_RAMP_N = 4000
 STREAMING_SLO_P99_MS = 50.0
+
+#: Service slice: worker (shard) counts the scaling table compares.
+SERVICE_WORKER_COUNTS: List[int] = [1, 2, 4]
+QUICK_SERVICE_WORKER_COUNTS: List[int] = [1, 2]
+SERVICE_N_JOBS = 240
+QUICK_SERVICE_N_JOBS = 60
+#: Offered rate: high enough that the server, not the arrival spacing,
+#: is the bottleneck on the cold pass (n jobs span ~n/rate seconds).
+SERVICE_RATE_JOBS_S = 2000.0
+SERVICE_SEED = 7
+#: Platform-parameter rotation: the shard tier routes by platform
+#: fingerprint, so a single-platform stream would exercise exactly one
+#: shard.  Eight distinct memory-power points spread the ring.
+SERVICE_PLATFORM_CYCLE: List[Dict[str, float]] = [
+    {"alpha_m": 1200.0 + 200.0 * index} for index in range(8)
+]
 
 
 def _timed_run(
@@ -745,6 +763,176 @@ def render_bench_streaming_table(report: Dict[str, object]) -> str:
                 f"shed {point['shed']}, miss {point['deadline_miss']} "
                 f"-> {'sustainable' if point['sustainable'] else 'over SLO'}"
             )
+    return "\n".join(lines)
+
+
+def _latency_percentile(values: List[float], p: float) -> Optional[float]:
+    """Nearest-rank percentile of measured wall latencies."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_bench_service(
+    *,
+    worker_counts: Optional[List[int]] = None,
+    n: Optional[int] = None,
+    rate_jobs_s: float = SERVICE_RATE_JOBS_S,
+    seed: int = SERVICE_SEED,
+    clients: int = 4,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """The service slice: open-loop replay against sharded worker pools.
+
+    For each worker count W a fresh :class:`repro.service.SolveService`
+    with ``shards=W`` (its own worker processes, its own empty result
+    cache) is driven twice by the replay harness's open-loop generator --
+    the same seeded Poisson stream every time, platform-cycled so the
+    consistent-hash ring spreads load across all W shards.  The first
+    pass is all cache misses (solve throughput), the repeat is all hits
+    (service-overhead throughput); both record throughput and wall P50 /
+    P99.
+
+    ``modes.serial_cold`` / ``modes.warm_cache`` carry the one-worker
+    walls, making the report gateable by :func:`check_serial_regression`
+    exactly like the engine slices.  On a single-core host the scaling
+    ratios are pool overhead, not parallelism, so
+    ``speedup.parallel_vs_serial`` is ``null`` with an annotation -- the
+    same convention the fig6/synthetic trajectory entries use.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.replay import ArrivalSpec
+    from repro.replay.sinks import replay_service
+    from repro.service.server import SolveService
+
+    if worker_counts is None:
+        worker_counts = (
+            QUICK_SERVICE_WORKER_COUNTS if quick else SERVICE_WORKER_COUNTS
+        )
+    if n is None:
+        n = QUICK_SERVICE_N_JOBS if quick else SERVICE_N_JOBS
+    if any(count < 1 for count in worker_counts):
+        raise ValueError(f"worker counts must be >= 1, got {worker_counts}")
+    spec = ArrivalSpec(mode="poisson", n=n, rate_jobs_s=rate_jobs_s, seed=seed)
+    jobs = list(spec.jobs())
+    capacity = max(64, 2 * n)  # never shed: throughput, not admission, is measured
+
+    async def drive(shards: int) -> Dict[str, object]:
+        cache = ResultCache(tempfile.mkdtemp(prefix="repro-bench-service-"))
+        service = SolveService(capacity=capacity, shards=shards, cache=cache)
+        server = await service.serve_tcp("127.0.0.1", 0)
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            passes = {}
+            for label in ("cold", "warm"):
+                outcome = await replay_service(
+                    jobs,
+                    host=host,
+                    port=port,
+                    clients=clients,
+                    platform_cycle=SERVICE_PLATFORM_CYCLE,
+                )
+                done = outcome.completed
+                latencies = [record.latency_ms for record in done]
+                wall_s = outcome.wall_seconds
+                passes[label] = {
+                    "wall_s": round(wall_s, 4),
+                    "throughput_jobs_s": round(len(done) / wall_s, 2)
+                    if wall_s > 0
+                    else None,
+                    "p50_ms": _latency_percentile(latencies, 50.0),
+                    "p99_ms": _latency_percentile(latencies, 99.0),
+                    "done": len(done),
+                    "shed": sum(1 for r in outcome.records if r.status == "shed"),
+                    "errors": sum(
+                        1
+                        for r in outcome.records
+                        if r.status in ("error", "timeout")
+                    ),
+                }
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.drain()
+        return passes
+
+    points: List[Dict[str, object]] = []
+    for count in worker_counts:
+        passes = asyncio.run(drive(count))
+        points.append({"shards": count, **passes})
+
+    cpu_count = os.cpu_count()
+    pool_meaningless = (cpu_count or 1) <= 1 or max(worker_counts) <= 1
+    baseline = points[0]
+    base_cold = baseline["cold"]["throughput_jobs_s"]
+    best_cold = max(
+        (p["cold"]["throughput_jobs_s"] or 0.0) for p in points[1:]
+    ) if len(points) > 1 else None
+    report: Dict[str, object] = {
+        "slice": {
+            "name": "service",
+            "worker_counts": [int(count) for count in worker_counts],
+            "n": n,
+            "rate_jobs_s": rate_jobs_s,
+            "seed": seed,
+            "clients": clients,
+            "platforms": len(SERVICE_PLATFORM_CYCLE),
+        },
+        "backend": vectorized.get_backend(),
+        "cpu_count": cpu_count,
+        "points": points,
+        "speedup": {
+            "parallel_vs_serial": round(best_cold / base_cold, 3)
+            if best_cold and base_cold and not pool_meaningless
+            else None,
+        },
+        "modes": {
+            "serial_cold": {"seconds": baseline["cold"]["wall_s"]},
+            "warm_cache": {"seconds": baseline["warm"]["wall_s"]},
+        },
+    }
+    if pool_meaningless:
+        report["speedup"]["annotation"] = (
+            "single worker/core: multi-shard rows measure worker-pool "
+            "overhead, not a parallelism measurement"
+        )
+    return report
+
+
+def render_bench_service_table(report: Dict[str, object]) -> str:
+    """Human-readable worker-scaling table for one service report."""
+    sl = report["slice"]
+    lines = [
+        f"bench slice: service n={sl['n']} rate={sl['rate_jobs_s']:g} j/s "
+        f"seed={sl['seed']} clients={sl['clients']} "
+        f"platforms={sl['platforms']} (backend {report['backend']}, "
+        f"{report['cpu_count']} core(s))",
+        f"{'shards':>6s} {'pass':>5s} {'wall s':>8s} {'thr j/s':>9s} "
+        f"{'p50 ms':>8s} {'p99 ms':>8s} {'done':>5s} {'shed':>5s} {'err':>4s}",
+    ]
+    for point in report["points"]:
+        for label in ("cold", "warm"):
+            row = point[label]
+            lines.append(
+                f"{point['shards']:>6d} {label:>5s} "
+                f"{row['wall_s']:>8.3f} "
+                f"{row['throughput_jobs_s'] or float('nan'):>9.1f} "
+                f"{row['p50_ms'] or float('nan'):>8.2f} "
+                f"{row['p99_ms'] or float('nan'):>8.2f} "
+                f"{row['done']:>5d} {row['shed']:>5d} {row['errors']:>4d}"
+            )
+    speed = report["speedup"]
+    ratio = speed.get("parallel_vs_serial")
+    lines.append(
+        "best multi-shard vs 1-shard cold throughput: "
+        + (f"{ratio:g}x" if ratio is not None else "null")
+    )
+    if "annotation" in speed:
+        lines.append(f"note: {speed['annotation']}")
     return "\n".join(lines)
 
 

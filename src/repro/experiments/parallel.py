@@ -53,7 +53,9 @@ __all__ = [
     "DspstoneTraceSpec",
     "SyntheticTraceSpec",
     "PointSpec",
+    "WorkerProcess",
     "chunk_evenly",
+    "pin_worker_state",
     "resolve_workers",
     "run_unit",
     "run_series",
@@ -205,6 +207,28 @@ def run_unit(
     return unit
 
 
+def pin_worker_state(backend: str, solver: Tuple[str, float]) -> None:
+    """Pin the process-wide numeric backend and solver tier (idempotent).
+
+    The parent's effective state rides in the submission payload and is
+    pinned on the worker side: a spawn-context worker does not inherit a
+    programmatic :func:`repro.core.vectorized.set_backend` override, and
+    a silent backend switch would fragment the shared result cache (its
+    keys are backend-scoped).  A ``jit`` request degrades per worker
+    exactly as in the parent -- one structured warning, then
+    numpy/scalar.  The solver tier ``(tier, epsilon)`` is pinned the same
+    way for the same reason: cache keys are tier-scoped, and an fptas
+    sweep must stay fptas inside every worker.
+    """
+    from repro.core import fptas, vectorized
+
+    if vectorized.get_backend() != backend:
+        vectorized.set_backend(backend)
+    tier, epsilon = solver
+    if (fptas.get_solver_tier(), fptas.get_solver_epsilon()) != (tier, epsilon):
+        fptas.set_solver_tier(tier, epsilon)
+
+
 def _pool_entry_chunk(args) -> List[Tuple[int, int, UnitResult]]:
     """Module-level pool target: ``(chunk, cache, horizon, backend, solver)``
     with ``chunk = [(point_index, seed, spec), ...]``.
@@ -212,25 +236,10 @@ def _pool_entry_chunk(args) -> List[Tuple[int, int, UnitResult]]:
     Batching several units per submission amortizes the pickle/IPC cost
     of a pool round-trip, which at ~10 ms per unit otherwise eats the
     parallel speedup (the 0.95x regression in early bench trajectories).
-
-    The parent's effective numeric backend rides in the payload and is
-    pinned here: a spawn-context worker does not inherit a programmatic
-    :func:`repro.core.vectorized.set_backend` override, and a silent
-    backend switch would fragment the shared result cache (its keys are
-    backend-scoped).  A ``jit`` request degrades per worker exactly as in
-    the parent -- one structured warning, then numpy/scalar.  The solver
-    tier ``(tier, epsilon)`` is pinned the same way for the same reason:
-    cache keys are tier-scoped, and an fptas sweep must stay fptas inside
-    every worker.
+    Backend/solver pinning per :func:`pin_worker_state`.
     """
     chunk, cache, horizon, backend, solver = args
-    from repro.core import fptas, vectorized
-
-    if vectorized.get_backend() != backend:
-        vectorized.set_backend(backend)
-    tier, epsilon = solver
-    if (fptas.get_solver_tier(), fptas.get_solver_epsilon()) != solver:
-        fptas.set_solver_tier(tier, epsilon)
+    pin_worker_state(backend, solver)
     return [
         (point_index, seed, run_unit(spec, seed, cache, horizon))
         for point_index, seed, spec in chunk
@@ -278,6 +287,61 @@ def _mp_context():
     if "fork" in methods:
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
+
+
+class WorkerProcess:
+    """One long-lived solver process with pinned backend/solver state.
+
+    The sweeps above use throwaway pools -- fork, chunk, join.  The
+    sharded solve service needs the opposite lifetime: a worker that
+    survives across micro-batches, so the module-level memo caches
+    (``BlockArrays``, the block-energy memo, compiled jit kernels) warmed
+    by one batch are still hot for the next one routed to the same shard.
+    This wraps a single-process :class:`ProcessPoolExecutor` whose
+    initializer pins the parent's effective numeric backend and solver
+    tier via :func:`pin_worker_state` (spawn-context workers inherit
+    neither).
+
+    ``warm=True`` (the default) performs a blocking no-op round-trip at
+    construction so the child process exists -- and, under a fork
+    context, snapshots the parent -- *before* the caller starts an event
+    loop or other threads around it.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: Optional[str] = None,
+        solver: Optional[Tuple[str, float]] = None,
+        warm: bool = True,
+    ):
+        self.backend = backend if backend is not None else get_backend()
+        self.solver = (
+            solver
+            if solver is not None
+            else (get_solver_tier(), get_solver_epsilon())
+        )
+        self._pool = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=_mp_context(),
+            initializer=pin_worker_state,
+            initargs=(self.backend, self.solver),
+        )
+        if warm:
+            # pin_worker_state is idempotent; this round-trip only forces
+            # the fork to happen now.
+            self._pool.submit(pin_worker_state, self.backend, self.solver).result()
+
+    def submit(self, fn, *args):
+        """Submit ``fn(*args)`` to the worker; returns its Future."""
+        return self._pool.submit(fn, *args)
+
+    def call(self, fn, *args):
+        """Blocking convenience: ``submit`` and wait for the result."""
+        return self._pool.submit(fn, *args).result()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
 
 
 def run_series(

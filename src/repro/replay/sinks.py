@@ -220,14 +220,20 @@ def replay_inprocess(
     )
 
 
-def _service_wire(job: Job, scheme: str, lane: str) -> Dict[str, object]:
+def _service_wire(
+    job: Job,
+    scheme: str,
+    lane: str,
+    platform: Optional[Dict[str, float]] = None,
+) -> Dict[str, object]:
     """One solve request for ``job``, re-anchored at its arrival.
 
     The instance is shipped release-0 (deadline = the job's span): the
     service solves the job's own feasible window, and the wire bytes do
-    not depend on absolute virtual time.
+    not depend on absolute virtual time.  ``platform`` overrides the
+    server's paper-default platform parameters for this request.
     """
-    return {
+    wire: Dict[str, object] = {
         "kind": "solve",
         "scheme": scheme,
         "lane": lane,
@@ -240,6 +246,9 @@ def _service_wire(job: Job, scheme: str, lane: str) -> Dict[str, object]:
             }
         ],
     }
+    if platform is not None:
+        wire["platform"] = platform
+    return wire
 
 
 async def replay_service(
@@ -254,6 +263,7 @@ async def replay_service(
     timeout_ms: float = 10_000.0,
     max_attempts: int = 3,
     backoff_cap_ms: float = 500.0,
+    platform_cycle: Optional[Sequence[Dict[str, float]]] = None,
 ) -> ReplayOutcome:
     """Open-loop replay against a running solve server.
 
@@ -267,6 +277,12 @@ async def replay_service(
     Shed / queue-full responses retry with the server-suggested capped
     backoff; a job is recorded ``shed`` only when its final attempt is
     still declined.
+
+    ``platform_cycle`` rotates each job through a sequence of platform
+    parameter overrides (job ``i`` gets entry ``i % len``).  A sharded
+    server routes by platform fingerprint, so a single-platform stream
+    exercises exactly one shard; cycling a handful of platforms is how
+    the service bench slice spreads open-loop load across all shards.
     """
     import asyncio
 
@@ -298,7 +314,12 @@ async def replay_service(
         if delay > 0.0:
             await asyncio.sleep(delay)
         client = pool[index % len(pool)]
-        wire = _service_wire(job, scheme, lane)
+        platform = (
+            platform_cycle[index % len(platform_cycle)]
+            if platform_cycle
+            else None
+        )
+        wire = _service_wire(job, scheme, lane, platform)
         sent = loop.time()
         attempts_box = [0]
 

@@ -50,7 +50,13 @@ from repro.service.metrics import (
 )
 from repro.service.queue import QueueEntry
 
-__all__ = ["Batcher", "batch_key", "form_batches"]
+__all__ = [
+    "Batcher",
+    "batch_key",
+    "execute_batch_requests",
+    "finalize_outcomes",
+    "form_batches",
+]
 
 
 def resolve_numeric(request: protocol.SolveRequest) -> str:
@@ -165,6 +171,169 @@ def _with_backend(backend: str, fn: Callable[[], object]):
 
 
 # ---------------------------------------------------------------------------
+# Batch execution core (shared with the sharded worker tier)
+# ---------------------------------------------------------------------------
+
+
+def execute_batch_requests(
+    requests: Sequence[protocol.SolveRequest],
+    cache: Optional[ResultCache],
+    backend: str,
+) -> List[Dict[str, object]]:
+    """Price, prefetch and solve one compatible batch.
+
+    The deterministic core shared by the in-process :class:`Batcher` and
+    the sharded worker tier (:mod:`repro.service.shard`), which is what
+    makes the 1-shard/N-shard byte-identity contract hold by
+    construction.  The caller must have pinned the numeric backend
+    process-wide; ``backend`` here only scopes the cache keys.
+
+    Returns one outcome dict per request, in order: either
+    ``{"ok": True, "result", "scheme", "cache", "solve_ms"}`` or
+    ``{"ok": False, "code", "message"}``.  Outcomes are plain JSON-able
+    data so they can cross a process boundary; the caller turns them into
+    wire responses and metrics on its side.
+    """
+    # Resolve schemes and price the cache for the whole batch first...
+    plans: List[object] = []
+    misses: List[protocol.SolveRequest] = []
+    for request in requests:
+        try:
+            scheme = protocol.resolve_scheme(request)
+        except protocol.ProtocolError as exc:
+            plans.append(exc)
+            continue
+        key = (
+            service_request_key(
+                request.platform,
+                request.tasks_config(),
+                scheme,
+                backend,
+                solver=request.solver,
+                epsilon=request.epsilon,
+            )
+            if cache is not None
+            else None
+        )
+        stored = cache.get(key) if key is not None else None
+        plans.append((scheme, key, stored))
+        if stored is None:
+            misses.append(request)
+    # ... then warm the vectorized core for every miss in one pass.
+    vectorized.prefetch_block_arrays([r.tasks for r in misses])
+
+    out: List[Dict[str, object]] = []
+    # Identical requests inside one batch solve once: the first
+    # occurrence computes (and writes the cache), the rest are served
+    # from this per-batch memo as hits.
+    fresh: Dict[str, Dict[str, object]] = {}
+    for request, plan in zip(requests, plans):
+        if isinstance(plan, protocol.ProtocolError):
+            out.append({"ok": False, "code": plan.code, "message": plan.message})
+            continue
+        scheme, key, stored = plan
+        if stored is None and key is not None:
+            stored = fresh.get(key)
+        start = time.perf_counter()
+        try:
+            if stored is not None:
+                result, cache_state = stored, "hit"
+            else:
+                result = protocol.execute_request(request)
+                cache_state = "miss" if key is not None else "off"
+                if key is not None:
+                    cache.put(key, result)
+                    fresh[key] = result
+        except protocol.ProtocolError as exc:
+            out.append({"ok": False, "code": exc.code, "message": exc.message})
+            continue
+        except Exception as exc:  # one bad solve must not kill the batch
+            out.append(
+                {
+                    "ok": False,
+                    "code": protocol.E_INTERNAL,
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            continue
+        solve_ms = (time.perf_counter() - start) * 1000.0
+        out.append(
+            {
+                "ok": True,
+                "result": result,
+                "scheme": scheme,
+                "cache": cache_state,
+                "solve_ms": solve_ms,
+            }
+        )
+    return out
+
+
+def finalize_outcomes(
+    entries: Sequence[QueueEntry],
+    outcomes: Sequence[Dict[str, object]],
+    waits_ms: Sequence[float],
+    backend: str,
+    metrics: MetricsRegistry,
+    *,
+    provenance_extra: Optional[Dict[str, object]] = None,
+) -> List[Tuple[QueueEntry, Dict[str, object]]]:
+    """Turn outcome dicts into wire responses, recording per-request metrics.
+
+    Shared by the in-process batcher and the shard tier's parent side, so
+    response envelopes and the metrics they feed cannot drift between the
+    two execution paths.  ``provenance_extra`` is merged into each ok
+    response's provenance (the shard tier stamps its shard index there).
+    """
+    out: List[Tuple[QueueEntry, Dict[str, object]]] = []
+    for entry, outcome, wait_ms in zip(entries, outcomes, waits_ms):
+        request = entry.request
+        metrics.histogram("repro_queue_wait_ms").observe(wait_ms)
+        if not outcome["ok"]:
+            metrics.counter("repro_errors_total").inc()
+            out.append(
+                (
+                    entry,
+                    protocol.error_response(
+                        request.id, str(outcome["code"]), str(outcome["message"])
+                    ),
+                )
+            )
+            continue
+        cache_state = str(outcome["cache"])
+        if cache_state == "hit":
+            metrics.counter("repro_cache_hits_total").inc()
+        elif cache_state == "miss":
+            metrics.counter("repro_cache_misses_total").inc()
+        solve_ms = float(outcome["solve_ms"])
+        metrics.histogram("repro_solve_latency_ms").observe(solve_ms)
+        metrics.counter("repro_responses_total").inc()
+        result = outcome["result"]
+        scheme_energy_counter(metrics, str(outcome["scheme"])).inc(
+            result["energy"]["total"]
+        )
+        provenance: Dict[str, object] = {
+            "backend": backend,
+            "cache": cache_state,
+            "batch_size": len(entries),
+        }
+        if provenance_extra:
+            provenance.update(provenance_extra)
+        out.append(
+            (
+                entry,
+                protocol.ok_response(
+                    request.id,
+                    result,
+                    timing={"queue_ms": wait_ms, "solve_ms": solve_ms},
+                    provenance=provenance,
+                ),
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # The dispatcher
 # ---------------------------------------------------------------------------
 
@@ -246,104 +415,14 @@ class Batcher:
         inflight = metrics.gauge("repro_inflight")
         inflight.inc(len(entries))
         try:
-            # Resolve schemes and price the cache for the whole batch first...
-            plans: List[Tuple[QueueEntry, object]] = []
-            misses: List[QueueEntry] = []
-            for entry in entries:
-                request = entry.request
-                try:
-                    scheme = protocol.resolve_scheme(request)
-                except protocol.ProtocolError as exc:
-                    plans.append((entry, exc))
-                    continue
-                key = (
-                    service_request_key(
-                        request.platform,
-                        request.tasks_config(),
-                        scheme,
-                        backend,
-                        solver=request.solver,
-                        epsilon=request.epsilon,
-                    )
-                    if self.cache is not None
-                    else None
-                )
-                stored = self.cache.get(key) if key is not None else None
-                plans.append((entry, (scheme, key, stored)))
-                if stored is None:
-                    misses.append(entry)
-            # ... then warm the vectorized core for every miss in one pass.
-            vectorized.prefetch_block_arrays([e.request.tasks for e in misses])
-
-            out: List[Tuple[QueueEntry, Dict[str, object]]] = []
-            # Identical requests inside one batch solve once: the first
-            # occurrence computes (and writes the cache), the rest are
-            # served from this per-batch memo as hits.
-            fresh: Dict[str, Dict[str, object]] = {}
-            now = time.monotonic()
-            for entry, plan in plans:
-                request = entry.request
-                wait_ms = max(0.0, (now - entry.enqueued_at) * 1000.0)
-                metrics.histogram("repro_queue_wait_ms").observe(wait_ms)
-                if isinstance(plan, protocol.ProtocolError):
-                    metrics.counter("repro_errors_total").inc()
-                    out.append(
-                        (entry, protocol.error_response(request.id, plan.code, plan.message))
-                    )
-                    continue
-                scheme, key, stored = plan
-                if stored is None and key is not None:
-                    stored = fresh.get(key)
-                start = time.perf_counter()
-                try:
-                    if stored is not None:
-                        result, cache_state = stored, "hit"
-                        metrics.counter("repro_cache_hits_total").inc()
-                    else:
-                        result = protocol.execute_request(request)
-                        cache_state = "miss" if key is not None else "off"
-                        if key is not None:
-                            metrics.counter("repro_cache_misses_total").inc()
-                            self.cache.put(key, result)
-                            fresh[key] = result
-                except protocol.ProtocolError as exc:
-                    metrics.counter("repro_errors_total").inc()
-                    out.append(
-                        (entry, protocol.error_response(request.id, exc.code, exc.message))
-                    )
-                    continue
-                except Exception as exc:  # one bad solve must not kill the batch
-                    metrics.counter("repro_errors_total").inc()
-                    out.append(
-                        (
-                            entry,
-                            protocol.error_response(
-                                request.id,
-                                protocol.E_INTERNAL,
-                                f"{type(exc).__name__}: {exc}",
-                            ),
-                        )
-                    )
-                    continue
-                solve_ms = (time.perf_counter() - start) * 1000.0
-                metrics.histogram("repro_solve_latency_ms").observe(solve_ms)
-                metrics.counter("repro_responses_total").inc()
-                scheme_energy_counter(metrics, scheme).inc(result["energy"]["total"])
-                out.append(
-                    (
-                        entry,
-                        protocol.ok_response(
-                            request.id,
-                            result,
-                            timing={"queue_ms": wait_ms, "solve_ms": solve_ms},
-                            provenance={
-                                "backend": backend,
-                                "cache": cache_state,
-                                "batch_size": len(entries),
-                            },
-                        ),
-                    )
-                )
-            return out
+            dispatched = time.monotonic()
+            waits_ms = [
+                max(0.0, (dispatched - entry.enqueued_at) * 1000.0)
+                for entry in entries
+            ]
+            outcomes = execute_batch_requests(
+                [entry.request for entry in entries], self.cache, backend
+            )
+            return finalize_outcomes(entries, outcomes, waits_ms, backend, metrics)
         finally:
             inflight.dec(len(entries))

@@ -54,9 +54,19 @@ RETRYABLE_CODES = (protocol.E_SHEDDING, protocol.E_QUEUE_FULL)
 class ServiceClient:
     """One pipelined JSON-lines connection to a solve server."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 7070):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7070,
+        *,
+        retry_seed: Optional[int] = None,
+    ):
         self.host = host
         self.port = port
+        #: Jitter source for retry backoff.  Unseeded by default -- the
+        #: whole point is that concurrent clients desynchronize -- but a
+        #: ``retry_seed`` pins the schedule for deterministic tests.
+        self._retry_rng = random.Random(retry_seed)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
@@ -164,6 +174,7 @@ class ServiceClient:
         timeout_ms: Optional[float] = None,
         max_attempts: int = 3,
         backoff_cap_ms: float = 1000.0,
+        jitter: float = 0.5,
         on_backpressure=None,
     ) -> Dict[str, object]:
         """Send a request, honoring shed/queue-full backpressure.
@@ -172,13 +183,22 @@ class ServiceClient:
         ``QUEUE_FULL``) the client sleeps for the server-suggested
         ``retry_after_ms`` -- capped at ``backoff_cap_ms`` so an
         occupancy-scaled hint cannot stall an open-loop replay -- and
-        resends, up to ``max_attempts`` total sends.  The final response
-        is returned as-is (possibly still the error) so callers can count
-        terminal sheds.  ``on_backpressure(code, delay_ms)`` is invoked
-        before each backoff sleep, for shed-retry accounting.
+        resends, up to ``max_attempts`` total sends.  The sleep is
+        multiplied by a uniform factor in ``[1 - jitter, 1 + jitter]``
+        (then capped): without jitter, every client that a full shard
+        rejected in the same window receives the same occupancy-scaled
+        hint and retries in lockstep, re-colliding forever under
+        synchronized open-loop load.  Sharded servers stamp the rejecting
+        shard into the error envelope (``error["shard"]``), so terminal
+        sheds remain attributable per shard.  The final response is
+        returned as-is (possibly still the error) so callers can count
+        them.  ``on_backpressure(code, delay_ms)`` is invoked before each
+        backoff sleep, for shed-retry accounting.
         """
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
         response: Dict[str, object] = {}
         for attempt in range(max_attempts):
             response = await self.request(wire, timeout_ms=timeout_ms)
@@ -190,6 +210,8 @@ class ServiceClient:
                 return response
             suggested = error.get("retry_after_ms") if isinstance(error, dict) else None
             delay_ms = float(suggested) if suggested is not None else backoff_cap_ms
+            if jitter > 0.0:
+                delay_ms *= 1.0 + jitter * (2.0 * self._retry_rng.random() - 1.0)
             delay_ms = min(delay_ms, backoff_cap_ms)
             if on_backpressure is not None:
                 on_backpressure(str(code), delay_ms)
@@ -387,6 +409,7 @@ async def run_demo(
     cache_dir: Optional[str] = None,
     verify: bool = True,
     seed: int = 0,
+    shards: int = 0,
 ) -> DemoReport:
     """Fire ``n`` concurrent mixed solve requests and audit the results.
 
@@ -394,6 +417,9 @@ async def run_demo(
     ephemeral port (the full TCP path, not in-process shortcuts) and
     drained afterwards; otherwise an already-running server is targeted
     and ``capacity`` is only used as the queue-bound audit threshold.
+    ``shards`` selects the local server's execution tier (0 = inline
+    batcher, N = sharded worker pool); responses are verified
+    byte-identical against direct execution either way.
     """
     service: Optional[SolveService] = None
     server = None
@@ -403,7 +429,7 @@ async def run_demo(
             import tempfile
 
             cache = ResultCache(tempfile.mkdtemp(prefix="repro-service-demo-"))
-        service = SolveService(capacity=capacity, cache=cache)
+        service = SolveService(capacity=capacity, cache=cache, shards=shards)
         server = await service.serve_tcp("127.0.0.1", 0)
         host, port = server.sockets[0].getsockname()[:2]
     assert port is not None

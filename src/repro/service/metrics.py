@@ -44,6 +44,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SERVICE_METRICS",
+    "labelled_name",
     "service_metrics",
     "scheme_energy_counter",
 ]
@@ -340,6 +341,21 @@ def service_metrics(registry: Optional[MetricsRegistry] = None) -> MetricsRegist
     for kind, name, help_text in SERVICE_METRICS:
         getattr(registry, kind)(name, help_text)
     return registry
+
+
+def labelled_name(name: str, **labels: object) -> str:
+    """A Prometheus-style labelled series name.
+
+    ``labelled_name("repro_shard_queue_depth", shard=3)`` ->
+    ``'repro_shard_queue_depth{shard="3"}'``.  The registry treats the
+    result as an ordinary metric name -- one instrument per label
+    combination, the same scheme the lazy per-scheme energy counters use
+    -- but the rendered text page keeps the label syntax, so scrapers can
+    aggregate across shards/workers with a plain label matcher.  Labels
+    render in sorted key order so a combination always maps to one name.
+    """
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
 
 
 def scheme_energy_counter(registry: MetricsRegistry, scheme: str) -> Counter:

@@ -1,0 +1,105 @@
+"""Consistent-hash ring: platform fingerprints -> shard indices.
+
+The sharded service routes every solve request by its platform
+fingerprint -- the same identity the result cache and the micro-batcher
+key on -- so one platform's traffic always lands on one shard, whose
+worker process then keeps that platform's ``BlockArrays`` and
+block-energy memos persistently warm (cache affinity is the whole point
+of sharding here; the solves themselves are stateless).
+
+Classic consistent hashing with virtual nodes: every shard owns
+``vnodes`` pseudo-random points on a 64-bit circle, a key maps to the
+owner of the first point at or clockwise-after its own position.  Two
+properties the service relies on, both pinned by the hypothesis suite in
+``tests/test_service_ring.py``:
+
+* **balance** -- with enough virtual nodes the arc lengths even out, so
+  random fingerprint populations spread across shards within a small
+  factor of the mean;
+* **minimal remapping** -- adding a shard steals keys only *for* the new
+  shard, removing one reassigns only the keys it owned.  A modulo table
+  would reshuffle nearly everything, flushing every warm worker cache on
+  any resize.
+
+Positions come from SHA-256, never from Python's ``hash()``: the builtin
+is salted per process (PYTHONHASHSEED), and the ring must route
+identically in the server, its worker processes and any test that
+recomputes the mapping.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+__all__ = ["DEFAULT_VNODES", "HashRing"]
+
+#: Virtual nodes per shard.  128 points keeps the expected per-shard load
+#: within a few percent of even for the shard counts the service uses
+#: (2..16) while the full ring stays tiny (16 shards -> 2048 points).
+DEFAULT_VNODES = 128
+
+
+def _position(token: str) -> int:
+    """A point on the 64-bit circle, stable across processes and runs."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over a set of shard identifiers.
+
+    ``shards`` is either a count (ring over ``0..n-1``, the service's
+    case) or an explicit sequence of identifiers (the remapping property
+    tests build rings over arbitrary id sets to compare memberships).
+    Resizing means building a new ring -- there is no mutable state to
+    share across shards or processes.
+    """
+
+    def __init__(
+        self,
+        shards: Union[int, Sequence[int]],
+        *,
+        vnodes: int = DEFAULT_VNODES,
+    ):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        if isinstance(shards, int):
+            if shards < 1:
+                raise ValueError(f"shard count must be >= 1, got {shards}")
+            shard_ids: Tuple[int, ...] = tuple(range(shards))
+        else:
+            shard_ids = tuple(shards)
+            if not shard_ids:
+                raise ValueError("shard id sequence must be non-empty")
+            if len(set(shard_ids)) != len(shard_ids):
+                raise ValueError(f"duplicate shard ids in {shard_ids!r}")
+        self.vnodes = vnodes
+        self.shard_ids = shard_ids
+        points: List[Tuple[int, int]] = []
+        for shard_id in shard_ids:
+            for replica in range(vnodes):
+                points.append((_position(f"shard:{shard_id}:vnode:{replica}"), shard_id))
+        # Sorting (position, id) pairs breaks the astronomically unlikely
+        # position collision deterministically in favour of the lower id.
+        points.sort()
+        self._positions = [position for position, _ in points]
+        self._owners = [shard_id for _, shard_id in points]
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def shard_for(self, key: str) -> int:
+        """The shard id owning ``key`` (first vnode clockwise of its hash)."""
+        index = bisect.bisect_right(self._positions, _position(f"key:{key}"))
+        if index == len(self._positions):
+            index = 0  # wrap: past the last point means the first owner
+        return self._owners[index]
+
+    def distribution(self, keys: Iterable[str]) -> Dict[int, int]:
+        """Key count per shard id -- the balance property's measurement."""
+        counts: Dict[int, int] = {shard_id: 0 for shard_id in self.shard_ids}
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts

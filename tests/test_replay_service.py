@@ -111,6 +111,7 @@ class TestClientRetry:
                         {"kind": "solve"},
                         timeout_ms=1000.0,
                         max_attempts=3,
+                        jitter=0.0,  # pin: this asserts the exact hint
                         on_backpressure=lambda code, ms: backoffs.append(
                             (code, ms)
                         ),
@@ -147,6 +148,7 @@ class TestClientRetry:
                         timeout_ms=1000.0,
                         max_attempts=2,
                         backoff_cap_ms=20.0,
+                        jitter=0.0,  # pin: this asserts the exact cap
                         on_backpressure=lambda code, ms: backoffs.append(ms),
                     )
             finally:

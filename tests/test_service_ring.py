@@ -1,0 +1,157 @@
+"""Property suite for the consistent-hash ring (PR 10).
+
+The sharded service relies on exactly two ring properties, both
+documented in :mod:`repro.service.ring`:
+
+* **balance** -- random key populations spread across shards within a
+  small factor of the even split, so no worker pool hot-spots;
+* **minimal remapping** -- resizing moves only the keys that *must*
+  move (those gained by the new shard / orphaned by the removed one),
+  so warm worker caches survive a resize.
+
+Plus the determinism that makes routing usable at all: the mapping is a
+pure function of (shard ids, vnodes, key), identical across ring
+instances and processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.service.ring import DEFAULT_VNODES, HashRing
+
+# Key populations: short printable tokens, deduplicated, large enough
+# for the balance statistics to mean something.
+_keys = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-",
+        min_size=1,
+        max_size=24,
+    ),
+    min_size=1,
+    max_size=400,
+    unique=True,
+)
+
+
+class TestConstruction:
+    def test_count_form_builds_contiguous_ids(self):
+        ring = HashRing(4)
+        assert ring.shard_ids == (0, 1, 2, 3)
+        assert len(ring) == 4
+
+    def test_sequence_form_preserves_ids(self):
+        ring = HashRing([7, 3, 11])
+        assert ring.shard_ids == (7, 3, 11)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_nonpositive_count_rejected(self, bad):
+        with pytest.raises(ValueError):
+            HashRing(bad)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([1, 2, 1])
+
+    def test_zero_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)
+
+
+class TestDeterminism:
+    @given(keys=_keys, shards=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_independent_rings_agree(self, keys, shards):
+        # Routing is a pure function of the configuration -- this is what
+        # lets worker processes and tests recompute the server's mapping.
+        a = HashRing(shards)
+        b = HashRing(shards)
+        assert [a.shard_for(k) for k in keys] == [b.shard_for(k) for k in keys]
+
+    @given(key=st.text(min_size=1, max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_route_in_range(self, key):
+        ring = HashRing(5)
+        assert ring.shard_for(key) in ring.shard_ids
+
+    def test_single_shard_takes_everything(self):
+        ring = HashRing(1)
+        assert all(ring.shard_for(f"key-{i}") == 0 for i in range(100))
+
+
+class TestBalance:
+    @given(shards=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_uniform_population_within_factor_of_mean(self, shards):
+        # 4000 distinct keys against the production vnode count: every
+        # shard should hold within 2x of the even split in both
+        # directions.  (The expected deviation at 128 vnodes is a few
+        # percent; 2x leaves room for unlucky draws without flakiness.)
+        keys = [f"platform:{i}" for i in range(4000)]
+        counts = HashRing(shards, vnodes=DEFAULT_VNODES).distribution(keys)
+        mean = len(keys) / shards
+        assert len(counts) == shards
+        assert sum(counts.values()) == len(keys)
+        for shard_id, count in counts.items():
+            assert count > mean / 2, (shard_id, counts)
+            assert count < mean * 2, (shard_id, counts)
+
+    def test_distribution_counts_every_shard_even_if_empty(self):
+        # distribution() pre-seeds all shard ids so monitoring sees 0s.
+        counts = HashRing(8).distribution(["only-one-key"])
+        assert set(counts) == set(range(8))
+        assert sum(counts.values()) == 1
+
+
+class TestMinimalRemapping:
+    @given(keys=_keys, shards=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=50, deadline=None)
+    def test_adding_a_shard_only_steals_for_it(self, keys, shards):
+        before = HashRing(shards)
+        after = HashRing(shards + 1)
+        for key in keys:
+            old, new = before.shard_for(key), after.shard_for(key)
+            # A key either stays put or moves *to the new shard*;
+            # nothing reshuffles between the surviving shards.
+            assert new == old or new == shards, (key, old, new)
+
+    @given(
+        keys=_keys,
+        ids=st.lists(
+            st.integers(min_value=0, max_value=31),
+            min_size=2,
+            max_size=8,
+            unique=True,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_removing_a_shard_only_moves_its_keys(self, keys, ids, data):
+        removed = data.draw(st.sampled_from(ids))
+        before = HashRing(ids)
+        after = HashRing([i for i in ids if i != removed])
+        for key in keys:
+            old, new = before.shard_for(key), after.shard_for(key)
+            if old == removed:
+                assert new != removed
+            else:
+                # Keys the removed shard never owned keep their owner.
+                assert new == old, (key, old, new)
+
+    @given(keys=_keys, shards=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_moved_fraction_is_roughly_one_over_n(self, keys, shards):
+        # The remapped share when growing n -> n+1 concentrates around
+        # 1/(n+1); assert a generous ceiling so pathological reshuffles
+        # (a modulo table moves ~n/(n+1)) would fail loudly.
+        before = HashRing(shards)
+        after = HashRing(shards + 1)
+        moved = sum(
+            1 for k in keys if before.shard_for(k) != after.shard_for(k)
+        )
+        assert moved <= max(4, len(keys) * 3 // (shards + 1))
